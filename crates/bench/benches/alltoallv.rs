@@ -1,0 +1,32 @@
+//! Microbenchmark: BSP engine Alltoallv overhead (host cost of the
+//! simulated collective — transpose + cost model, not wire time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedukt_net::cost::Network;
+use dedukt_net::BspWorld;
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoallv_engine");
+    for nodes in [2usize, 16] {
+        let nranks = nodes * 6;
+        let payload = 256usize; // u64 words per rank pair
+        g.throughput(Throughput::Bytes((nranks * nranks * payload * 8) as u64));
+        g.bench_with_input(BenchmarkId::new("bsp_u64", nranks), &nodes, |b, &nodes| {
+            b.iter_with_setup(
+                || {
+                    let world = BspWorld::new(Network::summit_gpu(nodes));
+                    let p = world.nranks();
+                    let send: Vec<Vec<Vec<u64>>> = (0..p)
+                        .map(|src| (0..p).map(|dst| vec![(src ^ dst) as u64; payload]).collect())
+                        .collect();
+                    (world, send)
+                },
+                |(mut world, send)| world.alltoallv(send).times.max,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoallv);
+criterion_main!(benches);

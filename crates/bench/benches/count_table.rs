@@ -1,0 +1,59 @@
+//! Microbenchmark: open-addressing count tables — host vs device-atomic
+//! insert paths, uniform vs skewed key distributions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedukt_core::table::{DeviceCountTable, HostCountTable};
+use dedukt_gpu::Device;
+use dedukt_sim::SplitMix64;
+
+/// Uniform distinct keys.
+fn uniform_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_u64() >> 2).collect()
+}
+
+/// Zipf-ish skew: a few hot keys dominate (repeat-rich genomes).
+fn skewed_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            if rng.next_below(4) == 0 {
+                rng.next_below(16) // hot set
+            } else {
+                rng.next_u64() >> 2
+            }
+        })
+        .collect()
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let n = 100_000;
+    let mut g = c.benchmark_group("count_table");
+    g.throughput(Throughput::Elements(n as u64));
+
+    for (dist, keys) in [("uniform", uniform_keys(n, 1)), ("skewed", skewed_keys(n, 2))] {
+        g.bench_with_input(BenchmarkId::new("host_insert", dist), &keys, |b, keys| {
+            b.iter(|| {
+                let mut t: HostCountTable = HostCountTable::with_expected(keys.len(), 0.7, 9);
+                for &k in keys {
+                    t.insert(black_box(k));
+                }
+                t.distinct()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("device_insert", dist), &keys, |b, keys| {
+            let device = Device::v100();
+            b.iter(|| {
+                let t = DeviceCountTable::new(&device, keys.len() * 2, 9).unwrap();
+                for &k in keys {
+                    t.insert(black_box(k));
+                }
+                t.capacity()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

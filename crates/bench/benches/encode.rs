@@ -1,0 +1,39 @@
+//! Microbenchmark: 2-bit packing and rolling k-mer extraction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dedukt_dna::kmer::kmer_words;
+use dedukt_dna::packed::PackedSeq;
+use dedukt_dna::Encoding;
+use dedukt_sim::SplitMix64;
+
+fn random_codes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(4) as u8).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let codes = random_codes(100_000, 42);
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(codes.len() as u64));
+
+    g.bench_function("pack_2bit", |b| {
+        b.iter(|| PackedSeq::from_codes(black_box(&codes), Encoding::PaperRandom).packed_bytes())
+    });
+
+    let packed = PackedSeq::from_codes(&codes, Encoding::PaperRandom);
+    g.bench_function("unpack_2bit", |b| b.iter(|| black_box(&packed).to_codes().len()));
+
+    g.bench_function("rolling_kmer_extraction_k17", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for w in kmer_words(black_box(&codes), 17, Encoding::PaperRandom) {
+                acc ^= w;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmark: minimizer scan cost per ordering (§IV-A's "extra
+//! computational overhead" discussion).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dedukt_core::minimizer::{MinimizerScheme, OrderingKind};
+use dedukt_dna::kmer::kmer_words;
+use dedukt_dna::Encoding;
+use dedukt_sim::SplitMix64;
+
+fn random_codes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(4) as u8).collect()
+}
+
+fn bench_minimizer(c: &mut Criterion) {
+    let codes = random_codes(20_000, 7);
+    let k = 17;
+    let kmers: Vec<u64> = kmer_words(&codes, k, Encoding::PaperRandom).collect();
+    let mut g = c.benchmark_group("minimizer");
+    g.throughput(Throughput::Elements(kmers.len() as u64));
+
+    let schemes = [
+        ("lexicographic", Encoding::Alphabetical, OrderingKind::EncodedLexicographic),
+        ("kmc2", Encoding::Alphabetical, OrderingKind::Kmc2),
+        ("random-encoding", Encoding::PaperRandom, OrderingKind::EncodedLexicographic),
+    ];
+    for (name, enc, ord) in schemes {
+        for m in [7usize, 9] {
+            let scheme = MinimizerScheme {
+                encoding: enc,
+                ordering: ord,
+                m,
+            };
+            g.bench_with_input(BenchmarkId::new(name, m), &scheme, |b, scheme| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for &w in &kmers {
+                        acc ^= scheme.minimizer_of(black_box(w), k).word;
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_minimizer);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmark: MurmurHash3 throughput on packed k-mer words.
+//!
+//! Every k-mer is hashed at least twice in the pipelines (owner routing
+//! and table slot), so hash throughput bounds the host-side paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dedukt_hash::{murmur3_x64_128, murmur3_x86_32, Murmur3x64};
+
+fn bench_murmur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("murmur3");
+    let words: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let hasher = Murmur3x64::new(0x5EED);
+
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("hash_u64_packed_kmers", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &w in &words {
+                acc ^= hasher.hash_u64(black_box(w));
+            }
+            acc
+        })
+    });
+
+    g.bench_function("x64_128_byte_slices", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &w in &words {
+                acc ^= murmur3_x64_128(black_box(&w.to_le_bytes()), 0x5EED).0;
+            }
+            acc
+        })
+    });
+
+    g.bench_function("x86_32_byte_slices", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &w in &words {
+                acc ^= murmur3_x86_32(black_box(&w.to_le_bytes()), 0x5EED);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_murmur);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmark: supermer construction — windowed (Algorithm 2) vs the
+//! unbounded reference scan, and k-mer re-extraction at the receiver.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dedukt_core::supermer::{build_supermers_reference, build_supermers_windowed};
+use dedukt_core::CountingConfig;
+use dedukt_sim::SplitMix64;
+
+fn random_codes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_below(4) as u8).collect()
+}
+
+fn bench_supermer(c: &mut Criterion) {
+    let cfg = CountingConfig::default(); // k=17, m=7, window=15
+    let scheme = cfg.minimizer_scheme();
+    let reads: Vec<Vec<u8>> = (0..20).map(|i| random_codes(5_000, i)).collect();
+    let total_kmers: u64 = reads.iter().map(|r| (r.len() - cfg.k + 1) as u64).sum();
+
+    let mut g = c.benchmark_group("supermer");
+    g.throughput(Throughput::Elements(total_kmers));
+
+    g.bench_function("windowed_w15", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                n += build_supermers_windowed(black_box(r), cfg.k, cfg.window, &scheme).len();
+            }
+            n
+        })
+    });
+
+    g.bench_function("reference_unbounded", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for r in &reads {
+                n += build_supermers_reference(black_box(r), cfg.k, &scheme).len();
+            }
+            n
+        })
+    });
+
+    // Receiver-side k-mer extraction (the supermer pipeline's counting
+    // surcharge, §V-C).
+    let supermers: Vec<_> = reads
+        .iter()
+        .flat_map(|r| build_supermers_windowed(r, cfg.k, cfg.window, &scheme))
+        .collect();
+    g.bench_function("extract_kmers_from_supermers", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for sm in &supermers {
+                for kw in sm.kmers(cfg.k) {
+                    acc ^= kw;
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_supermer);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Minimal command-line parsing for the experiment binaries.
+//!
+//! Every regenerator accepts the same flags:
+//!
+//! * `--scale tiny|bench|x<FACTOR>` — dataset scale (default `bench`).
+//! * `--nodes N` — override the node count where it makes sense.
+//! * `--m N` — minimizer length override.
+//! * `--seed N` — dataset seed override.
+//! * `--gpu-direct` — enable GPUDirect staging.
+
+use dedukt_dna::ScalePreset;
+
+/// Parsed common flags.
+#[derive(Clone, Debug)]
+pub struct ExperimentArgs {
+    /// Dataset scale preset.
+    pub scale: ScalePreset,
+    /// Node-count override.
+    pub nodes: Option<usize>,
+    /// Minimizer-length override.
+    pub m: Option<usize>,
+    /// Dataset seed override.
+    pub seed: Option<u64>,
+    /// Use GPUDirect in the GPU pipelines.
+    pub gpu_direct: bool,
+}
+
+impl Default for ExperimentArgs {
+    fn default() -> Self {
+        ExperimentArgs {
+            scale: ScalePreset::Bench,
+            nodes: None,
+            m: None,
+            seed: None,
+            gpu_direct: false,
+        }
+    }
+}
+
+impl ExperimentArgs {
+    /// Parses `std::env::args`, exiting with a usage message on error.
+    pub fn parse() -> ExperimentArgs {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!(
+                    "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] [--gpu-direct]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<ExperimentArgs, String> {
+        let mut out = ExperimentArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value")?;
+                    out.scale = match v.as_str() {
+                        "tiny" => ScalePreset::Tiny,
+                        "bench" => ScalePreset::Bench,
+                        s if s.starts_with('x') => {
+                            let f: f64 = s[1..]
+                                .parse()
+                                .map_err(|_| format!("bad scale factor {s:?}"))?;
+                            if f <= 0.0 {
+                                return Err("scale factor must be positive".into());
+                            }
+                            ScalePreset::Custom(f)
+                        }
+                        other => return Err(format!("unknown scale {other:?}")),
+                    };
+                }
+                "--nodes" => {
+                    let v = it.next().ok_or("--nodes needs a value")?;
+                    let n: usize = v.parse().map_err(|_| format!("bad node count {v:?}"))?;
+                    if n == 0 {
+                        return Err("--nodes must be positive".into());
+                    }
+                    out.nodes = Some(n);
+                }
+                "--m" => {
+                    let v = it.next().ok_or("--m needs a value")?;
+                    out.m = Some(v.parse().map_err(|_| format!("bad minimizer length {v:?}"))?);
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    out.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                }
+                "--gpu-direct" => out.gpu_direct = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<ExperimentArgs, String> {
+        ExperimentArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, ScalePreset::Bench);
+        assert!(a.nodes.is_none());
+        assert!(!a.gpu_direct);
+    }
+
+    #[test]
+    fn full_flags() {
+        let a = parse(&["--scale", "tiny", "--nodes", "16", "--m", "9", "--seed", "7", "--gpu-direct"]).unwrap();
+        assert_eq!(a.scale, ScalePreset::Tiny);
+        assert_eq!(a.nodes, Some(16));
+        assert_eq!(a.m, Some(9));
+        assert_eq!(a.seed, Some(7));
+        assert!(a.gpu_direct);
+    }
+
+    #[test]
+    fn custom_scale() {
+        let a = parse(&["--scale", "x0.25"]).unwrap();
+        assert_eq!(a.scale, ScalePreset::Custom(0.25));
+        assert!(parse(&["--scale", "x-1"]).is_err());
+        assert!(parse(&["--scale", "huge"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--nodes"]).is_err());
+        assert!(parse(&["--nodes", "zero"]).is_err());
+        assert!(parse(&["--nodes", "0"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Fig. 3: runtime breakdown of the CPU- and GPU-based k-mer
+//! counters on 64 nodes for the H. sapiens 54X dataset.
+//!
+//! The paper's observation: with GPU acceleration the compute modules
+//! shrink by ~two orders of magnitude while the k-mer exchange stays
+//! roughly the same, turning the problem communication-bound.
+//!
+//! Usage: `cargo run --release -p dedukt-bench --bin fig3_breakdown
+//!         [--scale tiny|bench|xF] [--nodes N]`
+
+use dedukt_bench::{generate, print_header, run_mode, ExperimentArgs, Table};
+use dedukt_core::Mode;
+use dedukt_dna::DatasetId;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let nodes = args.nodes.unwrap_or(64);
+    print_header(
+        "Fig. 3 — runtime breakdown, CPU vs GPU k-mer counter",
+        &format!("dataset: H. sapiens 54X (synthetic), {nodes} nodes; times are simulated"),
+    );
+
+    let reads = generate(DatasetId::HSapiens54x, &args);
+    let cpu = run_mode(&reads, Mode::CpuBaseline, nodes, &args);
+    let gpu = run_mode(&reads, Mode::GpuKmer, nodes, &args);
+
+    let mut t = Table::new(["module", &format!("CPU ({} ranks)", cpu.nranks), &format!("GPU ({} ranks)", gpu.nranks)]);
+    t.row(["parse & process kmers".to_string(), format!("{}", cpu.phases.parse), format!("{}", gpu.phases.parse)]);
+    t.row(["exchange (incl. MPI call)".to_string(), format!("{}", cpu.phases.exchange), format!("{}", gpu.phases.exchange)]);
+    t.row(["kmer counter".to_string(), format!("{}", cpu.phases.count), format!("{}", gpu.phases.count)]);
+    t.row(["TOTAL (excl. I/O)".to_string(), format!("{}", cpu.total_time()), format!("{}", gpu.total_time())]);
+    t.print();
+
+    let compute_speedup =
+        (cpu.phases.parse + cpu.phases.count) / (gpu.phases.parse + gpu.phases.count);
+    let exchange_ratio = cpu.phases.exchange / gpu.phases.exchange;
+    println!();
+    println!(
+        "overall speedup (excl. I/O):   {:.0}x   (paper: ~100x, '50 minutes to 30 seconds')",
+        cpu.total_time() / gpu.total_time()
+    );
+    println!("compute speedup (parse+count): {compute_speedup:.0}x   (paper: ~400-600x implied by Fig. 3)");
+    println!("exchange CPU/GPU ratio:        {exchange_ratio:.2}   (paper: 'roughly the same')");
+    println!(
+        "GPU exchange fraction:         {:.0}%   (paper: exchange becomes the bottleneck, up to 80%)",
+        gpu.phases.exchange_fraction() * 100.0
+    );
+}

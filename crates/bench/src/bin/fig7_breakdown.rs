@@ -1,0 +1,73 @@
+//! Regenerates Fig. 7: runtime breakdown of the GPU k-mer counter vs the
+//! supermer counters (m=7, m=9) on 64 nodes (384 GPUs).
+//!
+//! Fig. 7a: C. elegans 40X; Fig. 7b: H. sapiens 54X. The paper's shape:
+//! supermers cost ~27-33% more parse time and ~23-27% more count time but
+//! cut the exchange by ~33%, for a net win because the exchange dominates.
+//!
+//! Usage: `cargo run --release -p dedukt-bench --bin fig7_breakdown
+//!         [--scale ...] [--nodes N]`
+
+use dedukt_bench::runner::run_mode_with_m;
+use dedukt_bench::{generate, print_header, run_mode, ExperimentArgs, Table};
+use dedukt_core::Mode;
+use dedukt_dna::DatasetId;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let nodes = args.nodes.unwrap_or(64);
+    for (sub, id) in [('a', DatasetId::CElegans40x), ('b', DatasetId::HSapiens54x)] {
+        print_header(
+            &format!("Fig. 7{sub} — GPU k-mer vs supermer breakdown: {}", id.short_name()),
+            &format!("{nodes} nodes, {} GPU ranks; times are simulated", nodes * 6),
+        );
+        let reads = generate(id, &args);
+        let kmer = run_mode(&reads, Mode::GpuKmer, nodes, &args);
+        let sm7 = run_mode_with_m(&reads, Mode::GpuSupermer, nodes, 7, &args);
+        let sm9 = run_mode_with_m(&reads, Mode::GpuSupermer, nodes, 9, &args);
+
+        let mut t = Table::new(["module", "kmer", "supermer (m=7)", "supermer (m=9)"]);
+        t.row([
+            "parse & process kmers".to_string(),
+            format!("{}", kmer.phases.parse),
+            format!("{}", sm7.phases.parse),
+            format!("{}", sm9.phases.parse),
+        ]);
+        t.row([
+            "exchange (incl. MPI_alltoallv)".to_string(),
+            format!("{}", kmer.phases.exchange),
+            format!("{}", sm7.phases.exchange),
+            format!("{}", sm9.phases.exchange),
+        ]);
+        t.row([
+            "kmer counter".to_string(),
+            format!("{}", kmer.phases.count),
+            format!("{}", sm7.phases.count),
+            format!("{}", sm9.phases.count),
+        ]);
+        t.row([
+            "TOTAL".to_string(),
+            format!("{}", kmer.total_time()),
+            format!("{}", sm7.total_time()),
+            format!("{}", sm9.total_time()),
+        ]);
+        t.print();
+        println!();
+        println!(
+            "parse overhead m=7: {:+.0}%   (paper: +27-33%)",
+            (sm7.phases.parse / kmer.phases.parse - 1.0) * 100.0
+        );
+        println!(
+            "count overhead m=7: {:+.0}%   (paper: +23-27%)",
+            (sm7.phases.count / kmer.phases.count - 1.0) * 100.0
+        );
+        println!(
+            "exchange speedup m=7: {:.2}x   (paper: ~1.5x incl. staging)",
+            kmer.phases.exchange / sm7.phases.exchange
+        );
+        println!(
+            "overall speedup m=7 over kmer: {:.2}x",
+            kmer.total_time() / sm7.total_time()
+        );
+    }
+}

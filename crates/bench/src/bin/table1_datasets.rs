@@ -1,0 +1,51 @@
+//! Regenerates Table I: the dataset inventory.
+//!
+//! Prints the synthetic catalog at the chosen scale next to the paper's
+//! real datasets, so every other experiment's inputs are auditable.
+//!
+//! Usage: `cargo run --release -p dedukt-bench --bin table1_datasets
+//!         [--scale tiny|bench|xF]`
+
+use dedukt_bench::printer::fmt_count;
+use dedukt_bench::{print_header, ExperimentArgs, Table};
+use dedukt_dna::{Dataset, DatasetId};
+use dedukt_sim::DataVolume;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    print_header(
+        "Table I — datasets used for performance evaluation",
+        &format!("synthetic catalog at scale {:?}; paper sizes for reference", args.scale),
+    );
+
+    let mut t = Table::new([
+        "Short Name",
+        "Species and Strain",
+        "Paper FASTQ",
+        "Synth genome (bp)",
+        "Coverage",
+        "Synth bases",
+        "Synth FASTQ (approx)",
+    ]);
+    for id in DatasetId::ALL {
+        let mut ds = Dataset::new(id, args.scale);
+        if let Some(seed) = args.seed {
+            ds.seed = seed;
+        }
+        t.row([
+            id.short_name().to_string(),
+            id.species().to_string(),
+            format!("{}", DataVolume::from_bytes(id.paper_fastq_bytes())),
+            fmt_count(ds.genome.length as u64),
+            format!("{:.0}X", ds.reads.coverage),
+            fmt_count(ds.expected_bases() as u64),
+            format!("{}", DataVolume::from_bytes(ds.approx_fastq_bytes())),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "note: bacterial genome lengths keep Table II's k-mer ratios (412:187:154:129);\n\
+         the bacteria-to-human gap is compressed to fit one host (see EXPERIMENTS.md)."
+    );
+}

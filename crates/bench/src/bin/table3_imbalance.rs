@@ -1,0 +1,70 @@
+//! Regenerates Table III: imbalance in the number of k-mers counted per
+//! rank under k-mer hashing vs minimizer (supermer) partitioning, plus
+//! this reproduction's balanced-assignment extension.
+//!
+//! Usage: `cargo run --release -p dedukt-bench --bin table3_imbalance
+//!         [--scale ...] [--nodes N]`
+
+use dedukt_bench::paper::table3_row;
+use dedukt_bench::printer::fmt_count;
+use dedukt_bench::runner::run_mode_with_m;
+use dedukt_bench::{generate, print_header, run_mode, ExperimentArgs, Table};
+use dedukt_core::Mode;
+use dedukt_dna::DatasetId;
+
+fn main() {
+    let args = ExperimentArgs::parse();
+    let nodes = args.nodes.unwrap_or(64);
+    print_header(
+        "Table III — per-rank k-mer load imbalance (kmer vs supermer routing)",
+        &format!("{nodes} nodes, {} GPU ranks; load = k-mer instances counted per rank", nodes * 6),
+    );
+
+    let mut t = Table::new([
+        "dataset",
+        "avg kmers/rank",
+        "kmer min",
+        "kmer max",
+        "kmer imbal",
+        "smer min",
+        "smer max",
+        "smer imbal",
+        "balanced imbal",
+        "paper imbal",
+    ]);
+    for id in [DatasetId::CElegans40x, DatasetId::HSapiens54x] {
+        let reads = generate(id, &args);
+        let kmer = run_mode(&reads, Mode::GpuKmer, nodes, &args);
+        let smer = run_mode_with_m(&reads, Mode::GpuSupermer, nodes, 7, &args);
+        // The §VII future-work extension: frequency-aware assignment.
+        let balanced = {
+            let mut rc = dedukt_core::RunConfig::new(Mode::GpuSupermer, nodes);
+            rc.counting.m = 7;
+            rc.balanced_minimizers = true;
+            dedukt_core::pipeline::run(&reads, &rc)
+        };
+        let ks = kmer.load.stats();
+        let ss = smer.load.stats();
+        let bs = balanced.load.stats();
+        let paper = table3_row(id).map(|r| format!("{:.2}", r.5)).unwrap_or_default();
+        t.row([
+            id.short_name().to_string(),
+            fmt_count(ks.mean as u64),
+            fmt_count(ks.min),
+            fmt_count(ks.max),
+            format!("{:.2}", ks.imbalance()),
+            fmt_count(ss.min),
+            fmt_count(ss.max),
+            format!("{:.2}", ss.imbalance()),
+            format!("{:.2}", bs.imbalance()),
+            paper,
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "paper (384 GPUs): C. elegans kmer 1.16; H. sapiens supermer 2.37.\n\
+         shape checks: supermer imbalance > kmer imbalance; H. sapiens (repeat-rich) worst;\n\
+         the balanced-assignment extension (§VII future work) pulls it back down."
+    );
+}

@@ -1,0 +1,16 @@
+//! Experiment harness shared by the table/figure regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §5 for the index). This library holds what they share:
+//! command-line parsing, dataset materialisation with caching, report
+//! formatting, and the paper's reference numbers for side-by-side
+//! printing.
+
+pub mod args;
+pub mod paper;
+pub mod printer;
+pub mod runner;
+
+pub use args::ExperimentArgs;
+pub use printer::{print_header, Table};
+pub use runner::{generate, run_mode};

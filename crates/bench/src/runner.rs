@@ -1,0 +1,79 @@
+//! Dataset materialisation and pipeline invocation for the regenerators.
+
+use dedukt_core::{Mode, RunConfig, RunReport};
+use dedukt_dna::{Dataset, DatasetId, ReadSet};
+
+use crate::args::ExperimentArgs;
+
+/// Generates (or regenerates) a dataset under the experiment's flags.
+pub fn generate(id: DatasetId, args: &ExperimentArgs) -> ReadSet {
+    let mut ds = Dataset::new(id, args.scale);
+    if let Some(seed) = args.seed {
+        ds.seed = seed;
+    }
+    let reads = ds.generate();
+    eprintln!(
+        "  [data] {}: {} reads, {} bases, {} k-mers (k=17)",
+        id.short_name(),
+        reads.len(),
+        reads.total_bases(),
+        reads.total_kmers(17)
+    );
+    reads
+}
+
+/// Builds a `RunConfig` honouring the experiment flags and runs it.
+pub fn run_mode(reads: &ReadSet, mode: Mode, nodes: usize, args: &ExperimentArgs) -> RunReport {
+    let mut rc = RunConfig::new(mode, nodes);
+    if let Some(m) = args.m {
+        rc.counting.m = m;
+    }
+    rc.gpu_direct = args.gpu_direct;
+    dedukt_core::pipeline::run(reads, &rc)
+}
+
+/// Like [`run_mode`] with an explicit minimizer length (for sweeps).
+pub fn run_mode_with_m(
+    reads: &ReadSet,
+    mode: Mode,
+    nodes: usize,
+    m: usize,
+    args: &ExperimentArgs,
+) -> RunReport {
+    let mut rc = RunConfig::new(mode, nodes);
+    rc.counting.m = m;
+    rc.gpu_direct = args.gpu_direct;
+    dedukt_core::pipeline::run(reads, &rc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedukt_dna::ScalePreset;
+
+    #[test]
+    fn generate_and_run_tiny() {
+        let args = ExperimentArgs {
+            scale: ScalePreset::Tiny,
+            ..Default::default()
+        };
+        let reads = generate(DatasetId::EColi30x, &args);
+        let r = run_mode(&reads, Mode::GpuKmer, 1, &args);
+        assert!(r.total_kmers > 0);
+        assert_eq!(r.nranks, 6);
+    }
+
+    #[test]
+    fn m_override_applies() {
+        let args = ExperimentArgs {
+            scale: ScalePreset::Tiny,
+            m: Some(9),
+            ..Default::default()
+        };
+        let reads = generate(DatasetId::ABaumannii30x, &args);
+        let r9 = run_mode(&reads, Mode::GpuSupermer, 1, &args);
+        let r7 = run_mode_with_m(&reads, Mode::GpuSupermer, 1, 7, &args);
+        // Longer minimizers → shorter supermers → more of them (Table II).
+        assert!(r9.exchange.units > r7.exchange.units);
+    }
+}

@@ -1,0 +1,157 @@
+//! Downstream spectrum analysis.
+//!
+//! The paper motivates k-mer counting by what the histograms enable
+//! (§II-A): genome profiling, abundance estimation, assembly sizing. This
+//! module implements the textbook analyses over a [`Spectrum`]:
+//! error-peak / coverage-peak separation and genome-size estimation
+//! (`G ≈ total solid k-mer mass / coverage peak`).
+
+use dedukt_dna::spectrum::Spectrum;
+
+/// The multiplicity separating the error peak (low-multiplicity k-mers
+/// from sequencing errors) from genuine genomic coverage: the first local
+/// minimum of the histogram. `None` if the spectrum is empty or
+/// monotonically decreasing (no coverage peak to separate).
+pub fn error_valley(spectrum: &Spectrum) -> Option<u32> {
+    let hist: Vec<(u32, u64)> = spectrum.iter().collect();
+    if hist.len() < 3 {
+        return None;
+    }
+    for w in hist.windows(2) {
+        let ((m0, c0), (_m1, c1)) = (w[0], w[1]);
+        if c1 > c0 {
+            return Some(m0 + 1);
+        }
+    }
+    None
+}
+
+/// The coverage peak: the multiplicity with the most distinct k-mers at or
+/// above the error valley. This estimates the sequencing depth of
+/// single-copy sequence.
+pub fn coverage_peak(spectrum: &Spectrum) -> Option<u32> {
+    let valley = error_valley(spectrum)?;
+    spectrum
+        .iter()
+        .filter(|&(m, _)| m >= valley)
+        .max_by_key(|&(m, c)| (c, std::cmp::Reverse(m)))
+        .map(|(m, _)| m)
+}
+
+/// Classic k-mer genome-size estimate: solid k-mer mass (instances at or
+/// above the error valley) divided by the coverage peak.
+pub fn estimate_genome_size(spectrum: &Spectrum) -> Option<u64> {
+    let valley = error_valley(spectrum)?;
+    let peak = coverage_peak(spectrum)?;
+    let solid_mass: u64 = spectrum
+        .iter()
+        .filter(|&(m, _)| m >= valley)
+        .map(|(m, c)| m as u64 * c)
+        .sum();
+    Some(solid_mass / peak as u64)
+}
+
+/// Fraction of k-mer *instances* below the error valley — an estimate of
+/// the sequencing error load (the mass a Bloom pre-pass would suppress).
+pub fn error_mass_fraction(spectrum: &Spectrum) -> Option<f64> {
+    let valley = error_valley(spectrum)?;
+    let total = spectrum.total();
+    if total == 0 {
+        return None;
+    }
+    let err: u64 = spectrum
+        .iter()
+        .filter(|&(m, _)| m < valley)
+        .map(|(m, c)| m as u64 * c)
+        .sum();
+    Some(err as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_counts;
+    use crate::CountingConfig;
+    use dedukt_dna::sim::{simulate_genome, simulate_reads, GenomeParams, ReadSimParams};
+    use dedukt_dna::ReadSet;
+
+    fn spectrum_of(reads: &ReadSet, canonical: bool) -> Spectrum {
+        let cfg = CountingConfig {
+            canonical,
+            ..CountingConfig::default()
+        };
+        Spectrum::from_counts(reference_counts(reads, &cfg).values().map(|&v| v as u32))
+    }
+
+    fn simulated_spectrum(genome_len: usize, coverage: f64, err: f64) -> Spectrum {
+        let genome = simulate_genome(
+            &GenomeParams {
+                length: genome_len,
+                repeat_fraction: 0.0,
+                low_complexity_fraction: 0.0,
+                ..Default::default()
+            },
+            42,
+        );
+        let reads = simulate_reads(
+            &genome,
+            &ReadSimParams {
+                coverage,
+                mean_read_len: 2_000,
+                sub_rate: err,
+                ..Default::default()
+            },
+            7,
+        );
+        spectrum_of(&reads, true)
+    }
+
+    #[test]
+    fn valley_and_peak_on_textbook_histogram() {
+        // Error peak at 1, valley at 3, coverage peak at 20.
+        let mut s = Spectrum::new();
+        for (m, n) in [(1, 1000), (2, 200), (3, 40), (10, 60), (19, 300), (20, 400), (21, 290)] {
+            for _ in 0..n {
+                s.record(m);
+            }
+        }
+        // The last decreasing step is 2→3, so the valley boundary sits
+        // just above the minimum bin.
+        assert_eq!(error_valley(&s), Some(4));
+        assert_eq!(coverage_peak(&s), Some(20));
+    }
+
+    #[test]
+    fn genome_size_recovered_from_simulated_reads() {
+        let genome_len = 30_000;
+        let cov = 25.0;
+        let s = simulated_spectrum(genome_len, cov, 0.005);
+        let peak = coverage_peak(&s).expect("coverage peak");
+        assert!(
+            (cov * 0.75..cov * 1.25).contains(&(peak as f64)),
+            "peak {peak} vs coverage {cov}"
+        );
+        let est = estimate_genome_size(&s).expect("estimate") as f64;
+        let err = (est - genome_len as f64).abs() / genome_len as f64;
+        assert!(err < 0.25, "genome size {est} vs {genome_len} ({err:.2} rel err)");
+    }
+
+    #[test]
+    fn error_mass_grows_with_error_rate() {
+        let clean = simulated_spectrum(20_000, 30.0, 0.0005);
+        let noisy = simulated_spectrum(20_000, 30.0, 0.02);
+        let fc = error_mass_fraction(&clean).unwrap();
+        let fe = error_mass_fraction(&noisy).unwrap();
+        assert!(fe > fc, "noisy {fe} vs clean {fc}");
+    }
+
+    #[test]
+    fn degenerate_spectra_yield_none() {
+        assert_eq!(error_valley(&Spectrum::new()), None);
+        // Monotone decreasing: all singletons and doubles.
+        let s = Spectrum::from_counts([1, 1, 1, 2]);
+        assert_eq!(error_valley(&s), None);
+        assert_eq!(coverage_peak(&s), None);
+        assert_eq!(estimate_genome_size(&s), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Bloom-filter singleton suppression (extension).
+//!
+//! In real sequencing data most distinct k-mers are singletons caused by
+//! errors; Melsted & Pritchard's classic trick (the paper's citation \[20\])
+//! inserts a k-mer into the count table only on its *second* appearance:
+//! the first occurrence just sets the Bloom filter. This shrinks tables by
+//! the singleton fraction at the cost of losing exact singleton counts.
+//! It plugs into the counting phase of any of this crate's pipelines.
+
+use dedukt_hash::fmix64;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size blocked Bloom filter for packed k-mer words.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    hashes: u32,
+}
+
+impl BloomFilter {
+    /// Creates a filter with capacity for roughly `expected` keys at
+    /// `bits_per_key` bits each (10 bits/key ≈ 1% false-positive rate).
+    pub fn new(expected: usize, bits_per_key: usize) -> BloomFilter {
+        let total_bits = (expected.max(64) * bits_per_key).next_power_of_two();
+        let words = total_bits / 64;
+        // k ≈ 0.69 × bits-per-key, clamped to something sane.
+        let hashes = ((bits_per_key as f64 * 0.69).round() as u32).clamp(1, 16);
+        BloomFilter {
+            bits: vec![0; words],
+            mask: (total_bits - 1) as u64,
+            hashes,
+        }
+    }
+
+    fn bit_positions(&self, key: u64) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch-Mitzenmacher double hashing from two mixes of the key.
+        let h1 = fmix64(key);
+        let h2 = fmix64(key.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15) | 1;
+        (0..self.hashes as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2))) & self.mask)
+    }
+
+    /// Inserts `key`; returns `true` if it was *possibly already present*
+    /// (i.e. all bits were already set).
+    pub fn insert(&mut self, key: u64) -> bool {
+        let mut seen = true;
+        // Collect positions first: borrow rules (bit_positions borrows
+        // self immutably).
+        let positions: Vec<u64> = self.bit_positions(key).collect();
+        for pos in positions {
+            let (w, b) = ((pos / 64) as usize, pos % 64);
+            if self.bits[w] & (1 << b) == 0 {
+                seen = false;
+                self.bits[w] |= 1 << b;
+            }
+        }
+        seen
+    }
+
+    /// True if `key` is possibly present (false positives possible, false
+    /// negatives impossible).
+    pub fn contains(&self, key: u64) -> bool {
+        self.bit_positions(key).all(|pos| {
+            let (w, b) = ((pos / 64) as usize, pos % 64);
+            self.bits[w] & (1 << b) != 0
+        })
+    }
+
+    /// Size of the filter in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// A counting front-end that suppresses first occurrences: returns `true`
+/// when the k-mer should be inserted into the real table (second and later
+/// occurrences, modulo false positives).
+#[derive(Clone, Debug)]
+pub struct SingletonSuppressor {
+    filter: BloomFilter,
+}
+
+impl SingletonSuppressor {
+    /// Creates a suppressor for roughly `expected` distinct k-mers.
+    pub fn new(expected: usize) -> SingletonSuppressor {
+        SingletonSuppressor {
+            filter: BloomFilter::new(expected, 10),
+        }
+    }
+
+    /// Observes one k-mer instance; `true` means "count it".
+    pub fn observe(&mut self, kmer: u64) -> bool {
+        self.filter.insert(kmer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for k in 0..1000u64 {
+            f.insert(k * 7919);
+        }
+        for k in 0..1000u64 {
+            assert!(f.contains(k * 7919));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for k in 0..10_000u64 {
+            f.insert(fmix64(k));
+        }
+        let fps = (0..10_000u64)
+            .filter(|&k| f.contains(fmix64(k + 1_000_000)))
+            .count();
+        // 10 bits/key targets ~1%; accept up to 3%.
+        assert!(fps < 300, "false positives: {fps}");
+    }
+
+    #[test]
+    fn insert_reports_prior_presence() {
+        let mut f = BloomFilter::new(100, 12);
+        assert!(!f.insert(42));
+        assert!(f.insert(42));
+    }
+
+    #[test]
+    fn suppressor_drops_first_occurrence_only() {
+        let mut s = SingletonSuppressor::new(1000);
+        // First time: suppressed. Second and third: counted.
+        assert!(!s.observe(123));
+        assert!(s.observe(123));
+        assert!(s.observe(123));
+    }
+
+    #[test]
+    fn suppressor_reduces_table_size_on_skewed_input() {
+        // 1000 singletons + 10 heavy k-mers: the suppressor should admit
+        // (almost) only the heavy ones.
+        let mut s = SingletonSuppressor::new(2000);
+        let mut admitted = std::collections::HashSet::new();
+        for k in 0..1000u64 {
+            if s.observe(fmix64(k)) {
+                admitted.insert(fmix64(k));
+            }
+        }
+        for _ in 0..5 {
+            for k in 2000..2010u64 {
+                if s.observe(fmix64(k)) {
+                    admitted.insert(fmix64(k));
+                }
+            }
+        }
+        assert!(admitted.len() >= 10, "heavy k-mers must be admitted");
+        assert!(admitted.len() < 50, "most singletons must be suppressed: {}", admitted.len());
+    }
+}

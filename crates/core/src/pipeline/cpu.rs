@@ -1,0 +1,203 @@
+//! The CPU baseline: Algorithm 1, diBELLA's k-mer analysis (§III-A).
+//!
+//! 42 ranks per node (one per Power9 core, §V-A). Each rank parses its
+//! read partition into k-mers, routes every k-mer to its owner by
+//! MurmurHash3, exchanges with `MPI_Alltoallv`, and counts the received
+//! k-mers in a host open-addressing table. Compute phases are charged with
+//! the calibrated per-core rates of [`crate::config::CpuCoreModel`]
+//! (functional results are exact regardless).
+
+use crate::config::RunConfig;
+use crate::partition::kmer_owner;
+use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
+use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::table::HostCountTable;
+use dedukt_dna::kmer::{kmer_words, Kmer};
+use dedukt_dna::ReadSet;
+use dedukt_hash::Murmur3x64;
+use dedukt_net::cost::Network;
+use dedukt_net::BspWorld;
+use dedukt_sim::SimTime;
+
+/// Runs the CPU baseline counter.
+pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    let cfg = rc.counting;
+    let nranks = rc.nranks();
+    let mut net = Network::summit_cpu(rc.nodes);
+    net.params.algo = rc.exchange_algo;
+    let mut world = BspWorld::new(net);
+    assert_eq!(world.nranks(), nranks);
+    let parts = reads.partition_by_bases(nranks);
+    let hasher = Murmur3x64::new(cfg.hash_seed);
+
+    // ── Phase 1: parse & process k-mers (Algorithm 1, PARSEKMER) ──────
+    let (buckets, parse_time) = world.compute_step_named("parse", |rank| {
+        let part = &parts[rank];
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+        let mut bases = 0u64;
+        for read in &part.reads {
+            bases += read.codes.len() as u64;
+            for w in kmer_words(&read.codes, cfg.k, cfg.encoding) {
+                let key = if cfg.canonical {
+                    Kmer::from_word(w, cfg.k).canonical().word()
+                } else {
+                    w
+                };
+                out[kmer_owner(&hasher, key, nranks)].push(key);
+            }
+        }
+        let dt = rc.cpu_model.parse_rate.time_for(bases as f64);
+        (out, dt)
+    });
+    let kmers_sent: u64 = buckets
+        .iter()
+        .flat_map(|row| row.iter().map(|v| v.len() as u64))
+        .sum();
+
+    // ── Phase 2: exchange (Algorithm 1, EXCHANGEKMER) ──────────────────
+    // Optionally in memory-bounded rounds (§III-A), like the GPU path.
+    let mut recv: Vec<Vec<u64>> = (0..nranks).map(|_| Vec::new()).collect();
+    let mut exchange_time = SimTime::ZERO;
+    for round in crate::pipeline::gpu_common::split_rounds(buckets, rc.round_limit_bytes) {
+        let outcome = world.alltoallv(round);
+        exchange_time += outcome.times.mean;
+        for (dst, per_src) in outcome.recv.into_iter().enumerate() {
+            for v in per_src {
+                recv[dst].extend(v);
+            }
+        }
+    }
+
+    // ── Phase 3: count (Algorithm 1, COUNTKMER) ────────────────────────
+    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
+        let received = recv[rank].len() as u64;
+        let mut table: HostCountTable = HostCountTable::with_expected(
+            received as usize,
+            cfg.table_load_factor,
+            cfg.hash_seed ^ 0xC0C0,
+        );
+        for &k in &recv[rank] {
+            table.insert(k);
+        }
+        let dt = rc.cpu_model.count_rate.time_for(received as f64);
+        (
+            RankCountResult {
+                entries: table.iter().collect(),
+                instances: received,
+            },
+            dt,
+        )
+    });
+
+    let makespan = world.elapsed();
+    let trace = rc.collect_trace.then(|| world.take_trace());
+    let stats = world.stats();
+    let (load, total, distinct, spectrum, tables) =
+        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
+    RunReport {
+        mode: rc.mode,
+        nodes: rc.nodes,
+        nranks,
+        phases: PhaseBreakdown {
+            parse: parse_time.mean,
+            exchange: exchange_time,
+            count: count_time.mean,
+        },
+        makespan,
+        exchange: ExchangeSummary {
+            units: kmers_sent,
+            bytes: stats.total_bytes,
+            off_node_bytes: stats.off_node_bytes,
+            alltoallv_time: exchange_time,
+        },
+        load,
+        total_kmers: total,
+        distinct_kmers: distinct,
+        spectrum,
+        tables,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CountingConfig, Mode};
+    use crate::verify::{check_against_reference, reference_total};
+    use dedukt_dna::{Dataset, DatasetId, ScalePreset};
+    use dedukt_sim::SimTime;
+
+    fn tiny_run(nodes: usize) -> (ReadSet, RunConfig) {
+        let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+        let mut rc = RunConfig::new(Mode::CpuBaseline, nodes);
+        rc.collect_tables = true;
+        (reads, rc)
+    }
+
+    #[test]
+    fn counts_match_oracle_exactly() {
+        let (reads, rc) = tiny_run(1);
+        let report = run_cpu(&reads, &rc);
+        assert_eq!(report.total_kmers, reference_total(&reads, rc.counting.k));
+        check_against_reference(&reads, &rc.counting, report.tables.as_ref().unwrap())
+            .expect("distributed result must equal the oracle");
+    }
+
+    #[test]
+    fn counts_match_oracle_across_node_counts() {
+        let (reads, mut rc) = tiny_run(1);
+        let one = run_cpu(&reads, &rc);
+        rc.nodes = 2;
+        let two = run_cpu(&reads, &rc);
+        assert_eq!(one.total_kmers, two.total_kmers);
+        assert_eq!(one.distinct_kmers, two.distinct_kmers);
+        check_against_reference(&reads, &rc.counting, two.tables.as_ref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn canonical_mode_counts_canonical_kmers() {
+        let (reads, mut rc) = tiny_run(1);
+        rc.counting.canonical = true;
+        let report = run_cpu(&reads, &rc);
+        check_against_reference(&reads, &rc.counting, report.tables.as_ref().unwrap()).unwrap();
+        let plain = {
+            rc.counting.canonical = false;
+            run_cpu(&reads, &rc)
+        };
+        // Canonicalization can only merge keys.
+        assert!(report.distinct_kmers <= plain.distinct_kmers);
+        assert_eq!(report.total_kmers, plain.total_kmers);
+    }
+
+    #[test]
+    fn phases_have_positive_simulated_times() {
+        let (reads, rc) = tiny_run(1);
+        let report = run_cpu(&reads, &rc);
+        assert!(report.phases.parse > SimTime::ZERO);
+        assert!(report.phases.exchange > SimTime::ZERO);
+        assert!(report.phases.count > SimTime::ZERO);
+        assert_eq!(
+            report.total_time(),
+            report.phases.parse + report.phases.exchange + report.phases.count
+        );
+    }
+
+    #[test]
+    fn kmer_load_is_roughly_balanced() {
+        // Algorithm 1's uniform hash should give low imbalance (the paper's
+        // Table III measures 1.16 at 384 ranks; at tiny scale allow more).
+        let (reads, rc) = tiny_run(1); // 42 ranks
+        let report = run_cpu(&reads, &rc);
+        let imb = report.load.imbalance();
+        assert!(imb < 1.6, "k-mer imbalance too high: {imb}");
+    }
+
+    #[test]
+    fn exchange_units_equal_total_kmers() {
+        let (reads, rc) = tiny_run(1);
+        let report = run_cpu(&reads, &rc);
+        assert_eq!(report.exchange.units, report.total_kmers);
+        // Packed k-mers are 8 bytes each on the wire.
+        assert_eq!(report.exchange.bytes, report.total_kmers * 8);
+    }
+}

@@ -1,0 +1,300 @@
+//! Shared machinery of the two GPU pipelines (§III-B / §IV-B).
+
+use crate::config::{CountingConfig, RunConfig};
+use crate::table::{table_capacity, DeviceCountTable};
+use dedukt_dna::packed::ConcatReads;
+use dedukt_dna::ReadSet;
+use dedukt_gpu::transfer::staging_time;
+use dedukt_gpu::{Device, KernelReport, LaunchConfig};
+use dedukt_sim::{DataVolume, SimTime};
+
+/// Thread-block size used by all pipeline kernels.
+pub const BLOCK_THREADS: u32 = 256;
+
+/// Upper bound on grid size: blocks process chunks grid-stride style, as
+/// the paper's kernels do ("the copied array is evenly partitioned into
+/// smaller chunks of bases and is assigned to different thread blocks").
+pub const MAX_GRID_BLOCKS: u32 = 640; // 80 SMs × 8 resident blocks
+
+/// A launch covering `work_items` with chunked blocks.
+///
+/// Prefers 256-thread blocks; for small batches it steps the block size
+/// down (to a floor of 32) so the grid still spreads across the SMs —
+/// the same tuning a production kernel applies to avoid running a tiny
+/// grid on a mostly idle device.
+pub fn chunked_launch(work_items: usize) -> LaunchConfig {
+    let work = work_items.max(1);
+    let mut block_threads = BLOCK_THREADS;
+    while block_threads > 32 && work.div_ceil(block_threads as usize) < 80 {
+        block_threads /= 2;
+    }
+    let blocks = work
+        .div_ceil(block_threads as usize)
+        .clamp(1, MAX_GRID_BLOCKS as usize) as u32;
+    LaunchConfig {
+        grid_blocks: blocks,
+        block_threads,
+    }
+}
+
+/// The contiguous sub-range of `total` items assigned to block `b` of
+/// `nblocks` (balanced to within one item).
+pub fn block_range(total: usize, nblocks: u32, b: u32) -> (usize, usize) {
+    let nb = nblocks as usize;
+    let bi = b as usize;
+    let base = total / nb;
+    let rem = total % nb;
+    let lo = bi * base + bi.min(rem);
+    let hi = lo + base + usize::from(bi < rem);
+    (lo, hi)
+}
+
+/// Concatenates a rank's reads into the packed device layout (§III-B1).
+pub fn concat_rank_reads(part: &ReadSet, cfg: &CountingConfig) -> ConcatReads {
+    ConcatReads::from_reads(part.reads.iter().map(|r| &r.codes[..]), cfg.encoding)
+}
+
+/// Host→device volume of the concatenated read batch: packed bases plus
+/// the read-boundary offsets.
+pub fn reads_h2d_volume(concat: &ConcatReads) -> DataVolume {
+    DataVolume::from_bytes((concat.bases.packed_bytes() + concat.ends.len() * 8) as u64)
+}
+
+/// Staging cost for moving `volume` between host and device, zero when
+/// GPUDirect is enabled (§III-B2).
+pub fn staging(device: &Device, rc: &RunConfig, volume: DataVolume) -> SimTime {
+    if rc.gpu_direct {
+        SimTime::ZERO
+    } else {
+        staging_time(device.config(), volume)
+    }
+}
+
+/// Outcome of the shared counting kernel.
+pub struct CountOutcome {
+    /// Kernel launch report (simulated time, tallies).
+    pub report: KernelReport,
+    /// `(kmer, count)` entries of the rank's table.
+    pub entries: Vec<(u64, u32)>,
+    /// Total probe steps across all inserts.
+    pub probe_steps: u64,
+}
+
+/// The GPU counting kernel (§III-B3): one thread per received k-mer,
+/// inserting into the device open-addressing table with CAS + atomicAdd.
+///
+/// `cycles_per_kmer` carries the calibrated effective cost (plus the
+/// supermer pipelines' extraction surcharge).
+pub fn count_kmers_on_device(
+    device: &Device,
+    cfg: &CountingConfig,
+    kmers: &[u64],
+    cycles_per_kmer: f64,
+) -> CountOutcome {
+    let capacity = table_capacity(cfg, kmers.len());
+    let table = DeviceCountTable::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
+        .expect("count table exceeds device memory");
+    let launch = chunked_launch(kmers.len().max(1));
+    let (report, block_probes) = device.launch_map("count_kmers", launch, |b| {
+        let (lo, hi) = block_range(kmers.len(), b.cfg.grid_blocks, b.block);
+        let mut probes = 0u64;
+        let mut fresh = 0u64;
+        for &k in &kmers[lo..hi] {
+            let r = table.insert(k);
+            probes += r.steps as u64;
+            fresh += u64::from(r.new);
+        }
+        let n = (hi - lo) as u64;
+        // Effective compute (calibrated) + real memory/atomic traffic:
+        // each probe touches a 8B key + the hit updates a 4B count, all
+        // effectively random; CAS + atomicAdd per insert, where repeat
+        // occurrences of hot k-mers collide on their slot.
+        b.instr((n as f64 * cycles_per_kmer) as u64);
+        b.gmem_coalesced(n * 8); // streaming the received k-mers
+        b.gmem_random(probes * 8 + n * 4);
+        b.atomic(2 * n, n - fresh);
+        probes
+    });
+    let entries = table.to_host();
+    CountOutcome {
+        report,
+        entries,
+        probe_steps: block_probes.iter().sum(),
+    }
+}
+
+/// Splits per-rank outgoing buckets into exchange rounds so that no rank
+/// sends more than `limit_bytes` per round (§III-A's memory-bounded
+/// operation). Returns one bucket matrix per round; concatenating the
+/// rounds restores the input exactly (order preserved per destination).
+pub fn split_rounds<T>(
+    buckets: Vec<Vec<Vec<T>>>,
+    limit_bytes: Option<u64>,
+) -> Vec<Vec<Vec<Vec<T>>>> {
+    let elem = std::mem::size_of::<T>() as u64;
+    let nrounds = match limit_bytes {
+        None => 1,
+        Some(cap) => {
+            assert!(cap > 0, "round limit must be positive");
+            let max_out = buckets
+                .iter()
+                .map(|row| row.iter().map(|v| v.len() as u64 * elem).sum::<u64>())
+                .max()
+                .unwrap_or(0);
+            max_out.div_ceil(cap).max(1) as usize
+        }
+    };
+    if nrounds == 1 {
+        return vec![buckets];
+    }
+    let nranks = buckets.len();
+    let mut rounds: Vec<Vec<Vec<Vec<T>>>> = (0..nrounds)
+        .map(|_| (0..nranks).map(|_| Vec::with_capacity(nranks)).collect())
+        .collect();
+    for (src, row) in buckets.into_iter().enumerate() {
+        for payload in row {
+            // Cut this payload into `nrounds` near-equal chunks.
+            let len = payload.len();
+            let mut iter = payload.into_iter();
+            for (r, round) in rounds.iter_mut().enumerate() {
+                let lo = r * len / nrounds;
+                let hi = (r + 1) * len / nrounds;
+                round[src].push(iter.by_ref().take(hi - lo).collect());
+            }
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rounds_roundtrip_and_cap() {
+        let nranks = 3;
+        let buckets: Vec<Vec<Vec<u64>>> = (0..nranks)
+            .map(|s| (0..nranks).map(|d| (0..(s * 10 + d * 3)).map(|i| i as u64).collect()).collect())
+            .collect();
+        let original = buckets.clone();
+        // Cap at 64 bytes per rank per round (8 u64s).
+        let rounds = split_rounds(buckets, Some(64));
+        assert!(rounds.len() > 1);
+        // Per-round cap holds for every source rank.
+        for round in &rounds {
+            for row in round {
+                let bytes: u64 = row.iter().map(|v| v.len() as u64 * 8).sum();
+                assert!(bytes <= 64 + 8 * nranks as u64, "round bytes {bytes}");
+            }
+        }
+        // Concatenating rounds restores the original, in order.
+        for src in 0..nranks {
+            for dst in 0..nranks {
+                let rebuilt: Vec<u64> = rounds
+                    .iter()
+                    .flat_map(|round| round[src][dst].iter().copied())
+                    .collect();
+                assert_eq!(rebuilt, original[src][dst]);
+            }
+        }
+    }
+
+    #[test]
+    fn split_rounds_single_round_when_unlimited() {
+        let buckets: Vec<Vec<Vec<u64>>> = vec![vec![vec![1, 2, 3]; 2]; 2];
+        let rounds = split_rounds(buckets.clone(), None);
+        assert_eq!(rounds.len(), 1);
+        assert_eq!(rounds[0], buckets);
+        // Large cap also yields one round.
+        let rounds = split_rounds(buckets.clone(), Some(1 << 20));
+        assert_eq!(rounds.len(), 1);
+    }
+
+    #[test]
+    fn block_ranges_partition_exactly() {
+        for total in [0usize, 1, 7, 100, 1000, 12345] {
+            for nblocks in [1u32, 2, 3, 7, 640] {
+                let mut covered = 0;
+                let mut prev_hi = 0;
+                for b in 0..nblocks {
+                    let (lo, hi) = block_range(total, nblocks, b);
+                    assert_eq!(lo, prev_hi, "ranges must be contiguous");
+                    assert!(hi >= lo);
+                    covered += hi - lo;
+                    prev_hi = hi;
+                }
+                assert_eq!(covered, total, "total {total} nblocks {nblocks}");
+                assert_eq!(prev_hi, total);
+            }
+        }
+    }
+
+    #[test]
+    fn block_ranges_are_balanced() {
+        let nblocks = 7u32;
+        let total = 100;
+        let sizes: Vec<usize> = (0..nblocks)
+            .map(|b| {
+                let (lo, hi) = block_range(total, nblocks, b);
+                hi - lo
+            })
+            .collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn chunked_launch_caps_grid() {
+        assert_eq!(chunked_launch(10_000_000).grid_blocks, MAX_GRID_BLOCKS);
+        assert_eq!(chunked_launch(10_000_000).block_threads, BLOCK_THREADS);
+        assert_eq!(chunked_launch(0).grid_blocks, 1);
+    }
+
+    #[test]
+    fn chunked_launch_shrinks_blocks_for_small_batches() {
+        // 2,000 items: 256-thread blocks would yield only 8 blocks; the
+        // adaptive sizing drops to 32 threads to spread across SMs.
+        let c = chunked_launch(2_000);
+        assert_eq!(c.block_threads, 32);
+        assert_eq!(c.grid_blocks, 63);
+        // Large batches keep full blocks.
+        assert_eq!(chunked_launch(100_000).block_threads, 256);
+        // The grid is always non-empty and within device limits.
+        for n in [1usize, 31, 32, 1000, 20479, 20480, 1_000_000] {
+            let c = chunked_launch(n);
+            assert!(c.grid_blocks >= 1 && c.grid_blocks <= MAX_GRID_BLOCKS);
+            assert!(c.block_threads >= 32 && c.block_threads <= BLOCK_THREADS);
+        }
+    }
+
+    #[test]
+    fn device_count_kernel_counts_exactly() {
+        let device = Device::v100();
+        let cfg = CountingConfig::default();
+        // 100 distinct keys with multiplicities 1..=100.
+        let mut kmers = Vec::new();
+        for key in 0..100u64 {
+            for _ in 0..=key {
+                kmers.push(key);
+            }
+        }
+        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0);
+        assert_eq!(out.entries.len(), 100);
+        let total: u64 = out.entries.iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, kmers.len() as u64);
+        for &(k, c) in &out.entries {
+            assert_eq!(c as u64, k + 1, "key {k}");
+        }
+        assert!(out.probe_steps >= kmers.len() as u64);
+        assert!(out.report.time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_table() {
+        let device = Device::v100();
+        let cfg = CountingConfig::default();
+        let out = count_kmers_on_device(&device, &cfg, &[], 1000.0);
+        assert!(out.entries.is_empty());
+    }
+}

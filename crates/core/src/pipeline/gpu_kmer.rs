@@ -1,0 +1,294 @@
+//! The GPU k-mer counter (§III-B): parse and count on the device,
+//! exchange unchanged.
+//!
+//! Per rank (6 per node, one V100 each):
+//!
+//! 1. **Parse & process** — concatenate the rank's reads into one packed
+//!    base array, copy to the device, and launch the parse kernel: thread
+//!    blocks take contiguous base chunks, threads build k-mers with a
+//!    rolling window (coalesced reads, §III-B1), hash each k-mer with
+//!    MurmurHash3 and append it to the outgoing buffer of its owner rank
+//!    (atomic appends in the real kernel, tallied as such).
+//! 2. **Exchange** — stage outgoing buffers to the host (unless
+//!    GPUDirect), `MPI_Alltoallv`, stage received k-mers back in.
+//! 3. **Count** — the device CAS/linear-probing table kernel (§III-B3).
+
+use crate::config::RunConfig;
+use crate::partition::kmer_owner;
+use crate::pipeline::gpu_common::{
+    block_range, chunked_launch, concat_rank_reads, count_kmers_on_device, reads_h2d_volume,
+    split_rounds, staging,
+};
+use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
+use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use dedukt_dna::kmer::Kmer;
+use dedukt_dna::packed::ConcatReads;
+use dedukt_dna::ReadSet;
+use dedukt_hash::Murmur3x64;
+use dedukt_net::cost::Network;
+use dedukt_net::BspWorld;
+use dedukt_sim::{DataVolume, SimTime};
+
+/// Calls `f` with every packed k-mer whose start position lies in
+/// `[lo, hi)` of the concatenated base array, honouring read boundaries.
+/// Returns the number of k-mers visited and the number of bases read.
+pub(crate) fn for_kmers_in_range(
+    concat: &ConcatReads,
+    lo: usize,
+    hi: usize,
+    k: usize,
+    mut f: impl FnMut(u64),
+) -> (u64, u64) {
+    let mask = Kmer::mask(k);
+    let mut kmers = 0u64;
+    let mut bases = 0u64;
+    let mut ri = concat.ends.partition_point(|&e| e <= lo);
+    while ri < concat.num_reads() {
+        let (rs, re) = concat.read_span(ri);
+        if rs >= hi {
+            break;
+        }
+        let first = rs.max(lo);
+        // A k-mer starting at p stays within its read iff p + k <= re.
+        let last_excl = (re + 1).saturating_sub(k).min(hi);
+        if first < last_excl {
+            let mut w = concat.bases.kmer_word(first, k);
+            f(w);
+            kmers += 1;
+            bases += k as u64;
+            for p in first + 1..last_excl {
+                let sym = concat.bases.symbol(p + k - 1) as u64;
+                w = ((w << 2) | sym) & mask;
+                f(w);
+                kmers += 1;
+                bases += 1;
+            }
+        }
+        ri += 1;
+    }
+    (kmers, bases)
+}
+
+/// Runs the GPU k-mer counter.
+pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    let cfg = rc.counting;
+    let nranks = rc.nranks();
+    let mut net = Network::summit_gpu(rc.nodes);
+    net.params.algo = rc.exchange_algo;
+    let mut world = BspWorld::new(net);
+    assert_eq!(world.nranks(), nranks);
+    let parts = reads.partition_by_bases(nranks);
+    let hasher = Murmur3x64::new(cfg.hash_seed);
+    let tuning = rc.gpu_tuning;
+
+    // ── Phase 1: parse & process on the device ─────────────────────────
+    let (parse_out, parse_time) = world.compute_step_named("parse", |rank| {
+        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
+        let part = &parts[rank];
+        let concat = concat_rank_reads(part, &cfg);
+        let h2d = staging(&device, rc, reads_h2d_volume(&concat));
+
+        let nbases = concat.num_bases().max(1);
+        let launch = chunked_launch(nbases);
+        let (report, block_buckets) = device.launch_map("parse_kmers", launch, |b| {
+            let (lo, hi) = block_range(nbases.min(concat.num_bases()), b.cfg.grid_blocks, b.block);
+            let mut local: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+            let (nk, nb) = for_kmers_in_range(&concat, lo, hi, cfg.k, |w| {
+                let key = if cfg.canonical {
+                    Kmer::from_word(w, cfg.k).canonical().word()
+                } else {
+                    w
+                };
+                local[kmer_owner(&hasher, key, nranks)].push(key);
+            });
+            // Calibrated compute plus real traffic: packed reads stream
+            // in coalesced; bucket appends scatter 8-byte words and bump
+            // per-destination offsets atomically (warp-aggregated).
+            b.instr((nk as f64 * tuning.parse_cycles_per_kmer) as u64);
+            b.gmem_coalesced(nb / 4);
+            b.gmem_random(nk * 8);
+            let atomics = nk / 32 + 1;
+            b.atomic(atomics, atomics / (nranks as u64).max(32));
+            local
+        });
+
+        // Merge per-block buckets (device-side compaction; charged above).
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+        for blocks in block_buckets {
+            for (dst, v) in blocks.into_iter().enumerate() {
+                out[dst].extend(v);
+            }
+        }
+        let out_bytes: u64 = out.iter().map(|v| v.len() as u64 * 8).sum();
+        let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
+        ((out, d2h), h2d + report.time)
+    });
+
+    let mut buckets = Vec::with_capacity(nranks);
+    let mut d2h_times = Vec::with_capacity(nranks);
+    for (b, t) in parse_out {
+        buckets.push(b);
+        d2h_times.push(t);
+    }
+    let kmers_sent: u64 = buckets
+        .iter()
+        .flat_map(|row| row.iter().map(|v| v.len() as u64))
+        .sum();
+
+    // ── Phase 2: exchange (stage out, Alltoallv, stage in) ─────────────
+    // Memory-bounded runs split the exchange into rounds (§III-A): the
+    // per-round payload obeys `round_limit_bytes` and the received rounds
+    // are concatenated (order preserved, so results are identical).
+    let (_, d2h_step) = world.compute_step_named("stage-out", |rank| ((), d2h_times[rank]));
+    let mut recv_flat: Vec<Vec<u64>> = (0..nranks).map(|_| Vec::new()).collect();
+    let mut wire_time = SimTime::ZERO;
+    for round in split_rounds(buckets, rc.round_limit_bytes) {
+        let outcome = world.alltoallv(round);
+        wire_time += outcome.times.mean;
+        for (dst, per_src) in outcome.recv.into_iter().enumerate() {
+            for v in per_src {
+                recv_flat[dst].extend(v);
+            }
+        }
+    }
+    let (_, h2d_step) = world.compute_step_named("stage-in", |rank| {
+        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
+        let bytes = recv_flat[rank].len() as u64 * 8;
+        ((), staging(&device, rc, DataVolume::from_bytes(bytes)))
+    });
+    let exchange_time = d2h_step.mean + wire_time + h2d_step.mean;
+
+    // ── Phase 3: count on the device ───────────────────────────────────
+    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
+        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
+        let kmers = &recv_flat[rank];
+        let out = count_kmers_on_device(&device, &cfg, kmers, tuning.count_cycles_per_kmer);
+        (
+            RankCountResult {
+                entries: out.entries,
+                instances: kmers.len() as u64,
+            },
+            out.report.time,
+        )
+    });
+
+    let makespan = world.elapsed();
+    let trace = rc.collect_trace.then(|| world.take_trace());
+    let stats = world.stats();
+    let (load, total, distinct, spectrum, tables) =
+        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
+    RunReport {
+        mode: rc.mode,
+        nodes: rc.nodes,
+        nranks,
+        phases: PhaseBreakdown {
+            parse: parse_time.mean,
+            exchange: exchange_time,
+            count: count_time.mean,
+        },
+        makespan,
+        exchange: ExchangeSummary {
+            units: kmers_sent,
+            bytes: stats.total_bytes,
+            off_node_bytes: stats.off_node_bytes,
+            alltoallv_time: wire_time,
+        },
+        load,
+        total_kmers: total,
+        distinct_kmers: distinct,
+        spectrum,
+        tables,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mode;
+    use crate::verify::{check_against_reference, reference_total};
+    use dedukt_dna::{Dataset, DatasetId, ScalePreset};
+
+    fn tiny(nodes: usize) -> (ReadSet, RunConfig) {
+        let reads = Dataset::new(DatasetId::VVulnificus30x, ScalePreset::Tiny).generate();
+        let mut rc = RunConfig::new(Mode::GpuKmer, nodes);
+        rc.collect_tables = true;
+        (reads, rc)
+    }
+
+    #[test]
+    fn kmer_iteration_respects_read_boundaries() {
+        use dedukt_dna::base::Base;
+        use dedukt_dna::Encoding;
+        let r1: Vec<u8> = b"ACGTACG".iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let r2: Vec<u8> = b"GGTT".iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let concat = ConcatReads::from_reads([&r1[..], &r2[..]], Encoding::Alphabetical);
+        let k = 3;
+        let mut seen = Vec::new();
+        let (nk, _) = for_kmers_in_range(&concat, 0, concat.num_bases(), k, |w| seen.push(w));
+        // r1 has 5 k-mers, r2 has 2; none spanning the boundary.
+        assert_eq!(nk, 7);
+        assert_eq!(seen.len(), 7);
+        // Splitting the range must visit exactly the same k-mers.
+        for split in 1..concat.num_bases() {
+            let mut split_seen = Vec::new();
+            for_kmers_in_range(&concat, 0, split, k, |w| split_seen.push(w));
+            for_kmers_in_range(&concat, split, concat.num_bases(), k, |w| split_seen.push(w));
+            assert_eq!(split_seen, seen, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn counts_match_oracle() {
+        let (reads, rc) = tiny(1);
+        let report = run_gpu_kmer(&reads, &rc);
+        assert_eq!(report.total_kmers, reference_total(&reads, rc.counting.k));
+        check_against_reference(&reads, &rc.counting, report.tables.as_ref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn gpu_and_cpu_agree_on_counts() {
+        let (reads, rc) = tiny(2);
+        let gpu = run_gpu_kmer(&reads, &rc);
+        let mut rc_cpu = rc.clone();
+        rc_cpu.mode = Mode::CpuBaseline;
+        let cpu = crate::pipeline::cpu::run_cpu(&reads, &rc_cpu);
+        assert_eq!(gpu.total_kmers, cpu.total_kmers);
+        assert_eq!(gpu.distinct_kmers, cpu.distinct_kmers);
+    }
+
+    #[test]
+    fn gpu_compute_is_much_faster_than_cpu_compute() {
+        // The paper's headline (Fig. 3): GPU parse+count is orders of
+        // magnitude faster than the CPU baseline on the same node count.
+        let (reads, rc) = tiny(1);
+        let gpu = run_gpu_kmer(&reads, &rc);
+        let mut rc_cpu = rc.clone();
+        rc_cpu.mode = Mode::CpuBaseline;
+        let cpu = crate::pipeline::cpu::run_cpu(&reads, &rc_cpu);
+        let cpu_compute = cpu.phases.parse + cpu.phases.count;
+        let gpu_compute = gpu.phases.parse + gpu.phases.count;
+        let ratio = cpu_compute / gpu_compute;
+        assert!(ratio > 20.0, "GPU compute speedup too small: {ratio}");
+    }
+
+    #[test]
+    fn gpu_direct_reduces_exchange_time() {
+        let (reads, mut rc) = tiny(1);
+        let staged = run_gpu_kmer(&reads, &rc);
+        rc.gpu_direct = true;
+        let direct = run_gpu_kmer(&reads, &rc);
+        assert!(direct.phases.exchange < staged.phases.exchange);
+        // Functional results identical.
+        assert_eq!(direct.total_kmers, staged.total_kmers);
+        assert_eq!(direct.distinct_kmers, staged.distinct_kmers);
+    }
+
+    #[test]
+    fn wire_bytes_are_eight_per_kmer() {
+        let (reads, rc) = tiny(1);
+        let report = run_gpu_kmer(&reads, &rc);
+        assert_eq!(report.exchange.bytes, report.exchange.units * 8);
+        assert_eq!(report.exchange.units, report.total_kmers);
+    }
+}

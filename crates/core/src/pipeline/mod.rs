@@ -1,0 +1,115 @@
+//! The three distributed counting pipelines and their shared reporting.
+//!
+//! All pipelines are bulk-synchronous (compute → Alltoallv → compute) and
+//! run on [`dedukt_net::BspWorld`]; the GPU pipelines additionally drive
+//! one simulated V100 per rank. Functional results (counts, buckets,
+//! volumes, loads) are exact; *times* are simulated (see DESIGN.md §4).
+
+pub mod cpu;
+pub mod gpu_common;
+pub mod gpu_kmer;
+pub mod gpu_supermer;
+
+use crate::config::{Mode, RunConfig};
+use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
+use dedukt_dna::spectrum::Spectrum;
+use dedukt_dna::ReadSet;
+use dedukt_sim::{Rate, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything a pipeline run reports.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Which counter ran.
+    pub mode: Mode,
+    /// Nodes simulated.
+    pub nodes: usize,
+    /// Total ranks.
+    pub nranks: usize,
+    /// Simulated time per module (Fig. 3 / Fig. 7). Bars are per-rank
+    /// *means*, like the paper's breakdowns; straggler waits appear in
+    /// [`RunReport::makespan`].
+    pub phases: PhaseBreakdown,
+    /// End-to-end simulated makespan: when the slowest rank finished,
+    /// including all straggler waits at the bulk-synchronous boundaries.
+    pub makespan: dedukt_sim::SimTime,
+    /// Exchange volume accounting (Table II / Fig. 8).
+    pub exchange: ExchangeSummary,
+    /// Per-rank counting loads (Table III).
+    pub load: LoadSummary,
+    /// Total k-mer instances counted (must equal the oracle's).
+    pub total_kmers: u64,
+    /// Distinct k-mers across all rank tables.
+    pub distinct_kmers: u64,
+    /// Merged k-mer spectrum, if requested.
+    pub spectrum: Option<Spectrum>,
+    /// Per-rank `(kmer, count)` tables, if requested (verification).
+    pub tables: Option<Vec<Vec<(u64, u32)>>>,
+    /// Per-rank phase timeline, if requested (Chrome trace-event ready).
+    pub trace: Option<Vec<dedukt_sim::TraceEvent>>,
+}
+
+impl RunReport {
+    /// End-to-end simulated time (excl. I/O): the sum of the phase bars,
+    /// matching how the paper's stacked breakdowns read.
+    pub fn total_time(&self) -> SimTime {
+        self.phases.total()
+    }
+
+    /// Overall speedup of this run relative to `baseline`.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        baseline.total_time() / self.total_time()
+    }
+
+    /// Fig. 9's metric: k-mers per second through the compute kernels
+    /// (exchange excluded).
+    pub fn insertion_rate(&self) -> Option<Rate> {
+        crate::stats::insertion_rate(self.total_kmers, self.phases.parse, self.phases.count)
+    }
+}
+
+/// Runs the pipeline selected by `rc.mode`.
+pub fn run(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    rc.counting.validate().expect("invalid counting config");
+    match rc.mode {
+        Mode::CpuBaseline => cpu::run_cpu(reads, rc),
+        Mode::GpuKmer => gpu_kmer::run_gpu_kmer(reads, rc),
+        Mode::GpuSupermer => gpu_supermer::run_gpu_supermer(reads, rc),
+    }
+}
+
+/// Shared post-processing: assemble the report pieces every pipeline
+/// produces the same way.
+pub(crate) struct RankCountResult {
+    /// `(kmer, count)` pairs of this rank's table.
+    pub entries: Vec<(u64, u32)>,
+    /// k-mer instances this rank counted.
+    pub instances: u64,
+}
+
+pub(crate) fn assemble_counts(
+    rank_results: Vec<RankCountResult>,
+    collect_spectrum: bool,
+    collect_tables: bool,
+) -> (LoadSummary, u64, u64, Option<Spectrum>, Option<Vec<Vec<(u64, u32)>>>) {
+    let kmers_per_rank: Vec<u64> = rank_results.iter().map(|r| r.instances).collect();
+    let total: u64 = kmers_per_rank.iter().sum();
+    let distinct: u64 = rank_results.iter().map(|r| r.entries.len() as u64).sum();
+    let spectrum = collect_spectrum.then(|| {
+        let mut s = Spectrum::new();
+        for r in &rank_results {
+            for &(_, c) in &r.entries {
+                s.record(c);
+            }
+        }
+        s
+    });
+    let tables = collect_tables.then(|| rank_results.into_iter().map(|r| r.entries).collect());
+    (
+        LoadSummary { kmers_per_rank },
+        total,
+        distinct,
+        spectrum,
+        tables,
+    )
+}

@@ -1,0 +1,444 @@
+//! Open-addressing k-mer count tables with linear probing (§III-B3).
+//!
+//! Two variants share the layout (a power-of-two slot array of packed
+//! k-mer keys plus 32-bit counts, linear probing, `u64::MAX` as the empty
+//! sentinel — valid because the pipelines cap k at 31, so no packed k-mer
+//! can be all-ones):
+//!
+//! * [`HostCountTable`] — single-owner, growable; used by the CPU baseline
+//!   ranks.
+//! * [`DeviceCountTable`] — fixed-capacity over device atomics; insertion
+//!   is the CUDA-style CAS claim loop the paper describes ("Both
+//!   operations are handled atomically to avoid race conditions …
+//!   collisions are addressed using … linear probing"). Safe to call from
+//!   concurrently executing thread blocks.
+
+use crate::config::CountingConfig;
+use dedukt_dna::spectrum::Spectrum;
+use dedukt_gpu::{AtomicBuffer, AtomicBuffer32, Device, OomError};
+use dedukt_hash::Murmur3x64;
+
+/// The empty-slot sentinel. k ≤ 31 keeps every real packed k-mer below it.
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+/// A packed k-mer key a count table can store: `u64` for k ≤ 31 (the
+/// paper's regime) or `u128` for wide k ≤ 63 (this reproduction's long-k
+/// extension).
+pub trait TableKey: Copy + Eq + std::fmt::Debug + Send + Sync {
+    /// Sentinel marking an empty slot; no real packed k-mer may equal it
+    /// (guaranteed by the k-length caps above).
+    const EMPTY: Self;
+
+    /// 64-bit MurmurHash3 of the key.
+    fn hash_with(&self, hasher: &Murmur3x64) -> u64;
+}
+
+impl TableKey for u64 {
+    const EMPTY: u64 = u64::MAX;
+
+    #[inline]
+    fn hash_with(&self, hasher: &Murmur3x64) -> u64 {
+        hasher.hash_u64(*self)
+    }
+}
+
+impl TableKey for u128 {
+    const EMPTY: u128 = u128::MAX;
+
+    #[inline]
+    fn hash_with(&self, hasher: &Murmur3x64) -> u64 {
+        hasher.hash_u128(*self)
+    }
+}
+
+/// Rounds a slot count up to a power of two able to hold `expected`
+/// distinct keys at `load_factor`.
+pub fn capacity_for(expected: usize, load_factor: f64) -> usize {
+    assert!((0.0..1.0).contains(&load_factor) && load_factor > 0.0);
+    let needed = ((expected.max(1) as f64) / load_factor).ceil() as usize;
+    needed.next_power_of_two()
+}
+
+/// Sizes a table for the k-mers a rank is about to count, from its
+/// received instance count (distinct ≤ instances).
+pub fn table_capacity(cfg: &CountingConfig, received_kmers: usize) -> usize {
+    capacity_for(received_kmers, cfg.table_load_factor)
+}
+
+/// A growable, single-owner open-addressing count table, generic over
+/// the packed key width (`u64` by default; `u128` for the wide-k
+/// extension).
+#[derive(Clone, Debug)]
+pub struct HostCountTable<K: TableKey = u64> {
+    keys: Vec<K>,
+    counts: Vec<u32>,
+    mask: usize,
+    distinct: usize,
+    max_load: f64,
+    hasher: Murmur3x64,
+    probes: u64,
+}
+
+impl<K: TableKey> HostCountTable<K> {
+    /// Creates a table sized for `expected` distinct keys.
+    pub fn with_expected(expected: usize, max_load: f64, hash_seed: u64) -> HostCountTable<K> {
+        let cap = capacity_for(expected, max_load).max(16);
+        HostCountTable {
+            keys: vec![K::EMPTY; cap],
+            counts: vec![0; cap],
+            mask: cap - 1,
+            distinct: 0,
+            max_load,
+            hasher: Murmur3x64::new(hash_seed),
+            probes: 0,
+        }
+    }
+
+    /// Current slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of distinct keys stored.
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total count mass (sum of all counts).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total probe steps performed by inserts (collision metric).
+    pub fn probe_steps(&self) -> u64 {
+        self.probes
+    }
+
+    /// Inserts one k-mer instance: increments its count, creating the
+    /// entry if new (Algorithm 1, lines 11-15).
+    pub fn insert(&mut self, kmer: K) {
+        debug_assert_ne!(kmer, K::EMPTY, "k-mer collides with empty sentinel");
+        if (self.distinct + 1) as f64 > self.capacity() as f64 * self.max_load {
+            self.grow();
+        }
+        let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == kmer {
+                self.counts[slot] += 1;
+                return;
+            }
+            if k == K::EMPTY {
+                self.keys[slot] = kmer;
+                self.counts[slot] = 1;
+                self.distinct += 1;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+            self.probes += 1;
+        }
+    }
+
+    /// The count of `kmer`, or `None` if absent.
+    pub fn get(&self, kmer: K) -> Option<u32> {
+        let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == kmer {
+                return Some(self.counts[slot]);
+            }
+            if k == K::EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Iterates `(kmer, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(&k, _)| k != K::EMPTY)
+            .map(|(&k, &c)| (k, c))
+    }
+
+    /// Builds this table's k-mer spectrum.
+    pub fn spectrum(&self) -> Spectrum {
+        Spectrum::from_counts(self.iter().map(|(_, c)| c))
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.capacity() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![K::EMPTY; new_cap]);
+        let old_counts = std::mem::replace(&mut self.counts, vec![0; new_cap]);
+        self.mask = new_cap - 1;
+        for (k, c) in old_keys.into_iter().zip(old_counts) {
+            if k == K::EMPTY {
+                continue;
+            }
+            let mut slot = (k.hash_with(&self.hasher) as usize) & self.mask;
+            while self.keys[slot] != K::EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.keys[slot] = k;
+            self.counts[slot] = c;
+        }
+    }
+}
+
+/// Outcome of one [`DeviceCountTable::insert`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertResult {
+    /// Probe steps taken (1 = direct hit).
+    pub steps: u32,
+    /// True if the insert claimed a fresh slot (first occurrence).
+    pub new: bool,
+}
+
+/// A fixed-capacity count table over device atomics, safe for concurrent
+/// insertion from many thread blocks — the GPU counting kernel's data
+/// structure (§III-B3).
+#[derive(Debug)]
+pub struct DeviceCountTable {
+    keys: AtomicBuffer,
+    counts: AtomicBuffer32,
+    mask: usize,
+    hasher: Murmur3x64,
+}
+
+impl DeviceCountTable {
+    /// Allocates a table with `capacity` slots (rounded up to a power of
+    /// two) on `device`.
+    pub fn new(device: &Device, capacity: usize, hash_seed: u64) -> Result<DeviceCountTable, OomError> {
+        let cap = capacity.next_power_of_two().max(16);
+        let keys = device.alloc_atomic(cap)?;
+        let counts = device.alloc_atomic32(cap)?;
+        // Initialise keys to the empty sentinel.
+        for i in 0..cap {
+            keys.store(i, EMPTY_KEY);
+        }
+        Ok(DeviceCountTable {
+            keys,
+            counts,
+            mask: cap - 1,
+            hasher: Murmur3x64::new(hash_seed),
+        })
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Inserts one k-mer instance from any thread. Returns the probe-step
+    /// count (≥ 1) and whether this insert claimed a fresh slot — both
+    /// feed the kernel cost accounting.
+    ///
+    /// This is the CUDA idiom: `atomicCAS` to claim an empty slot, then
+    /// `atomicAdd` on the count; linear probing on collision. Panics if
+    /// the table is full (the pipelines size tables from the exact
+    /// received counts, so this indicates a bug, not data).
+    pub fn insert(&self, kmer: u64) -> InsertResult {
+        debug_assert_ne!(kmer, EMPTY_KEY, "k-mer collides with empty sentinel");
+        let mut slot = (self.hasher.hash_u64(kmer) as usize) & self.mask;
+        let mut steps = 1u32;
+        loop {
+            let existing = self.keys.load(slot);
+            if existing == kmer {
+                self.counts.fetch_add(slot, 1);
+                return InsertResult { steps, new: false };
+            }
+            if existing == EMPTY_KEY {
+                let prev = self.keys.compare_and_swap(slot, EMPTY_KEY, kmer);
+                if prev == EMPTY_KEY || prev == kmer {
+                    self.counts.fetch_add(slot, 1);
+                    return InsertResult {
+                        steps,
+                        new: prev == EMPTY_KEY,
+                    };
+                }
+                // Another thread claimed the slot for a different k-mer;
+                // fall through to probe on.
+            }
+            slot = (slot + 1) & self.mask;
+            steps += 1;
+            assert!(
+                steps as usize <= self.capacity(),
+                "device count table is full (capacity {})",
+                self.capacity()
+            );
+        }
+    }
+
+    /// The count of `kmer`, or `None` (quiescent reads only).
+    pub fn get(&self, kmer: u64) -> Option<u32> {
+        let mut slot = (self.hasher.hash_u64(kmer) as usize) & self.mask;
+        let mut steps = 0usize;
+        loop {
+            let k = self.keys.load(slot);
+            if k == kmer {
+                return Some(self.counts.load(slot));
+            }
+            if k == EMPTY_KEY || steps >= self.capacity() {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+            steps += 1;
+        }
+    }
+
+    /// Copies the table to the host as `(kmer, count)` pairs
+    /// (quiescent reads only).
+    pub fn to_host(&self) -> Vec<(u64, u32)> {
+        let keys = self.keys.snapshot();
+        let counts = self.counts.snapshot();
+        keys.into_iter()
+            .zip(counts)
+            .filter(|&(k, _)| k != EMPTY_KEY)
+            .collect()
+    }
+
+    /// Number of distinct keys (quiescent reads only).
+    pub fn distinct(&self) -> usize {
+        self.keys.snapshot().iter().filter(|&&k| k != EMPTY_KEY).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_sizing() {
+        assert_eq!(capacity_for(700, 0.7), 1024);
+        assert_eq!(capacity_for(1, 0.7), 2);
+        assert_eq!(capacity_for(0, 0.5), 2);
+    }
+
+    #[test]
+    fn host_insert_get_roundtrip() {
+        let mut t: HostCountTable = HostCountTable::with_expected(100, 0.7, 1);
+        for i in 0..50u64 {
+            for _ in 0..=i % 5 {
+                t.insert(i);
+            }
+        }
+        for i in 0..50u64 {
+            assert_eq!(t.get(i), Some((i % 5 + 1) as u32), "key {i}");
+        }
+        assert_eq!(t.get(999), None);
+        assert_eq!(t.distinct(), 50);
+    }
+
+    #[test]
+    fn host_grows_transparently() {
+        let mut t: HostCountTable = HostCountTable::with_expected(4, 0.7, 2);
+        let initial_cap = t.capacity();
+        for i in 0..10_000u64 {
+            t.insert(i * 3);
+        }
+        assert!(t.capacity() > initial_cap);
+        assert_eq!(t.distinct(), 10_000);
+        assert_eq!(t.total(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(t.get(i * 3), Some(1));
+        }
+    }
+
+    #[test]
+    fn host_counts_duplicates() {
+        let mut t: HostCountTable = HostCountTable::with_expected(8, 0.7, 3);
+        for _ in 0..1000 {
+            t.insert(42);
+        }
+        assert_eq!(t.get(42), Some(1000));
+        assert_eq!(t.distinct(), 1);
+        assert_eq!(t.total(), 1000);
+    }
+
+    #[test]
+    fn host_spectrum_matches_inserts() {
+        let mut t: HostCountTable = HostCountTable::with_expected(16, 0.7, 4);
+        t.insert(1);
+        t.insert(2);
+        t.insert(2);
+        t.insert(3);
+        t.insert(3);
+        t.insert(3);
+        let s = t.spectrum();
+        assert_eq!(s.distinct(), 3);
+        assert_eq!(s.total(), 6);
+        assert_eq!(s.singletons(), 1);
+    }
+
+    #[test]
+    fn host_key_zero_is_valid() {
+        let mut t: HostCountTable = HostCountTable::with_expected(4, 0.7, 5);
+        t.insert(0);
+        t.insert(0);
+        assert_eq!(t.get(0), Some(2));
+    }
+
+    #[test]
+    fn device_table_counts_like_host_table() {
+        let device = Device::v100();
+        let t = DeviceCountTable::new(&device, 256, 7).unwrap();
+        let mut h: HostCountTable = HostCountTable::with_expected(128, 0.7, 7);
+        for i in 0..128u64 {
+            let reps = i % 7 + 1;
+            for _ in 0..reps {
+                t.insert(i);
+                h.insert(i);
+            }
+        }
+        for i in 0..128u64 {
+            assert_eq!(t.get(i), h.get(i), "key {i}");
+        }
+        assert_eq!(t.distinct(), h.distinct());
+    }
+
+    #[test]
+    fn device_concurrent_inserts_are_exact() {
+        let device = Device::v100();
+        let t = std::sync::Arc::new(DeviceCountTable::new(&device, 4096, 9).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    // All threads hammer an overlapping key range.
+                    for i in 0..1000u64 {
+                        t.insert(i % 257);
+                    }
+                    let _ = tid;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = t.to_host().iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, 4000, "no insert may be lost or duplicated");
+        assert_eq!(t.distinct(), 257);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn device_table_full_panics() {
+        let device = Device::v100();
+        let t = DeviceCountTable::new(&device, 16, 11).unwrap();
+        for i in 0..100u64 {
+            t.insert(i);
+        }
+    }
+
+    #[test]
+    fn device_probe_steps_and_newness_reported() {
+        let device = Device::v100();
+        let t = DeviceCountTable::new(&device, 64, 13).unwrap();
+        let first = t.insert(5);
+        assert_eq!(first, InsertResult { steps: 1, new: true });
+        let again = t.insert(5);
+        assert_eq!(again, InsertResult { steps: 1, new: false });
+    }
+}

@@ -1,0 +1,529 @@
+//! Packed k-mers.
+//!
+//! A k-mer is stored as 2 bits per base, most-significant-first, right
+//! aligned in a machine word: `u64` for k ≤ 32 ([`Kmer`]) or `u128` for
+//! k ≤ 64 ([`Kmer128`]). The paper packs k-mers the same way ("a 11-mer can
+//! fit into a 32 bit data type", §III-B1); with the paper's default k = 17 a
+//! k-mer occupies 34 bits of a single 64-bit word.
+//!
+//! MSB-first packing gives the property the minimizer machinery relies on:
+//! numeric comparison of equal-length packed words equals lexicographic
+//! comparison of their encoded symbol strings.
+//!
+//! Both supported [`Encoding`]s map complementary bases to symbols summing
+//! to 3, so reverse-complement works directly in symbol space (reverse the
+//! 2-bit groups and XOR with all-ones) regardless of encoding. A test
+//! enforces this invariant.
+
+use crate::base::{Base, Encoding};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packed k-mer with k ≤ 32 (2 bits/base in a `u64`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Kmer {
+    word: u64,
+    k: u8,
+}
+
+impl Kmer {
+    /// Maximum supported k.
+    pub const MAX_K: usize = 32;
+
+    /// Builds a k-mer from base codes under `encoding`. Panics if
+    /// `codes.len()` is 0 or exceeds [`Kmer::MAX_K`].
+    pub fn from_codes(codes: &[u8], encoding: Encoding) -> Kmer {
+        assert!(
+            (1..=Self::MAX_K).contains(&codes.len()),
+            "k = {} out of range 1..=32",
+            codes.len()
+        );
+        let mut word = 0u64;
+        for &c in codes {
+            word = (word << 2) | encoding.encode(c) as u64;
+        }
+        Kmer {
+            word,
+            k: codes.len() as u8,
+        }
+    }
+
+    /// Builds a k-mer from an ASCII sequence (must be clean ACGT).
+    pub fn from_ascii(seq: &[u8], encoding: Encoding) -> Option<Kmer> {
+        if seq.is_empty() || seq.len() > Self::MAX_K {
+            return None;
+        }
+        let mut word = 0u64;
+        for &ch in seq {
+            let b = Base::from_ascii(ch)?;
+            word = (word << 2) | encoding.encode_base(b) as u64;
+        }
+        Some(Kmer {
+            word,
+            k: seq.len() as u8,
+        })
+    }
+
+    /// Wraps a raw packed word. The low `2k` bits must hold the symbols and
+    /// all higher bits must be zero (debug-asserted).
+    #[inline]
+    pub fn from_word(word: u64, k: usize) -> Kmer {
+        debug_assert!((1..=Self::MAX_K).contains(&k));
+        debug_assert!(k == 32 || word < (1u64 << (2 * k)), "stray high bits");
+        Kmer { word, k: k as u8 }
+    }
+
+    /// The raw packed word (low `2k` bits).
+    #[inline]
+    pub fn word(self) -> u64 {
+        self.word
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub fn k(self) -> usize {
+        self.k as usize
+    }
+
+    /// Bit mask covering the low `2k` bits.
+    #[inline]
+    pub fn mask(k: usize) -> u64 {
+        debug_assert!((1..=Self::MAX_K).contains(&k));
+        if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        }
+    }
+
+    /// Rolls the window one base to the right: drops the leftmost base and
+    /// appends `code` (already in base-code space) on the right.
+    #[inline]
+    pub fn rolled(self, code: u8, encoding: Encoding) -> Kmer {
+        let word = ((self.word << 2) | encoding.encode(code) as u64) & Self::mask(self.k());
+        Kmer { word, k: self.k }
+    }
+
+    /// Decodes back to base codes.
+    pub fn codes(self, encoding: Encoding) -> Vec<u8> {
+        let k = self.k();
+        let mut out = vec![0u8; k];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let shift = 2 * (k - 1 - i);
+            *slot = encoding.decode(((self.word >> shift) & 3) as u8);
+        }
+        out
+    }
+
+    /// Renders as an ASCII string.
+    pub fn to_ascii(self, encoding: Encoding) -> String {
+        self.codes(encoding)
+            .into_iter()
+            .map(|c| Base::from_code(c).to_ascii() as char)
+            .collect()
+    }
+
+    /// Extracts the `m`-mer starting at base offset `pos` (0-based from the
+    /// left / most significant end) as a packed word, preserving symbol
+    /// order. Used by the minimizer scan. Requires `pos + m <= k`.
+    #[inline]
+    pub fn submer(self, pos: usize, m: usize) -> u64 {
+        let k = self.k();
+        debug_assert!(m >= 1 && pos + m <= k);
+        let shift = 2 * (k - pos - m);
+        (self.word >> shift) & Kmer::mask(m)
+    }
+
+    /// Reverse complement. Works in symbol space; valid for both supported
+    /// encodings because each maps complement pairs to symbols summing to 3.
+    pub fn reverse_complement(self) -> Kmer {
+        let k = self.k();
+        // Complement every symbol, then reverse the 2-bit groups.
+        let comp = !self.word;
+        let rev = reverse_2bit_groups(comp);
+        // After a full 64-bit group reversal the k meaningful groups sit in
+        // the high bits; shift them back down.
+        let word = (rev >> (2 * (32 - k))) & Self::mask(k);
+        Kmer { word, k: self.k }
+    }
+
+    /// Canonical form: the numerically smaller of the k-mer and its reverse
+    /// complement. The paper does *not* canonicalize (Fig. 4); canonical
+    /// mode is an extension of this reproduction.
+    pub fn canonical(self) -> Kmer {
+        let rc = self.reverse_complement();
+        if rc.word < self.word {
+            rc
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Debug for Kmer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kmer(k={}, word={:#x})", self.k, self.word)
+    }
+}
+
+/// Reverses the 32 2-bit groups of a `u64` (group 0 swaps with group 31).
+#[inline]
+pub fn reverse_2bit_groups(mut v: u64) -> u64 {
+    // Swap adjacent 2-bit groups, then nibbles, bytes, and wider lanes.
+    v = ((v & 0x3333_3333_3333_3333) << 2) | ((v >> 2) & 0x3333_3333_3333_3333);
+    v = ((v & 0x0F0F_0F0F_0F0F_0F0F) << 4) | ((v >> 4) & 0x0F0F_0F0F_0F0F_0F0F);
+    v.swap_bytes()
+}
+
+/// A packed k-mer with k ≤ 64 (2 bits/base in a `u128`), for long-k
+/// workloads (third-generation analyses sometimes use k up to 63).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Kmer128 {
+    word: u128,
+    k: u8,
+}
+
+impl Kmer128 {
+    /// Maximum supported k.
+    pub const MAX_K: usize = 64;
+
+    /// Builds from base codes under `encoding`.
+    pub fn from_codes(codes: &[u8], encoding: Encoding) -> Kmer128 {
+        assert!(
+            (1..=Self::MAX_K).contains(&codes.len()),
+            "k = {} out of range 1..=64",
+            codes.len()
+        );
+        let mut word = 0u128;
+        for &c in codes {
+            word = (word << 2) | encoding.encode(c) as u128;
+        }
+        Kmer128 {
+            word,
+            k: codes.len() as u8,
+        }
+    }
+
+    /// Wraps a raw packed word (low `2k` bits hold the symbols).
+    #[inline]
+    pub fn from_word(word: u128, k: usize) -> Kmer128 {
+        debug_assert!((1..=Self::MAX_K).contains(&k));
+        debug_assert!(k == 64 || word < (1u128 << (2 * k)), "stray high bits");
+        Kmer128 { word, k: k as u8 }
+    }
+
+    /// The raw packed word.
+    #[inline]
+    pub fn word(self) -> u128 {
+        self.word
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub fn k(self) -> usize {
+        self.k as usize
+    }
+
+    /// Mask over the low `2k` bits.
+    #[inline]
+    pub fn mask(k: usize) -> u128 {
+        debug_assert!((1..=Self::MAX_K).contains(&k));
+        if k == 64 {
+            u128::MAX
+        } else {
+            (1u128 << (2 * k)) - 1
+        }
+    }
+
+    /// Rolls the window one base to the right.
+    #[inline]
+    pub fn rolled(self, code: u8, encoding: Encoding) -> Kmer128 {
+        let word = ((self.word << 2) | encoding.encode(code) as u128) & Self::mask(self.k());
+        Kmer128 { word, k: self.k }
+    }
+
+    /// Decodes back to base codes.
+    pub fn codes(self, encoding: Encoding) -> Vec<u8> {
+        let k = self.k();
+        let mut out = vec![0u8; k];
+        for (i, slot) in out.iter_mut().enumerate() {
+            let shift = 2 * (k - 1 - i);
+            *slot = encoding.decode(((self.word >> shift) & 3) as u8);
+        }
+        out
+    }
+
+    /// Extracts the `m`-mer starting at base offset `pos` as a packed
+    /// `u64` word (m ≤ 32), preserving symbol order — the wide-k
+    /// minimizer scan's primitive.
+    #[inline]
+    pub fn submer(self, pos: usize, m: usize) -> u64 {
+        let k = self.k();
+        debug_assert!((1..=32).contains(&m) && pos + m <= k);
+        let shift = 2 * (k - pos - m);
+        ((self.word >> shift) as u64) & Kmer::mask(m)
+    }
+
+    /// Reverse complement (same symbol-space trick as [`Kmer`]).
+    pub fn reverse_complement(self) -> Kmer128 {
+        let k = self.k();
+        let comp = !self.word;
+        let lo = reverse_2bit_groups(comp as u64);
+        let hi = reverse_2bit_groups((comp >> 64) as u64);
+        let rev = ((lo as u128) << 64) | hi as u128;
+        let word = (rev >> (2 * (64 - k))) & Self::mask(k);
+        Kmer128 { word, k: self.k }
+    }
+
+    /// Canonical form (min of self and reverse complement).
+    pub fn canonical(self) -> Kmer128 {
+        let rc = self.reverse_complement();
+        if rc.word < self.word {
+            rc
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Debug for Kmer128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kmer128(k={}, word={:#x})", self.k, self.word)
+    }
+}
+
+/// Iterates all packed wide k-mer words (k ≤ 64) of a base-code slice
+/// with a rolling window. Yields nothing if the slice is shorter than k.
+pub fn kmer_words128<'a>(
+    codes: &'a [u8],
+    k: usize,
+    encoding: Encoding,
+) -> impl Iterator<Item = u128> + 'a {
+    assert!((1..=Kmer128::MAX_K).contains(&k));
+    let mask = Kmer128::mask(k);
+    let mut acc = 0u128;
+    let mut filled = 0usize;
+    codes.iter().filter_map(move |&c| {
+        acc = ((acc << 2) | encoding.encode(c) as u128) & mask;
+        filled += 1;
+        if filled >= k {
+            Some(acc)
+        } else {
+            None
+        }
+    })
+}
+
+/// Iterates all packed k-mer words of a base-code slice with a rolling
+/// window (O(1) per k-mer). Yields nothing if the slice is shorter than k.
+pub fn kmer_words<'a>(
+    codes: &'a [u8],
+    k: usize,
+    encoding: Encoding,
+) -> impl Iterator<Item = u64> + 'a {
+    assert!((1..=Kmer::MAX_K).contains(&k));
+    let mask = Kmer::mask(k);
+    let mut acc = 0u64;
+    let mut filled = 0usize;
+    codes.iter().filter_map(move |&c| {
+        acc = ((acc << 2) | encoding.encode(c) as u64) & mask;
+        filled += 1;
+        if filled >= k {
+            Some(acc)
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ENC: Encoding = Encoding::Alphabetical;
+
+    #[test]
+    fn packs_msb_first() {
+        // "ACGT" under alphabetical encoding: 00 01 10 11 = 0b00011011.
+        let k = Kmer::from_ascii(b"ACGT", ENC).unwrap();
+        assert_eq!(k.word(), 0b00_01_10_11);
+        assert_eq!(k.k(), 4);
+    }
+
+    #[test]
+    fn numeric_order_equals_lexicographic() {
+        let words: Vec<&[u8]> = vec![b"AAAA", b"AAAC", b"ACGT", b"CAAA", b"TTTT"];
+        let mut packed: Vec<u64> = words
+            .iter()
+            .map(|w| Kmer::from_ascii(w, ENC).unwrap().word())
+            .collect();
+        let sorted = {
+            let mut s = packed.clone();
+            s.sort_unstable();
+            s
+        };
+        packed.sort_unstable();
+        assert_eq!(packed, sorted);
+        // And the lexicographically smallest string gives smallest word.
+        assert_eq!(
+            packed[0],
+            Kmer::from_ascii(b"AAAA", ENC).unwrap().word()
+        );
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        for s in [&b"GATTACA"[..], b"A", b"ACGTACGTACGTACGTACGTACGTACGTACGT"] {
+            let k = Kmer::from_ascii(s, ENC).unwrap();
+            assert_eq!(k.to_ascii(ENC).as_bytes(), s);
+        }
+        // Same under the paper encoding.
+        let k = Kmer::from_ascii(b"GATTACA", Encoding::PaperRandom).unwrap();
+        assert_eq!(k.to_ascii(Encoding::PaperRandom), "GATTACA");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Kmer::from_ascii(b"", ENC).is_none());
+        assert!(Kmer::from_ascii(b"ACGN", ENC).is_none());
+        assert!(Kmer::from_ascii(&[b'A'; 33], ENC).is_none());
+    }
+
+    #[test]
+    fn rolling_matches_fresh_construction() {
+        let seq = b"GATTACAGATTACAGA";
+        let k = 5;
+        let mut rolled = Kmer::from_ascii(&seq[..k], ENC).unwrap();
+        for i in 1..=(seq.len() - k) {
+            let code = Base::from_ascii(seq[i + k - 1]).unwrap().code();
+            rolled = rolled.rolled(code, ENC);
+            let fresh = Kmer::from_ascii(&seq[i..i + k], ENC).unwrap();
+            assert_eq!(rolled, fresh, "window {i}");
+        }
+    }
+
+    #[test]
+    fn kmer_words_iterator_matches_windows() {
+        let seq = b"ACGTTGCAACGT";
+        let codes: Vec<u8> = seq.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let k = 4;
+        let got: Vec<u64> = kmer_words(&codes, k, ENC).collect();
+        let expect: Vec<u64> = (0..=seq.len() - k)
+            .map(|i| Kmer::from_ascii(&seq[i..i + k], ENC).unwrap().word())
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), seq.len() - k + 1); // L - k + 1 k-mers
+    }
+
+    #[test]
+    fn kmer_words_short_input_yields_nothing() {
+        let codes = [0u8, 1, 2];
+        assert_eq!(kmer_words(&codes, 4, ENC).count(), 0);
+    }
+
+    #[test]
+    fn submer_extracts_mmers() {
+        // GATTACA, m=3: windows GAT, ATT, TTA, TAC, ACA.
+        let k = Kmer::from_ascii(b"GATTACA", ENC).unwrap();
+        for (pos, expect) in [b"GAT", b"ATT", b"TTA", b"TAC", b"ACA"].iter().enumerate() {
+            let want = Kmer::from_ascii(*expect, ENC).unwrap().word();
+            assert_eq!(k.submer(pos, 3), want, "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn reverse_complement_known_answer() {
+        let k = Kmer::from_ascii(b"AACGTT", ENC).unwrap();
+        assert_eq!(k.reverse_complement().to_ascii(ENC), "AACGTT"); // palindrome
+        let k = Kmer::from_ascii(b"GATTACA", ENC).unwrap();
+        assert_eq!(k.reverse_complement().to_ascii(ENC), "TGTAATC");
+    }
+
+    #[test]
+    fn reverse_complement_is_involution_both_encodings() {
+        for enc in [Encoding::Alphabetical, Encoding::PaperRandom] {
+            for s in [&b"A"[..], b"ACGT", b"GGGATCCTTAAAGCGC", &[b'T'; 32]] {
+                let k = Kmer::from_ascii(s, enc).unwrap();
+                assert_eq!(k.reverse_complement().reverse_complement(), k);
+                // Sequence-level check: rc in symbol space equals rc computed
+                // on the ASCII string.
+                let rc_ascii: Vec<u8> = s
+                    .iter()
+                    .rev()
+                    .map(|&c| Base::from_ascii(c).unwrap().complement().to_ascii())
+                    .collect();
+                assert_eq!(
+                    k.reverse_complement().to_ascii(enc).as_bytes(),
+                    &rc_ascii[..],
+                    "enc {enc:?} seq {}",
+                    std::str::from_utf8(s).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_is_stable() {
+        let k = Kmer::from_ascii(b"GATTACA", ENC).unwrap();
+        let c = k.canonical();
+        assert_eq!(c, c.canonical());
+        assert_eq!(c, k.reverse_complement().canonical());
+        assert!(c.word() <= k.word());
+    }
+
+    #[test]
+    fn kmer128_roundtrip_and_rc() {
+        let s = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"; // 44 bases
+        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let k = Kmer128::from_codes(&codes, ENC);
+        assert_eq!(k.k(), 44);
+        assert_eq!(k.codes(ENC), codes);
+        assert_eq!(k.reverse_complement().reverse_complement(), k);
+        assert_eq!(k.canonical(), k.canonical().canonical());
+    }
+
+    #[test]
+    fn kmer128_submer_matches_narrow_submer() {
+        let s = b"GATTACAGATTACAGATTACAGATTACAGATTACAGATT"; // 39 bases
+        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let wide = Kmer128::from_codes(&codes, ENC);
+        for m in [3usize, 7, 15] {
+            for pos in [0usize, 5, 39 - m] {
+                let expect = Kmer::from_codes(&codes[pos..pos + m], ENC).word();
+                assert_eq!(wide.submer(pos, m), expect, "m {m} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn kmer_words128_matches_fresh_packing() {
+        let s = b"ACGTTGCAACGTACGTTGCAACGTACGTTGCAACGTACGTTGCAACGT"; // 48 bases
+        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let k = 41;
+        let got: Vec<u128> = kmer_words128(&codes, k, ENC).collect();
+        let expect: Vec<u128> = (0..=codes.len() - k)
+            .map(|i| Kmer128::from_codes(&codes[i..i + k], ENC).word())
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), codes.len() - k + 1);
+    }
+
+    #[test]
+    fn kmer128_rolling() {
+        let s = b"GATTACAGATTACAGATTACAGATTACAGATTACAG"; // 36 bases
+        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let k = 35;
+        let mut rolled = Kmer128::from_codes(&codes[..k], ENC);
+        rolled = rolled.rolled(codes[k], ENC);
+        let fresh = Kmer128::from_codes(&codes[1..k + 1], ENC);
+        assert_eq!(rolled, fresh);
+    }
+
+    #[test]
+    fn full_width_k32_mask() {
+        let s = [b'T'; 32];
+        let k = Kmer::from_ascii(&s, ENC).unwrap();
+        assert_eq!(k.word(), u64::MAX); // T=3 everywhere
+        assert_eq!(k.reverse_complement().to_ascii(ENC), "A".repeat(32));
+    }
+}

@@ -1,0 +1,469 @@
+//! Deterministic synthetic genome and read simulators.
+//!
+//! The paper evaluates on real datasets up to 317 GB (Table I), which a
+//! single-host reproduction cannot ingest. These simulators produce scaled
+//! synthetic equivalents that preserve the properties k-mer counting
+//! behaviour actually depends on:
+//!
+//! * **multiplicity skew** — genomes get an explicit repeat structure
+//!   (segments copied to multiple loci), so the k-mer spectrum has the
+//!   heavy tail that drives count-table contention and partition imbalance;
+//! * **minimizer run lengths** — reads are contiguous genome windows, so
+//!   consecutive k-mers share minimizers exactly as in real data, which is
+//!   what supermer compression (§IV) exploits;
+//! * **read-length distribution** — log-normal "third generation" lengths
+//!   with wide variance (the load-balancing challenge of §III-B1).
+//!
+//! Everything is seeded and reproducible: the same `(params, seed)` always
+//! yields the same byte-identical dataset.
+
+use crate::base::Base;
+use crate::read::{Read, ReadSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for synthetic genome generation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GenomeParams {
+    /// Genome length in bases.
+    pub length: usize,
+    /// Fraction of the genome covered by repeat copies (0.0 – 0.9).
+    pub repeat_fraction: f64,
+    /// Repeat segment length range (inclusive).
+    pub repeat_len: (usize, usize),
+    /// GC content in (0, 1); 0.5 is uniform.
+    pub gc_content: f64,
+    /// Fraction of the genome covered by AT-rich low-complexity tracts
+    /// (poly-A / poly-T / AT microsatellites). Real genomes have these,
+    /// and they are exactly why lexicographic minimizers skew partitions
+    /// (§II-B / §IV-A: "lexicographical ordering often leads to
+    /// unbalanced partitions").
+    pub low_complexity_fraction: f64,
+    /// Low-complexity tract length range (inclusive).
+    pub low_complexity_len: (usize, usize),
+}
+
+impl Default for GenomeParams {
+    fn default() -> Self {
+        GenomeParams {
+            length: 1_000_000,
+            repeat_fraction: 0.15,
+            repeat_len: (500, 5_000),
+            gc_content: 0.45,
+            low_complexity_fraction: 0.03,
+            low_complexity_len: (20, 200),
+        }
+    }
+}
+
+/// Generates a synthetic genome as base codes.
+///
+/// First draws i.i.d. bases honouring `gc_content`, then overwrites
+/// `repeat_fraction` of the genome with copies of segments sampled from the
+/// already-generated prefix, giving repeated k-mers realistic clustering.
+pub fn simulate_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
+    assert!(params.length > 0, "genome length must be positive");
+    assert!(
+        (0.0..=0.9).contains(&params.repeat_fraction),
+        "repeat_fraction out of range"
+    );
+    assert!(
+        params.repeat_len.0 >= 2 && params.repeat_len.0 <= params.repeat_len.1,
+        "bad repeat_len range"
+    );
+    assert!(
+        (0.0..=0.5).contains(&params.low_complexity_fraction),
+        "low_complexity_fraction out of range"
+    );
+    assert!(
+        params.low_complexity_len.0 >= 2
+            && params.low_complexity_len.0 <= params.low_complexity_len.1,
+        "bad low_complexity_len range"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gc = params.gc_content;
+    let mut genome: Vec<u8> = (0..params.length)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            // Split GC mass between C and G, AT mass between A and T.
+            if r < gc / 2.0 {
+                Base::C.code()
+            } else if r < gc {
+                Base::G.code()
+            } else if r < gc + (1.0 - gc) / 2.0 {
+                Base::A.code()
+            } else {
+                Base::T.code()
+            }
+        })
+        .collect();
+
+    // Paste AT-rich low-complexity tracts (before repeats, so tracts can
+    // also be duplicated — as in real genomes).
+    let mut lc_budget = (params.length as f64 * params.low_complexity_fraction) as usize;
+    let (lc_min, lc_max) = params.low_complexity_len;
+    while lc_budget > 0 && params.length > lc_max * 2 {
+        let len = rng.gen_range(lc_min..=lc_max).min(lc_budget.max(lc_min));
+        let dst = rng.gen_range(0..=params.length - len);
+        // 45% poly-A, 30% poly-T, 25% AT microsatellite — with ~20% random
+        // interruptions, as in real genomes. Interruptions matter: they
+        // spread the tract's k-mers over many near-poly-A *keys* (so exact
+        // k-mer hashing stays balanced) while all those keys still share
+        // AT-heavy *minimizers* (so minimizer routing concentrates — the
+        // paper's Table III effect).
+        let style: f64 = rng.gen();
+        for (i, slot) in genome[dst..dst + len].iter_mut().enumerate() {
+            if rng.gen_bool(0.20) {
+                *slot = rng.gen_range(0..4u8);
+                continue;
+            }
+            *slot = if style < 0.45 {
+                Base::A.code()
+            } else if style < 0.75 {
+                Base::T.code()
+            } else if i % 2 == 0 {
+                Base::A.code()
+            } else {
+                Base::T.code()
+            };
+        }
+        lc_budget = lc_budget.saturating_sub(len);
+    }
+
+    // Paste repeat copies until the budget is used.
+    let mut budget = (params.length as f64 * params.repeat_fraction) as usize;
+    while budget > 0 && params.length > params.repeat_len.0 * 2 {
+        let max_len = params.repeat_len.1.min(params.length / 2).min(budget.max(params.repeat_len.0));
+        let len = if max_len <= params.repeat_len.0 {
+            params.repeat_len.0
+        } else {
+            rng.gen_range(params.repeat_len.0..=max_len)
+        };
+        let src = rng.gen_range(0..=params.length - len);
+        let dst = rng.gen_range(0..=params.length - len);
+        if src != dst {
+            let segment: Vec<u8> = genome[src..src + len].to_vec();
+            genome[dst..dst + len].copy_from_slice(&segment);
+        }
+        budget = budget.saturating_sub(len);
+    }
+    genome
+}
+
+/// Parameters for read simulation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReadSimParams {
+    /// Target sequencing depth: total sampled bases ≈ `coverage × genome`.
+    pub coverage: f64,
+    /// Mean read length in bases (log-normal location is derived from this).
+    pub mean_read_len: usize,
+    /// Log-normal sigma controlling read-length spread. ~0.4 gives the wide
+    /// third-generation variance the paper highlights; 0.05 approximates
+    /// fixed-length short reads.
+    pub len_sigma: f64,
+    /// Minimum read length (shorter draws are clamped).
+    pub min_read_len: usize,
+    /// Per-base substitution error probability.
+    pub sub_rate: f64,
+    /// Sample reads from the reverse strand with probability 0.5.
+    pub both_strands: bool,
+}
+
+impl Default for ReadSimParams {
+    fn default() -> Self {
+        ReadSimParams {
+            coverage: 30.0,
+            mean_read_len: 8_000,
+            len_sigma: 0.4,
+            min_read_len: 64,
+            sub_rate: 0.002,
+            both_strands: true,
+        }
+    }
+}
+
+/// Samples reads from a genome according to `params`, deterministically in
+/// `seed`.
+pub fn simulate_reads(genome: &[u8], params: &ReadSimParams, seed: u64) -> ReadSet {
+    assert!(!genome.is_empty(), "empty genome");
+    assert!(params.coverage > 0.0 && params.mean_read_len > 0);
+    assert!((0.0..=0.5).contains(&params.sub_rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let target_bases = (genome.len() as f64 * params.coverage) as usize;
+
+    // Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
+    let sigma = params.len_sigma.max(1e-6);
+    let mu = (params.mean_read_len as f64).ln() - sigma * sigma / 2.0;
+
+    let mut out = ReadSet::new();
+    let mut sampled = 0usize;
+    let mut idx = 0usize;
+    while sampled < target_bases {
+        // Box-Muller normal draw.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = (mu + sigma * z).exp() as usize;
+        let len = len.clamp(params.min_read_len, genome.len());
+
+        let start = rng.gen_range(0..=genome.len() - len);
+        let mut codes: Vec<u8> = genome[start..start + len].to_vec();
+
+        if params.both_strands && rng.gen_bool(0.5) {
+            codes.reverse();
+            for c in &mut codes {
+                *c = 3 - *c; // complement in code space (alphabetical codes)
+            }
+        }
+
+        if params.sub_rate > 0.0 {
+            for c in &mut codes {
+                if rng.gen_bool(params.sub_rate) {
+                    // Substitute with one of the three other bases.
+                    *c = (*c + rng.gen_range(1..4u8)) % 4;
+                }
+            }
+        }
+
+        sampled += codes.len();
+        out.reads.push(Read {
+            id: format!("sim_{idx}"),
+            codes,
+            quals: None,
+        });
+        idx += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn genome_is_deterministic() {
+        let p = GenomeParams {
+            length: 10_000,
+            ..Default::default()
+        };
+        assert_eq!(simulate_genome(&p, 7), simulate_genome(&p, 7));
+        assert_ne!(simulate_genome(&p, 7), simulate_genome(&p, 8));
+    }
+
+    #[test]
+    fn genome_respects_length_and_alphabet() {
+        let p = GenomeParams {
+            length: 5_000,
+            ..Default::default()
+        };
+        let g = simulate_genome(&p, 1);
+        assert_eq!(g.len(), 5_000);
+        assert!(g.iter().all(|&c| c < 4));
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let p = GenomeParams {
+            length: 200_000,
+            repeat_fraction: 0.0,
+            low_complexity_fraction: 0.0,
+            gc_content: 0.3,
+            ..Default::default()
+        };
+        let g = simulate_genome(&p, 3);
+        let gc = g.iter().filter(|&&c| c == 1 || c == 2).count() as f64 / g.len() as f64;
+        assert!((gc - 0.3).abs() < 0.02, "gc {gc}");
+    }
+
+    #[test]
+    fn repeats_create_multiplicity_skew() {
+        let k = 21usize;
+        let flat = GenomeParams {
+            length: 100_000,
+            repeat_fraction: 0.0,
+            low_complexity_fraction: 0.0,
+            ..Default::default()
+        };
+        let repetitive = GenomeParams {
+            length: 100_000,
+            repeat_fraction: 0.5,
+            repeat_len: (1_000, 5_000),
+            low_complexity_fraction: 0.0,
+            ..Default::default()
+        };
+        let count_max = |g: &[u8]| {
+            let mut m: HashMap<&[u8], u32> = HashMap::new();
+            for w in g.windows(k) {
+                *m.entry(w).or_default() += 1;
+            }
+            m.values().copied().max().unwrap()
+        };
+        let flat_max = count_max(&simulate_genome(&flat, 11));
+        let rep_max = count_max(&simulate_genome(&repetitive, 11));
+        assert!(
+            rep_max > flat_max.max(2),
+            "repeats should raise max multiplicity: flat {flat_max}, repetitive {rep_max}"
+        );
+    }
+
+    #[test]
+    fn low_complexity_tracts_present() {
+        let p = GenomeParams {
+            length: 100_000,
+            repeat_fraction: 0.0,
+            low_complexity_fraction: 0.05,
+            low_complexity_len: (30, 100),
+            ..Default::default()
+        };
+        let g = simulate_genome(&p, 21);
+        // There must be at least one run of ≥ 20 identical A or T bases.
+        let mut run = 0usize;
+        let mut best = 0usize;
+        let mut prev = 255u8;
+        for &c in &g {
+            if c == prev && (c == 0 || c == 3) {
+                run += 1;
+            } else {
+                run = 1;
+            }
+            prev = c;
+            best = best.max(run);
+        }
+        assert!(best >= 20, "longest A/T homopolymer run: {best}");
+        // And with the knob off, such runs are vanishingly unlikely.
+        let clean = simulate_genome(
+            &GenomeParams {
+                low_complexity_fraction: 0.0,
+                ..p
+            },
+            21,
+        );
+        let mut run = 0usize;
+        let mut best_clean = 0usize;
+        let mut prev = 255u8;
+        for &c in &clean {
+            if c == prev {
+                run += 1;
+            } else {
+                run = 1;
+            }
+            prev = c;
+            best_clean = best_clean.max(run);
+        }
+        assert!(best_clean < 20, "unexpected homopolymer in clean genome: {best_clean}");
+    }
+
+    #[test]
+    fn reads_hit_coverage_target() {
+        let g = simulate_genome(
+            &GenomeParams {
+                length: 50_000,
+                ..Default::default()
+            },
+            2,
+        );
+        let p = ReadSimParams {
+            coverage: 10.0,
+            mean_read_len: 2_000,
+            ..Default::default()
+        };
+        let rs = simulate_reads(&g, &p, 5);
+        let total = rs.total_bases() as f64;
+        let target = 500_000.0;
+        assert!(total >= target && total < target * 1.1, "total {total}");
+    }
+
+    #[test]
+    fn reads_are_deterministic() {
+        let g = simulate_genome(
+            &GenomeParams {
+                length: 20_000,
+                ..Default::default()
+            },
+            2,
+        );
+        let p = ReadSimParams {
+            coverage: 3.0,
+            mean_read_len: 1_000,
+            ..Default::default()
+        };
+        assert_eq!(simulate_reads(&g, &p, 9), simulate_reads(&g, &p, 9));
+        assert_ne!(simulate_reads(&g, &p, 9), simulate_reads(&g, &p, 10));
+    }
+
+    #[test]
+    fn read_lengths_vary_lognormally() {
+        let g = simulate_genome(
+            &GenomeParams {
+                length: 100_000,
+                ..Default::default()
+            },
+            2,
+        );
+        let p = ReadSimParams {
+            coverage: 20.0,
+            mean_read_len: 2_000,
+            len_sigma: 0.5,
+            ..Default::default()
+        };
+        let rs = simulate_reads(&g, &p, 1);
+        let mean = rs.mean_len();
+        assert!((1_500.0..2_500.0).contains(&mean), "mean {mean}");
+        let min = rs.reads.iter().map(Read::len).min().unwrap();
+        let max = rs.reads.iter().map(Read::len).max().unwrap();
+        assert!(max > min * 2, "expected wide length variance: {min}..{max}");
+    }
+
+    #[test]
+    fn error_free_reads_are_genome_substrings_or_rc() {
+        let g = simulate_genome(
+            &GenomeParams {
+                length: 10_000,
+                repeat_fraction: 0.0,
+                ..Default::default()
+            },
+            4,
+        );
+        let p = ReadSimParams {
+            coverage: 2.0,
+            mean_read_len: 500,
+            sub_rate: 0.0,
+            ..Default::default()
+        };
+        let rs = simulate_reads(&g, &p, 6);
+        let genome_str: Vec<u8> = g.clone();
+        for r in rs.reads.iter().take(20) {
+            let fwd = r.codes.clone();
+            let rc: Vec<u8> = r.codes.iter().rev().map(|&c| 3 - c).collect();
+            let found = windows_contain(&genome_str, &fwd) || windows_contain(&genome_str, &rc);
+            assert!(found, "read {} not found in genome", r.id);
+        }
+    }
+
+    fn windows_contain(haystack: &[u8], needle: &[u8]) -> bool {
+        haystack.windows(needle.len()).any(|w| w == needle)
+    }
+
+    #[test]
+    fn substitutions_inject_errors() {
+        let g = vec![0u8; 10_000]; // all-A genome
+        let p = ReadSimParams {
+            coverage: 1.0,
+            mean_read_len: 1_000,
+            sub_rate: 0.1,
+            both_strands: false,
+            ..Default::default()
+        };
+        let rs = simulate_reads(&g, &p, 3);
+        let non_a = rs
+            .reads
+            .iter()
+            .flat_map(|r| r.codes.iter())
+            .filter(|&&c| c != 0)
+            .count() as f64;
+        let frac = non_a / rs.total_bases() as f64;
+        assert!((0.07..0.13).contains(&frac), "error fraction {frac}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Device parameter sets.
+//!
+//! Parameters for the V100 preset follow the paper's §V-A hardware
+//! description (80 SMs, 16 GB HBM2, 6 MB L2, NVLink at 25 GB/s per link)
+//! and NVIDIA's published V100 specifications (1.53 GHz boost clock,
+//! ~900 GB/s HBM2 bandwidth).
+
+use dedukt_sim::Rate;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated GPU.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (32 on every NVIDIA architecture to date).
+    pub warp_size: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Hardware limit on resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Device memory (HBM) bandwidth.
+    pub hbm_bandwidth: Rate,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// Simple integer/logic instructions retired per clock per SM,
+    /// aggregated over all schedulers (V100: 4 schedulers × 16 INT32
+    /// lanes = 64).
+    pub int_ipc_per_sm: f64,
+    /// Throughput of *uncontended* global atomics (device-wide,
+    /// operations per second).
+    pub atomic_throughput: Rate,
+    /// Extra slowdown factor applied per expected conflict on contended
+    /// atomics (serialisation of colliding updates).
+    pub atomic_contention_penalty: f64,
+    /// Kernel launch overhead charged once per launch.
+    pub launch_overhead_us: f64,
+    /// Host link bandwidth (PCIe gen3 x16 ≈ 16 GB/s).
+    pub pcie_bandwidth: Rate,
+    /// NVLink bandwidth per direction (§V-A: 25 GB/s per link).
+    pub nvlink_bandwidth: Rate,
+    /// One-way transfer setup latency in microseconds.
+    pub transfer_latency_us: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA V100-SXM2-16GB, the Summit GPU (§V-A).
+    pub fn v100() -> DeviceConfig {
+        DeviceConfig {
+            name: "NVIDIA V100-SXM2-16GB".into(),
+            num_sms: 80,
+            clock_ghz: 1.53,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            memory_bytes: 16 * (1 << 30),
+            hbm_bandwidth: Rate::gb_per_sec(900.0),
+            l2_bytes: 6 * (1 << 20),
+            int_ipc_per_sm: 64.0,
+            atomic_throughput: Rate::gitems_per_sec(2.0),
+            atomic_contention_penalty: 4.0,
+            launch_overhead_us: 5.0,
+            pcie_bandwidth: Rate::gb_per_sec(16.0),
+            nvlink_bandwidth: Rate::gb_per_sec(25.0),
+            transfer_latency_us: 10.0,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB — not used by the paper, provided for
+    /// "what would a newer machine do" extension studies.
+    pub fn a100() -> DeviceConfig {
+        DeviceConfig {
+            name: "NVIDIA A100-SXM4-40GB".into(),
+            num_sms: 108,
+            clock_ghz: 1.41,
+            warp_size: 32,
+            max_threads_per_block: 1024,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            memory_bytes: 40 * (1 << 30),
+            hbm_bandwidth: Rate::gb_per_sec(1555.0),
+            l2_bytes: 40 * (1 << 20),
+            int_ipc_per_sm: 64.0,
+            atomic_throughput: Rate::gitems_per_sec(4.0),
+            atomic_contention_penalty: 4.0,
+            launch_overhead_us: 4.0,
+            pcie_bandwidth: Rate::gb_per_sec(31.0),
+            nvlink_bandwidth: Rate::gb_per_sec(50.0),
+            transfer_latency_us: 8.0,
+        }
+    }
+
+    /// Peak simple-instruction throughput of the whole device, in
+    /// instructions per second.
+    pub fn peak_instr_rate(&self) -> Rate {
+        Rate::per_sec(self.num_sms as f64 * self.int_ipc_per_sm * self.clock_ghz * 1e9)
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_paper_section_5a() {
+        let c = DeviceConfig::v100();
+        assert_eq!(c.num_sms, 80);
+        assert_eq!(c.memory_bytes, 16 * (1 << 30));
+        assert_eq!(c.l2_bytes, 6 * (1 << 20));
+        // NVLink peak per §V-A: 25 GB/s.
+        assert!((c.nvlink_bandwidth.units_per_sec() - 25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = DeviceConfig::v100();
+        assert_eq!(c.max_warps_per_sm(), 64);
+        // 80 SMs * 64 IPC * 1.53 GHz ≈ 7.8 Tops.
+        let r = c.peak_instr_rate().units_per_sec();
+        assert!((r - 80.0 * 64.0 * 1.53e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn a100_is_strictly_bigger() {
+        let v = DeviceConfig::v100();
+        let a = DeviceConfig::a100();
+        assert!(a.memory_bytes > v.memory_bytes);
+        assert!(a.hbm_bandwidth.units_per_sec() > v.hbm_bandwidth.units_per_sec());
+        assert!(a.num_sms > v.num_sms);
+    }
+}

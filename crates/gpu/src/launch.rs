@@ -1,0 +1,419 @@
+//! Kernel launch API.
+//!
+//! A kernel is a closure invoked once per *thread block*; inside, it
+//! iterates its threads. Blocks execute concurrently on a rayon pool — so
+//! anything shared between blocks must live in an
+//! [`crate::memory::AtomicBuffer`], exactly mirroring the CUDA rules the
+//! paper's kernels play by ("as all the GPU threads concurrently update
+//! this buffer, the update operation is performed atomically", §III-B1).
+//!
+//! Kernels report the work they perform through the block-local
+//! [`WorkTally`] (merged across blocks after the launch); the cost model
+//! converts the merged tally into a simulated kernel duration.
+
+use crate::cost::{self, TimeBreakdown};
+use crate::memory::Device;
+use crate::occupancy;
+use dedukt_sim::SimTime;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Grid and block dimensions for a launch (1-D, which is all the paper's
+/// kernels need).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+}
+
+impl LaunchConfig {
+    /// A launch covering at least `total_threads` threads with the given
+    /// block size.
+    pub fn cover(total_threads: usize, block_threads: u32) -> LaunchConfig {
+        assert!(block_threads > 0);
+        let grid_blocks = total_threads.div_ceil(block_threads as usize).max(1) as u32;
+        LaunchConfig {
+            grid_blocks,
+            block_threads,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> usize {
+        self.grid_blocks as usize * self.block_threads as usize
+    }
+}
+
+/// Work performed by a kernel, tallied per block and merged after the
+/// launch. All quantities are *logical* (what the real GPU would do), not
+/// host-side measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkTally {
+    /// Simple arithmetic/logic instructions executed.
+    pub instructions: u64,
+    /// Global-memory bytes moved with coalesced (unit-stride per warp)
+    /// access patterns.
+    pub gmem_coalesced_bytes: u64,
+    /// Global-memory bytes moved with effectively random access patterns
+    /// (each access its own 32-byte transaction).
+    pub gmem_random_bytes: u64,
+    /// Global atomic operations issued.
+    pub atomics: u64,
+    /// Expected number of *conflicting* atomics (same address, same time) —
+    /// a hint the kernel derives from its data distribution, used by the
+    /// contention model.
+    pub atomic_conflicts: u64,
+    /// Instructions executed under warp divergence (both sides of a
+    /// branch serialised).
+    pub divergent_instructions: u64,
+}
+
+impl WorkTally {
+    /// Elementwise sum of two tallies.
+    pub fn merge(mut self, other: &WorkTally) -> WorkTally {
+        self.instructions += other.instructions;
+        self.gmem_coalesced_bytes += other.gmem_coalesced_bytes;
+        self.gmem_random_bytes += other.gmem_random_bytes;
+        self.atomics += other.atomics;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.divergent_instructions += other.divergent_instructions;
+        self
+    }
+}
+
+/// Per-thread coordinates handed to kernel bodies.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadCtx {
+    /// Block index within the grid.
+    pub block: u32,
+    /// Thread index within the block.
+    pub thread: u32,
+    /// Threads per block.
+    pub block_dim: u32,
+    /// Blocks in the grid.
+    pub grid_dim: u32,
+}
+
+impl ThreadCtx {
+    /// Flat global thread id (`block * blockDim + thread`).
+    #[inline]
+    pub fn global_id(&self) -> usize {
+        self.block as usize * self.block_dim as usize + self.thread as usize
+    }
+
+    /// Warp index within the block.
+    #[inline]
+    pub fn warp(&self) -> u32 {
+        self.thread / 32
+    }
+
+    /// Lane index within the warp.
+    #[inline]
+    pub fn lane(&self) -> u32 {
+        self.thread % 32
+    }
+}
+
+/// Block-level execution context: thread iteration plus the block-local
+/// work tally.
+pub struct BlockCtx {
+    /// Block index within the grid.
+    pub block: u32,
+    /// Launch dimensions.
+    pub cfg: LaunchConfig,
+    /// Block-local work tally (merged across blocks after the launch).
+    pub tally: WorkTally,
+}
+
+impl BlockCtx {
+    /// Iterates this block's threads.
+    pub fn threads(&self) -> impl Iterator<Item = ThreadCtx> {
+        let block = self.block;
+        let cfg = self.cfg;
+        (0..cfg.block_threads).map(move |thread| ThreadCtx {
+            block,
+            thread,
+            block_dim: cfg.block_threads,
+            grid_dim: cfg.grid_blocks,
+        })
+    }
+
+    /// Records `n` simple instructions.
+    #[inline]
+    pub fn instr(&mut self, n: u64) {
+        self.tally.instructions += n;
+    }
+
+    /// Records a coalesced global-memory access of `bytes`.
+    #[inline]
+    pub fn gmem_coalesced(&mut self, bytes: u64) {
+        self.tally.gmem_coalesced_bytes += bytes;
+    }
+
+    /// Records a random-access global-memory access of `bytes`.
+    #[inline]
+    pub fn gmem_random(&mut self, bytes: u64) {
+        self.tally.gmem_random_bytes += bytes;
+    }
+
+    /// Records `n` global atomics, of which `conflicts` are expected to
+    /// collide with concurrent updates to the same address.
+    #[inline]
+    pub fn atomic(&mut self, n: u64, conflicts: u64) {
+        self.tally.atomics += n;
+        self.tally.atomic_conflicts += conflicts.min(n);
+    }
+
+    /// Records `n` instructions executed under warp divergence.
+    #[inline]
+    pub fn divergent(&mut self, n: u64) {
+        self.tally.instructions += n;
+        self.tally.divergent_instructions += n;
+    }
+}
+
+/// Everything known about a completed launch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name (for reports and traces).
+    pub name: String,
+    /// Launch dimensions used.
+    pub cfg: LaunchConfig,
+    /// Merged work tally.
+    pub tally: WorkTally,
+    /// Achieved occupancy in [0, 1].
+    pub occupancy: f64,
+    /// Simulated duration, including launch overhead.
+    pub time: SimTime,
+    /// Component times (compute / memory / atomics) behind `time`.
+    pub breakdown: TimeBreakdown,
+}
+
+impl Device {
+    /// Launches `kernel` over `cfg`, executing blocks in parallel, and
+    /// returns the merged work tally with its simulated duration.
+    ///
+    /// The closure runs once per block and must iterate
+    /// [`BlockCtx::threads`] itself (this is also where real CUDA kernels
+    /// get their grid-stride loops).
+    pub fn launch<F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> KernelReport
+    where
+        F: Fn(&mut BlockCtx) + Sync,
+    {
+        assert!(cfg.grid_blocks > 0 && cfg.block_threads > 0, "empty launch");
+        assert!(
+            cfg.block_threads <= self.config().max_threads_per_block,
+            "block of {} exceeds device limit {}",
+            cfg.block_threads,
+            self.config().max_threads_per_block
+        );
+        let tally = (0..cfg.grid_blocks)
+            .into_par_iter()
+            .map(|block| {
+                let mut ctx = BlockCtx {
+                    block,
+                    cfg,
+                    tally: WorkTally::default(),
+                };
+                kernel(&mut ctx);
+                ctx.tally
+            })
+            .reduce(WorkTally::default, |a, b| a.merge(&b));
+
+        let occupancy = occupancy::achieved_occupancy(self.config(), cfg);
+        let (time, breakdown) = cost::kernel_time(self.config(), &tally, occupancy);
+        KernelReport {
+            name: name.to_string(),
+            cfg,
+            tally,
+            occupancy,
+            time,
+            breakdown,
+        }
+    }
+
+    /// Like [`Device::launch`], but each block also produces a value;
+    /// returns the report plus all block outputs in block order.
+    ///
+    /// This is how the pipelines' parse kernels hand their per-block
+    /// partition buffers back: real CUDA kernels write them to device
+    /// global memory, which the simulator represents as the returned
+    /// values. The *cost* of those writes must still be tallied by the
+    /// kernel body.
+    pub fn launch_map<R, F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> (KernelReport, Vec<R>)
+    where
+        R: Send,
+        F: Fn(&mut BlockCtx) -> R + Sync,
+    {
+        assert!(cfg.grid_blocks > 0 && cfg.block_threads > 0, "empty launch");
+        assert!(
+            cfg.block_threads <= self.config().max_threads_per_block,
+            "block of {} exceeds device limit {}",
+            cfg.block_threads,
+            self.config().max_threads_per_block
+        );
+        let results: Vec<(WorkTally, R)> = (0..cfg.grid_blocks)
+            .into_par_iter()
+            .map(|block| {
+                let mut ctx = BlockCtx {
+                    block,
+                    cfg,
+                    tally: WorkTally::default(),
+                };
+                let out = kernel(&mut ctx);
+                (ctx.tally, out)
+            })
+            .collect();
+        let mut tally = WorkTally::default();
+        let mut outputs = Vec::with_capacity(results.len());
+        for (t, out) in results {
+            tally = tally.merge(&t);
+            outputs.push(out);
+        }
+        let occupancy = occupancy::achieved_occupancy(self.config(), cfg);
+        let (time, breakdown) = cost::kernel_time(self.config(), &tally, occupancy);
+        (
+            KernelReport {
+                name: name.to_string(),
+                cfg,
+                tally,
+                occupancy,
+                time,
+                breakdown,
+            },
+            outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_up() {
+        let c = LaunchConfig::cover(1000, 256);
+        assert_eq!(c.grid_blocks, 4);
+        assert_eq!(c.total_threads(), 1024);
+        assert_eq!(LaunchConfig::cover(0, 128).grid_blocks, 1);
+    }
+
+    #[test]
+    fn thread_coordinates() {
+        let t = ThreadCtx {
+            block: 3,
+            thread: 70,
+            block_dim: 256,
+            grid_dim: 8,
+        };
+        assert_eq!(t.global_id(), 3 * 256 + 70);
+        assert_eq!(t.warp(), 2);
+        assert_eq!(t.lane(), 6);
+    }
+
+    #[test]
+    fn launch_runs_every_thread_exactly_once() {
+        let d = Device::v100();
+        let cfg = LaunchConfig {
+            grid_blocks: 7,
+            block_threads: 64,
+        };
+        let hits = d.alloc_atomic(cfg.total_threads()).unwrap();
+        d.launch("touch", cfg, |b| {
+            for t in b.threads() {
+                hits.fetch_add(t.global_id(), 1);
+            }
+        });
+        assert!(hits.snapshot().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn tallies_merge_across_blocks() {
+        let d = Device::v100();
+        let cfg = LaunchConfig {
+            grid_blocks: 10,
+            block_threads: 32,
+        };
+        let r = d.launch("tally", cfg, |b| {
+            for _t in b.threads() {
+                b.instr(3);
+                b.gmem_coalesced(8);
+                b.atomic(1, 0);
+            }
+            b.divergent(5);
+        });
+        let threads = cfg.total_threads() as u64;
+        assert_eq!(r.tally.instructions, threads * 3 + 10 * 5);
+        assert_eq!(r.tally.gmem_coalesced_bytes, threads * 8);
+        assert_eq!(r.tally.atomics, threads);
+        assert_eq!(r.tally.divergent_instructions, 50);
+        assert!(r.time > SimTime::ZERO);
+    }
+
+    #[test]
+    fn concurrent_blocks_share_atomics_correctly() {
+        let d = Device::v100();
+        let counter = d.alloc_atomic(1).unwrap();
+        let cfg = LaunchConfig {
+            grid_blocks: 64,
+            block_threads: 128,
+        };
+        d.launch("count", cfg, |b| {
+            for _t in b.threads() {
+                counter.fetch_add(0, 1);
+            }
+        });
+        assert_eq!(counter.load(0), cfg.total_threads() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let d = Device::v100();
+        d.launch(
+            "bad",
+            LaunchConfig {
+                grid_blocks: 1,
+                block_threads: 2048,
+            },
+            |_b| {},
+        );
+    }
+
+    #[test]
+    fn launch_map_returns_block_outputs_in_order() {
+        let d = Device::v100();
+        let cfg = LaunchConfig {
+            grid_blocks: 9,
+            block_threads: 32,
+        };
+        let (r, outs) = d.launch_map("ids", cfg, |b| {
+            b.instr(1);
+            b.block * 2
+        });
+        assert_eq!(outs, (0..9).map(|b| b * 2).collect::<Vec<_>>());
+        assert_eq!(r.tally.instructions, 9);
+    }
+
+    #[test]
+    fn more_work_takes_more_simulated_time() {
+        let d = Device::v100();
+        let cfg = LaunchConfig {
+            grid_blocks: 80,
+            block_threads: 256,
+        };
+        let small = d.launch("small", cfg, |b| {
+            for _t in b.threads() {
+                b.instr(10);
+            }
+        });
+        let big = d.launch("big", cfg, |b| {
+            for _t in b.threads() {
+                b.instr(10_000);
+            }
+        });
+        assert!(big.time > small.time);
+    }
+}

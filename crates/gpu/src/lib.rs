@@ -1,0 +1,35 @@
+//! A SIMT GPU execution simulator.
+//!
+//! The paper's kernels (§III-B) run on NVIDIA V100s; this crate provides the
+//! software stand-in (see DESIGN.md §2 for the substitution rationale).
+//! It has two halves that are deliberately kept separate:
+//!
+//! * **Functional execution** — kernels are Rust closures launched over a
+//!   `(grid, block, thread)` coordinate space ([`launch`]). Blocks execute
+//!   in parallel on a rayon pool; device memory is real memory
+//!   ([`memory::DeviceBuffer`], [`memory::AtomicBuffer`]), so every result a
+//!   kernel produces is a real, bit-exact computation.
+//! * **Analytic timing** — kernels tally the work they do (instructions,
+//!   global-memory traffic with a coalescing classification, atomics); the
+//!   cost model ([`cost`]) converts the tally plus the device parameters
+//!   ([`config::DeviceConfig`], V100 preset) and the achieved occupancy
+//!   ([`occupancy`]) into a *simulated* kernel duration. Host↔device
+//!   transfer costs are modelled in [`transfer`].
+//!
+//! Nothing in this crate knows about k-mers; it is a generic substrate.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod launch;
+pub mod memory;
+pub mod occupancy;
+pub mod stream;
+pub mod transfer;
+
+pub use config::DeviceConfig;
+pub use launch::{BlockCtx, KernelReport, LaunchConfig, ThreadCtx, WorkTally};
+pub use memory::{AtomicBuffer, AtomicBuffer32, Device, DeviceBuffer, OomError};
+pub use stream::Stream;
+pub use transfer::{Link, TransferDirection};

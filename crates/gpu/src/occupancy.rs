@@ -1,0 +1,111 @@
+//! Occupancy: how many warps a launch keeps resident per SM.
+//!
+//! Occupancy governs how well the device hides memory latency; the cost
+//! model scales effective throughput by an occupancy-derived efficiency.
+//! The calculator implements the standard CUDA rules restricted to the
+//! limits the simulator models (threads/SM, blocks/SM); register and
+//! shared-memory pressure are out of scope.
+
+use crate::config::DeviceConfig;
+use crate::launch::LaunchConfig;
+
+/// Resident blocks per SM for a given block size.
+pub fn blocks_per_sm(config: &DeviceConfig, block_threads: u32) -> u32 {
+    debug_assert!(block_threads > 0 && block_threads <= config.max_threads_per_block);
+    let by_threads = config.max_threads_per_sm / block_threads;
+    by_threads.min(config.max_blocks_per_sm).max(1)
+}
+
+/// Theoretical occupancy of a block size: resident warps / max warps,
+/// in (0, 1].
+pub fn theoretical_occupancy(config: &DeviceConfig, block_threads: u32) -> f64 {
+    let warps_per_block = block_threads.div_ceil(config.warp_size);
+    let resident = blocks_per_sm(config, block_threads) * warps_per_block;
+    (resident.min(config.max_warps_per_sm()) as f64) / config.max_warps_per_sm() as f64
+}
+
+/// Achieved occupancy of a launch: theoretical occupancy further limited by
+/// a grid too small to put work on every SM (the "tail" effect on tiny
+/// grids). An SM with at least one resident block still hides latency
+/// reasonably well for streaming kernels, so the fill penalty uses the SM
+/// count — not the total resident-block capacity — as its denominator.
+pub fn achieved_occupancy(config: &DeviceConfig, cfg: LaunchConfig) -> f64 {
+    let theo = theoretical_occupancy(config, cfg.block_threads);
+    let fill = (cfg.grid_blocks as f64 / config.num_sms as f64).min(1.0);
+    theo * fill.max(1.0 / config.num_sms as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_blocks_reach_full_occupancy() {
+        let c = DeviceConfig::v100();
+        // 1024-thread blocks: 2 blocks/SM × 32 warps = 64 warps = 100%.
+        assert_eq!(blocks_per_sm(&c, 1024), 2);
+        assert!((theoretical_occupancy(&c, 1024) - 1.0).abs() < 1e-12);
+        // 256-thread blocks: 8 blocks × 8 warps = 64 warps = 100%.
+        assert!((theoretical_occupancy(&c, 256) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_blocks_limited_by_block_slots() {
+        let c = DeviceConfig::v100();
+        // 32-thread blocks: block-slot limit (32) × 1 warp = 32 of 64 warps.
+        assert_eq!(blocks_per_sm(&c, 32), 32);
+        assert!((theoretical_occupancy(&c, 32) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_grids_cannot_fill_the_device() {
+        let c = DeviceConfig::v100();
+        let small = achieved_occupancy(
+            &c,
+            LaunchConfig {
+                grid_blocks: 8,
+                block_threads: 256,
+            },
+        );
+        let big = achieved_occupancy(
+            &c,
+            LaunchConfig {
+                grid_blocks: 8000,
+                block_threads: 256,
+            },
+        );
+        assert!(small < big);
+        assert!((big - 1.0).abs() < 1e-12);
+        // 8 of 80 SMs busy.
+        assert!((small - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_block_per_sm_reaches_full_fill() {
+        let c = DeviceConfig::v100();
+        let o = achieved_occupancy(
+            &c,
+            LaunchConfig {
+                grid_blocks: 80,
+                block_threads: 256,
+            },
+        );
+        assert!((o - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn achieved_caps_at_theoretical() {
+        let c = DeviceConfig::v100();
+        for bt in [32u32, 64, 128, 256, 512, 1024] {
+            let theo = theoretical_occupancy(&c, bt);
+            let ach = achieved_occupancy(
+                &c,
+                LaunchConfig {
+                    grid_blocks: 1_000_000,
+                    block_threads: bt,
+                },
+            );
+            assert!(ach <= theo + 1e-12, "bt {bt}");
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! MurmurHash3 and partition-hashing utilities.
+//!
+//! The paper's pipelines route every k-mer (or supermer minimizer) to its
+//! owner rank with MurmurHash3 (Algorithm 1, line 5). This crate implements
+//! MurmurHash3 from scratch — both the 32-bit x86 variant and the 128-bit
+//! x64 variant — verified against the reference test vectors of Appleby's
+//! SMHasher, plus the rank-assignment helpers built on top.
+
+#![warn(missing_docs)]
+
+pub mod murmur3;
+pub mod partition;
+
+pub use murmur3::{fmix32, fmix64, murmur3_x64_128, murmur3_x86_32, Murmur3x64};
+pub use partition::{owner_rank, owner_rank_mult_shift};

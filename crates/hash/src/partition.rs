@@ -1,0 +1,94 @@
+//! Mapping hashes to owner ranks.
+//!
+//! Algorithm 1 of the paper computes `P = HASH(kmer, nProc)`: the destination
+//! processor for a k-mer is a function of its hash and the communicator
+//! size. Two reduction schemes are provided:
+//!
+//! * [`owner_rank`] — plain modulo, as in the paper's pseudo-code.
+//! * [`owner_rank_mult_shift`] — Lemire's multiply-shift reduction, which
+//!   avoids the slight bias of modulo for non-power-of-two rank counts and
+//!   is faster on most hardware. The pipelines default to this.
+//!
+//! Both are deterministic functions of `(hash, nranks)`, which is the only
+//! property correctness relies on: every instance of a k-mer, wherever it is
+//! parsed, must map to the same owner.
+
+/// Owner rank by modulo reduction (`hash % nranks`), the textbook scheme.
+#[inline]
+pub fn owner_rank(hash: u64, nranks: usize) -> usize {
+    debug_assert!(nranks > 0);
+    (hash % nranks as u64) as usize
+}
+
+/// Owner rank by multiply-shift reduction: maps `hash` uniformly onto
+/// `[0, nranks)` using the high bits instead of the low bits.
+#[inline]
+pub fn owner_rank_mult_shift(hash: u64, nranks: usize) -> usize {
+    debug_assert!(nranks > 0);
+    ((hash as u128 * nranks as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::murmur3::Murmur3x64;
+
+    #[test]
+    fn always_in_range() {
+        for nranks in [1usize, 2, 3, 6, 42, 96, 384, 2688] {
+            for h in [0u64, 1, u64::MAX, 0x8000_0000_0000_0000, 12345] {
+                assert!(owner_rank(h, nranks) < nranks);
+                assert!(owner_rank_mult_shift(h, nranks) < nranks);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_maps_everything_to_zero() {
+        for h in 0..100u64 {
+            assert_eq!(owner_rank(h, 1), 0);
+            assert_eq!(owner_rank_mult_shift(h, 1), 0);
+        }
+    }
+
+    #[test]
+    fn mult_shift_distributes_murmur_uniformly() {
+        // Hash sequential k-mer-like words; the buckets should be near-even.
+        let h = Murmur3x64::new(0);
+        let nranks = 96;
+        let mut buckets = vec![0u32; nranks];
+        let n = 96_000u64;
+        for w in 0..n {
+            buckets[owner_rank_mult_shift(h.hash_u64(w), nranks)] += 1;
+        }
+        let expect = n as f64 / nranks as f64;
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!(
+                (b as f64 - expect).abs() < expect * 0.25,
+                "bucket {i} has {b}, expect ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn modulo_distributes_murmur_uniformly() {
+        let h = Murmur3x64::new(0);
+        let nranks = 42;
+        let mut buckets = vec![0u32; nranks];
+        let n = 84_000u64;
+        for w in 0..n {
+            buckets[owner_rank(h.hash_u64(w), nranks)] += 1;
+        }
+        let expect = n as f64 / nranks as f64;
+        for &b in &buckets {
+            assert!((b as f64 - expect).abs() < expect * 0.25);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let h = Murmur3x64::new(99);
+        let v = h.hash_u64(0xAC61_u64 + 1); // arbitrary word
+        assert_eq!(owner_rank_mult_shift(v, 384), owner_rank_mult_shift(v, 384));
+    }
+}

@@ -1,0 +1,341 @@
+//! The BSP (bulk-synchronous parallel) engine.
+//!
+//! The paper's pipelines are bulk-synchronous MPI (§VI): every rank
+//! computes, then everyone exchanges, then everyone computes again. This
+//! engine exploits that structure to simulate thousands of ranks on one
+//! host: a *superstep* runs every rank's compute task (in parallel on the
+//! rayon pool), and collectives are performed centrally with the cost model
+//! advancing each rank's simulated clock.
+//!
+//! Clock semantics: compute advances each rank's clock independently; a
+//! collective first synchronizes (no rank completes an Alltoallv before the
+//! slowest participant has contributed) and then charges each rank its
+//! modelled collective time.
+
+use crate::cost::Network;
+use crate::stats::CommStats;
+use dedukt_sim::{SimClock, SimTime, TraceEvent};
+use rayon::prelude::*;
+
+/// Durations of one superstep, aggregated over ranks.
+///
+/// Per-module breakdowns (the paper's Figs. 3/7) report *typical* rank
+/// time — the mean — because a bar chart of module times cannot include
+/// straggler waits (the paper's count bar grows only 23-27% under a
+/// 2.37× load imbalance, so theirs doesn't either). The makespan (max)
+/// is what end-to-end latency pays and is tracked by the rank clocks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepTimes {
+    /// Mean per-rank duration.
+    pub mean: SimTime,
+    /// Slowest rank's duration.
+    pub max: SimTime,
+}
+
+impl StepTimes {
+    /// Aggregates a per-rank duration list.
+    pub fn from_times(times: &[SimTime]) -> StepTimes {
+        if times.is_empty() {
+            return StepTimes::default();
+        }
+        let total: SimTime = times.iter().copied().sum();
+        StepTimes {
+            mean: total / times.len() as f64,
+            max: times.iter().copied().fold(SimTime::ZERO, SimTime::max),
+        }
+    }
+}
+
+/// Result of one simulated Alltoallv.
+#[derive(Debug)]
+pub struct ExchangeOutcome<T> {
+    /// `recv[dst][src]` — the payload rank `src` sent to rank `dst`.
+    pub recv: Vec<Vec<Vec<T>>>,
+    /// Per-rank wire time for this collective, measured from the
+    /// synchronized start (straggler waits are reflected in the clocks,
+    /// not here — phases are reported barrier-to-barrier, as the paper's
+    /// breakdowns are).
+    pub elapsed: Vec<SimTime>,
+    /// Aggregated wire times.
+    pub times: StepTimes,
+}
+
+/// A bulk-synchronous world of simulated ranks.
+#[derive(Debug)]
+pub struct BspWorld {
+    net: Network,
+    clocks: Vec<SimClock>,
+    stats: CommStats,
+    trace: Vec<TraceEvent>,
+    step_counter: usize,
+}
+
+impl BspWorld {
+    /// Creates a world over `net`'s topology with all clocks at zero.
+    pub fn new(net: Network) -> BspWorld {
+        let n = net.topology.nranks();
+        BspWorld {
+            net,
+            clocks: vec![SimClock::new(); n],
+            stats: CommStats::new(n),
+            trace: Vec::new(),
+            step_counter: 0,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// The network (topology + parameters).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Accumulated communication statistics.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Per-rank simulated clocks.
+    pub fn clocks(&self) -> &[SimClock] {
+        &self.clocks
+    }
+
+    /// The latest rank clock — the simulated makespan so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.clocks
+            .iter()
+            .map(|c| c.now())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Runs one compute superstep: `f(rank)` returns the rank's output and
+    /// its simulated compute duration. Returns all outputs plus the
+    /// aggregated per-rank durations.
+    pub fn compute_step<T, F>(&mut self, f: F) -> (Vec<T>, StepTimes)
+    where
+        T: Send,
+        F: Fn(usize) -> (T, SimTime) + Sync,
+    {
+        self.step_counter += 1;
+        let name = format!("compute#{}", self.step_counter);
+        self.compute_step_named(&name, f)
+    }
+
+    /// Like [`BspWorld::compute_step`], with a phase name for the run
+    /// trace (see [`BspWorld::take_trace`]).
+    pub fn compute_step_named<T, F>(&mut self, name: &str, f: F) -> (Vec<T>, StepTimes)
+    where
+        T: Send,
+        F: Fn(usize) -> (T, SimTime) + Sync,
+    {
+        let results: Vec<(T, SimTime)> = (0..self.nranks()).into_par_iter().map(&f).collect();
+        let mut outputs = Vec::with_capacity(results.len());
+        let mut times = Vec::with_capacity(results.len());
+        for (rank, (out, dt)) in results.into_iter().enumerate() {
+            if !dt.is_zero() {
+                self.trace.push(TraceEvent {
+                    name: name.to_string(),
+                    rank,
+                    start: self.clocks[rank].now(),
+                    duration: dt,
+                });
+            }
+            self.clocks[rank].advance(dt);
+            times.push(dt);
+            outputs.push(out);
+        }
+        (outputs, StepTimes::from_times(&times))
+    }
+
+    /// Drains the recorded trace (compute steps and collectives, one span
+    /// per rank per step), e.g. for
+    /// [`dedukt_sim::trace::write_chrome_trace`].
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Performs an Alltoallv: `send[src][dst]` is the payload `src` sends
+    /// to `dst`. Payloads move (no copies); the cost model charges each
+    /// rank its simulated exchange time.
+    pub fn alltoallv<T: Send>(&mut self, send: Vec<Vec<Vec<T>>>) -> ExchangeOutcome<T> {
+        let p = self.nranks();
+        assert_eq!(send.len(), p, "need one send vector per rank");
+        for row in &send {
+            assert_eq!(row.len(), p, "each rank must address every rank");
+        }
+        let elem = std::mem::size_of::<T>() as u64;
+        let send_bytes: Vec<Vec<u64>> = send
+            .iter()
+            .map(|row| row.iter().map(|v| v.len() as u64 * elem).collect())
+            .collect();
+        let topo = self.net.topology;
+        self.stats
+            .record_alltoallv(&send_bytes, |r| topo.node_of(r));
+        let wire_times = self.net.alltoallv_times(&send_bytes);
+
+        // Synchronize: nobody finishes before the slowest rank has arrived.
+        let start = self.elapsed();
+        let mut elapsed = Vec::with_capacity(p);
+        for (rank, wt) in wire_times.iter().enumerate() {
+            self.trace.push(TraceEvent {
+                name: "alltoallv".to_string(),
+                rank,
+                start,
+                duration: *wt,
+            });
+            self.clocks[rank].sync_to(start + *wt);
+            elapsed.push(*wt);
+        }
+        let times = StepTimes::from_times(&elapsed);
+
+        // Transpose payloads: recv[dst][src] = send[src][dst].
+        let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        for row in send {
+            for (dst, payload) in row.into_iter().enumerate() {
+                recv[dst].push(payload);
+            }
+        }
+
+        ExchangeOutcome {
+            recv,
+            elapsed,
+            times,
+        }
+    }
+
+    /// Synchronizes all ranks (barrier): clocks align to the slowest rank
+    /// plus the modelled barrier latency.
+    pub fn barrier(&mut self) -> SimTime {
+        let t = self.elapsed() + self.net.barrier_time();
+        for c in &mut self.clocks {
+            c.sync_to(t);
+        }
+        self.net.barrier_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Network;
+
+    fn world(nodes: usize) -> BspWorld {
+        BspWorld::new(Network::summit_gpu(nodes))
+    }
+
+    #[test]
+    fn compute_step_runs_every_rank() {
+        let mut w = world(2); // 12 ranks
+        let (outs, times) = w.compute_step(|r| (r * 10, SimTime::from_millis(r as f64)));
+        assert_eq!(outs, (0..12).map(|r| r * 10).collect::<Vec<_>>());
+        assert_eq!(times.max, SimTime::from_millis(11.0));
+        assert!((times.mean.as_millis() - 5.5).abs() < 1e-9);
+        assert_eq!(w.clocks()[3].now(), SimTime::from_millis(3.0));
+        assert_eq!(w.elapsed(), SimTime::from_millis(11.0));
+    }
+
+    #[test]
+    fn alltoallv_transposes_payloads() {
+        let mut w = world(1); // 6 ranks
+        let p = w.nranks();
+        // send[src][dst] = vec![src*100 + dst]
+        let send: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|src| (0..p).map(|dst| vec![(src * 100 + dst) as u64]).collect())
+            .collect();
+        let out = w.alltoallv(send);
+        for dst in 0..p {
+            for src in 0..p {
+                assert_eq!(out.recv[dst][src], vec![(src * 100 + dst) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_synchronizes_clocks() {
+        let mut w = world(2);
+        // Rank 0 is slow in compute; everyone else idles.
+        w.compute_step(|r| {
+            (
+                (),
+                if r == 0 {
+                    SimTime::from_secs(1.0)
+                } else {
+                    SimTime::ZERO
+                },
+            )
+        });
+        let p = w.nranks();
+        let send: Vec<Vec<Vec<u8>>> = vec![vec![vec![1u8; 100]; p]; p];
+        let out = w.alltoallv(send);
+        // Every rank's clock is now >= 1 s (waited for rank 0).
+        for c in w.clocks() {
+            assert!(c.now().as_secs() >= 1.0);
+        }
+        // Elapsed is pure wire time (uniform matrix → identical per rank);
+        // the straggler wait shows up in the clocks instead.
+        assert_eq!(out.elapsed[0], out.elapsed[1]);
+        assert_eq!(
+            out.times.max,
+            out.elapsed
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max)
+        );
+        assert!(out.times.mean <= out.times.max);
+    }
+
+    #[test]
+    fn stats_accumulate_across_exchanges() {
+        let mut w = world(1);
+        let p = w.nranks();
+        let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![7u64; 3]; p]; p];
+        w.alltoallv(send.clone());
+        w.alltoallv(send);
+        assert_eq!(w.stats().collectives, 2);
+        assert_eq!(w.stats().total_bytes, 2 * (p * p * 3 * 8) as u64);
+        assert_eq!(w.stats().off_node_bytes, 0); // single node
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut w = world(1);
+        w.compute_step(|r| ((), SimTime::from_millis(r as f64)));
+        w.barrier();
+        let t0 = w.clocks()[0].now();
+        assert!(w.clocks().iter().all(|c| c.now() == t0));
+        assert!(t0 >= SimTime::from_millis(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one send vector per rank")]
+    fn wrong_send_shape_panics() {
+        let mut w = world(1);
+        w.alltoallv(vec![vec![vec![0u8]]]);
+    }
+
+    #[test]
+    fn trace_records_steps_and_collectives() {
+        let mut w = world(1);
+        let p = w.nranks();
+        w.compute_step_named("parse", |r| ((), SimTime::from_millis(1.0 + r as f64)));
+        w.alltoallv(vec![vec![vec![1u64; 10]; p]; p]);
+        let trace = w.take_trace();
+        // One parse span per rank plus one alltoallv span per rank.
+        assert_eq!(trace.len(), 2 * p);
+        assert_eq!(trace.iter().filter(|e| e.name == "parse").count(), p);
+        assert_eq!(trace.iter().filter(|e| e.name == "alltoallv").count(), p);
+        // Parse spans start at 0; the collective starts after the slowest.
+        for e in &trace {
+            if e.name == "parse" {
+                assert!(e.start.is_zero());
+            } else {
+                assert_eq!(e.start, SimTime::from_millis(6.0)); // rank 5 parse
+            }
+        }
+        // Draining empties the trace.
+        assert!(w.take_trace().is_empty());
+    }
+}

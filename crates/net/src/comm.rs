@@ -1,0 +1,40 @@
+//! The rank-side communicator interface.
+//!
+//! Rank code written against [`Communicator`] runs unchanged on the
+//! threaded engine (real channels) — and mirrors what the same code looks
+//! like against real MPI. The BSP engine does not implement this trait; it
+//! inverts control (the driver owns the collective), which is what lets it
+//! scale to thousands of ranks.
+
+/// MPI-flavoured collectives available to rank code.
+pub trait Communicator {
+    /// This rank's index in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+
+    /// Personalized all-to-all of `u64` payloads: `send[dst]` goes to
+    /// `dst`; returns `recv[src]` from every `src`. All ranks must call
+    /// collectively. (MPI_Alltoallv over 64-bit words — the k-mer
+    /// exchange of Algorithm 1.)
+    fn alltoallv_u64(&self, send: Vec<Vec<u64>>) -> Vec<Vec<u64>>;
+
+    /// Personalized all-to-all of raw byte payloads (the supermer-length
+    /// exchange of Algorithm 2).
+    fn alltoallv_bytes(&self, send: Vec<Vec<u8>>) -> Vec<Vec<u8>>;
+
+    /// Global sum of one `u64`, returned on every rank.
+    fn allreduce_sum(&self, value: u64) -> u64;
+
+    /// Gathers one `u64` per rank at `root`; returns `Some(values)` (in
+    /// rank order) on the root, `None` elsewhere.
+    fn gather(&self, value: u64, root: usize) -> Option<Vec<u64>>;
+
+    /// Broadcasts `value` from `root` to every rank; returns the root's
+    /// value everywhere.
+    fn broadcast(&self, value: u64, root: usize) -> u64;
+
+    /// Blocks until every rank has arrived.
+    fn barrier(&self);
+}

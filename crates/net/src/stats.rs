@@ -1,0 +1,117 @@
+//! Communication statistics: the exact byte and message counts behind the
+//! paper's Table II.
+
+use dedukt_sim::{DataVolume, DistStats};
+use serde::{Deserialize, Serialize};
+
+/// Accumulated statistics over one or more collectives.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Number of collective operations performed.
+    pub collectives: u64,
+    /// Total payload bytes moved (sum over all rank pairs, both on- and
+    /// off-node).
+    pub total_bytes: u64,
+    /// Payload bytes that crossed node boundaries.
+    pub off_node_bytes: u64,
+    /// Total messages (non-empty rank→rank payloads).
+    pub messages: u64,
+    /// Per-rank bytes *sent*, accumulated (for imbalance reporting).
+    pub sent_by_rank: Vec<u64>,
+}
+
+impl CommStats {
+    /// Empty statistics for `nranks` ranks.
+    pub fn new(nranks: usize) -> CommStats {
+        CommStats {
+            sent_by_rank: vec![0; nranks],
+            ..Default::default()
+        }
+    }
+
+    /// Records one Alltoallv given its send-byte matrix and a node
+    /// assignment function.
+    pub fn record_alltoallv(&mut self, send_bytes: &[Vec<u64>], node_of: impl Fn(usize) -> usize) {
+        self.collectives += 1;
+        for (i, row) in send_bytes.iter().enumerate() {
+            for (j, &b) in row.iter().enumerate() {
+                self.total_bytes += b;
+                if node_of(i) != node_of(j) {
+                    self.off_node_bytes += b;
+                }
+                if b > 0 {
+                    self.messages += 1;
+                }
+                self.sent_by_rank[i] += b;
+            }
+        }
+    }
+
+    /// Total volume as a [`DataVolume`].
+    pub fn total_volume(&self) -> DataVolume {
+        DataVolume::from_bytes(self.total_bytes)
+    }
+
+    /// Distribution of per-rank sent bytes.
+    pub fn send_distribution(&self) -> Option<DistStats> {
+        DistStats::from_loads(&self.sent_by_rank)
+    }
+
+    /// Merges another set of statistics (e.g. from a second phase).
+    pub fn merge(&mut self, other: &CommStats) {
+        assert_eq!(self.sent_by_rank.len(), other.sent_by_rank.len());
+        self.collectives += other.collectives;
+        self.total_bytes += other.total_bytes;
+        self.off_node_bytes += other.off_node_bytes;
+        self.messages += other.messages;
+        for (a, b) in self.sent_by_rank.iter_mut().zip(&other.sent_by_rank) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_one_alltoallv() {
+        let mut s = CommStats::new(4);
+        // 2 nodes × 2 ranks: node_of = rank / 2.
+        let m = vec![
+            vec![0, 10, 20, 30],
+            vec![1, 0, 2, 3],
+            vec![0, 0, 0, 5],
+            vec![7, 0, 0, 0],
+        ];
+        s.record_alltoallv(&m, |r| r / 2);
+        assert_eq!(s.collectives, 1);
+        assert_eq!(s.total_bytes, 78);
+        // Off-node: 0→2 (20), 0→3 (30), 1→2 (2), 1→3 (3), 3→0 (7) = 62.
+        assert_eq!(s.off_node_bytes, 62);
+        assert_eq!(s.messages, 8);
+        assert_eq!(s.sent_by_rank, vec![60, 6, 5, 7]);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::new(2);
+        a.record_alltoallv(&vec![vec![0, 1], vec![2, 0]], |_| 0);
+        let mut b = CommStats::new(2);
+        b.record_alltoallv(&vec![vec![0, 5], vec![5, 0]], |r| r);
+        a.merge(&b);
+        assert_eq!(a.collectives, 2);
+        assert_eq!(a.total_bytes, 13);
+        assert_eq!(a.off_node_bytes, 10);
+        assert_eq!(a.sent_by_rank, vec![6, 7]);
+    }
+
+    #[test]
+    fn send_distribution_reports_imbalance() {
+        let mut s = CommStats::new(2);
+        s.record_alltoallv(&vec![vec![0, 30], vec![10, 0]], |_| 0);
+        let d = s.send_distribution().unwrap();
+        assert_eq!(d.max, 30);
+        assert!((d.imbalance() - 1.5).abs() < 1e-12);
+    }
+}

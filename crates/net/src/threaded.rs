@@ -1,0 +1,292 @@
+//! The threaded engine: ranks as OS threads, collectives over channels.
+//!
+//! Every pair of ranks gets a dedicated FIFO channel; because all ranks
+//! execute the same sequence of collectives (the MPI contract), matching
+//! sends and receives pair up deterministically. Used for moderate rank
+//! counts (≤ a few hundred) and for cross-validating the BSP engine.
+
+use crate::comm::Communicator;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// Payload carried between ranks.
+enum Payload {
+    Bytes(Vec<u8>),
+    Words(Vec<u64>),
+    Scalar(u64),
+}
+
+/// A per-rank handle implementing [`Communicator`] over channels.
+pub struct ThreadedComm {
+    rank: usize,
+    size: usize,
+    /// `to[dst]` sends to rank `dst`.
+    to: Vec<Sender<Payload>>,
+    /// `from[src]` receives from rank `src`.
+    from: Vec<Receiver<Payload>>,
+    barrier: Arc<Barrier>,
+}
+
+impl ThreadedComm {
+    fn send_to(&self, dst: usize, p: Payload) {
+        self.to[dst].send(p).expect("peer rank hung up");
+    }
+
+    fn recv_from(&self, src: usize) -> Payload {
+        self.from[src].recv().expect("peer rank hung up")
+    }
+}
+
+impl Communicator for ThreadedComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn alltoallv_u64(&self, send: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        assert_eq!(send.len(), self.size, "send must address every rank");
+        for (dst, payload) in send.into_iter().enumerate() {
+            self.send_to(dst, Payload::Words(payload));
+        }
+        (0..self.size)
+            .map(|src| match self.recv_from(src) {
+                Payload::Words(w) => w,
+                _ => panic!("collective mismatch: expected u64 alltoallv"),
+            })
+            .collect()
+    }
+
+    fn alltoallv_bytes(&self, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
+        assert_eq!(send.len(), self.size, "send must address every rank");
+        for (dst, payload) in send.into_iter().enumerate() {
+            self.send_to(dst, Payload::Bytes(payload));
+        }
+        (0..self.size)
+            .map(|src| match self.recv_from(src) {
+                Payload::Bytes(b) => b,
+                _ => panic!("collective mismatch: expected byte alltoallv"),
+            })
+            .collect()
+    }
+
+    fn allreduce_sum(&self, value: u64) -> u64 {
+        // Reduce to rank 0, then broadcast.
+        if self.rank == 0 {
+            let mut acc = value;
+            for src in 1..self.size {
+                match self.recv_from(src) {
+                    Payload::Scalar(v) => acc += v,
+                    _ => panic!("collective mismatch: expected scalar"),
+                }
+            }
+            for dst in 1..self.size {
+                self.send_to(dst, Payload::Scalar(acc));
+            }
+            acc
+        } else {
+            self.send_to(0, Payload::Scalar(value));
+            match self.recv_from(0) {
+                Payload::Scalar(v) => v,
+                _ => panic!("collective mismatch: expected scalar"),
+            }
+        }
+    }
+
+    fn gather(&self, value: u64, root: usize) -> Option<Vec<u64>> {
+        assert!(root < self.size);
+        if self.rank == root {
+            let mut out = vec![0u64; self.size];
+            out[root] = value;
+            for src in (0..self.size).filter(|&s| s != root) {
+                match self.recv_from(src) {
+                    Payload::Scalar(v) => out[src] = v,
+                    _ => panic!("collective mismatch: expected scalar gather"),
+                }
+            }
+            Some(out)
+        } else {
+            self.send_to(root, Payload::Scalar(value));
+            None
+        }
+    }
+
+    fn broadcast(&self, value: u64, root: usize) -> u64 {
+        assert!(root < self.size);
+        if self.rank == root {
+            for dst in (0..self.size).filter(|&d| d != root) {
+                self.send_to(dst, Payload::Scalar(value));
+            }
+            value
+        } else {
+            match self.recv_from(root) {
+                Payload::Scalar(v) => v,
+                _ => panic!("collective mismatch: expected scalar broadcast"),
+            }
+        }
+    }
+
+    fn barrier(&self) {
+        self.barrier.wait();
+    }
+}
+
+/// Launches `nranks` rank threads running `f` and returns their results in
+/// rank order.
+pub struct ThreadedWorld;
+
+impl ThreadedWorld {
+    /// Runs the world to completion.
+    pub fn run<T, F>(nranks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ThreadedComm) -> T + Sync,
+    {
+        assert!(nranks > 0);
+        // channels[src][dst]
+        let mut senders: Vec<Vec<Sender<Payload>>> = Vec::with_capacity(nranks);
+        let mut receivers: Vec<Vec<Option<Receiver<Payload>>>> =
+            (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+        for src in 0..nranks {
+            let mut row = Vec::with_capacity(nranks);
+            for (dst, rx_row) in receivers.iter_mut().enumerate() {
+                let (tx, rx) = unbounded();
+                row.push(tx);
+                let _ = dst;
+                rx_row[src] = Some(rx);
+            }
+            senders.push(row);
+        }
+        let barrier = Arc::new(Barrier::new(nranks));
+
+        let comms: Vec<ThreadedComm> = receivers
+            .into_iter()
+            .zip(senders)
+            .enumerate()
+            .map(|(rank, (from_opts, to_row))| ThreadedComm {
+                rank,
+                size: nranks,
+                to: to_row,
+                from: from_opts.into_iter().map(Option::unwrap).collect(),
+                barrier: Arc::clone(&barrier),
+            })
+            .collect();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|comm| scope.spawn(|| f(comm)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alltoallv_u64_transposes() {
+        let p = 5;
+        let results = ThreadedWorld::run(p, |comm| {
+            let send: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![(comm.rank() * 100 + dst) as u64])
+                .collect();
+            comm.alltoallv_u64(send)
+        });
+        for (dst, recv) in results.iter().enumerate() {
+            for (src, payload) in recv.iter().enumerate() {
+                assert_eq!(payload, &vec![(src * 100 + dst) as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_bytes_roundtrip() {
+        let p = 3;
+        let results = ThreadedWorld::run(p, |comm| {
+            let send: Vec<Vec<u8>> = (0..p)
+                .map(|dst| vec![comm.rank() as u8; dst + 1])
+                .collect();
+            comm.alltoallv_bytes(send)
+        });
+        for (dst, recv) in results.iter().enumerate() {
+            for (src, payload) in recv.iter().enumerate() {
+                assert_eq!(payload, &vec![src as u8; dst + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_everywhere() {
+        let p = 7;
+        let results = ThreadedWorld::run(p, |comm| comm.allreduce_sum(comm.rank() as u64 + 1));
+        let expect: u64 = (1..=p as u64).sum();
+        assert!(results.iter().all(|&v| v == expect));
+    }
+
+    #[test]
+    fn barrier_does_not_deadlock() {
+        let results = ThreadedWorld::run(4, |comm| {
+            comm.barrier();
+            comm.barrier();
+            comm.rank()
+        });
+        assert_eq!(results, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn consecutive_collectives_stay_matched() {
+        let p = 4;
+        let results = ThreadedWorld::run(p, |comm| {
+            let a = comm.allreduce_sum(1);
+            let send: Vec<Vec<u64>> = (0..p).map(|_| vec![comm.rank() as u64]).collect();
+            let b = comm.alltoallv_u64(send);
+            comm.barrier();
+            let c = comm.allreduce_sum(10);
+            (a, b, c)
+        });
+        for (a, b, c) in results {
+            assert_eq!(a, p as u64);
+            assert_eq!(b, (0..p as u64).map(|s| vec![s]).collect::<Vec<_>>());
+            assert_eq!(c, 10 * p as u64);
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let p = 5;
+        let results = ThreadedWorld::run(p, |comm| comm.gather(comm.rank() as u64 * 10, 2));
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(r.as_ref().unwrap(), &vec![0, 10, 20, 30, 40]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_roots_value() {
+        let p = 4;
+        let results = ThreadedWorld::run(p, |comm| {
+            let v = if comm.rank() == 1 { 99 } else { 0 };
+            comm.broadcast(v, 1)
+        });
+        assert!(results.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let r = ThreadedWorld::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            let recv = comm.alltoallv_u64(vec![vec![42]]);
+            (comm.allreduce_sum(5), recv)
+        });
+        assert_eq!(r[0].0, 5);
+        assert_eq!(r[0].1, vec![vec![42]]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Cluster topology: how ranks map onto nodes.
+//!
+//! The paper's experiments place 6 GPU ranks per Summit node (one per V100)
+//! or 42 CPU ranks per node (one per Power9 core), on up to 128 nodes
+//! (§V-A). The topology determines which messages stay on-node (NVLink /
+//! shared memory) and which cross the fat-tree (charged against the node's
+//! injection bandwidth).
+
+use serde::{Deserialize, Serialize};
+
+/// A flat nodes × ranks-per-node topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Ranks on each node.
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Creates a topology; both dimensions must be non-zero.
+    pub fn new(nodes: usize, ranks_per_node: usize) -> Topology {
+        assert!(nodes > 0 && ranks_per_node > 0, "empty topology");
+        Topology {
+            nodes,
+            ranks_per_node,
+        }
+    }
+
+    /// Summit GPU placement: 6 ranks per node, one per V100 (§V-A).
+    pub fn summit_gpu(nodes: usize) -> Topology {
+        Topology::new(nodes, 6)
+    }
+
+    /// Summit CPU-baseline placement: 42 ranks per node, one per Power9
+    /// core (§V-A).
+    pub fn summit_cpu(nodes: usize) -> Topology {
+        Topology::new(nodes, 42)
+    }
+
+    /// Total ranks.
+    #[inline]
+    pub fn nranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.nranks());
+        rank / self.ranks_per_node
+    }
+
+    /// True if two ranks share a node.
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterates the ranks of `node`.
+    pub fn ranks_of(&self, node: usize) -> std::ops::Range<usize> {
+        debug_assert!(node < self.nodes);
+        node * self.ranks_per_node..(node + 1) * self.ranks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_presets_match_paper() {
+        let g = Topology::summit_gpu(64);
+        assert_eq!(g.nranks(), 384); // the paper's "384 GPUs"
+        let c = Topology::summit_cpu(64);
+        assert_eq!(c.nranks(), 2688); // "2,688 cores"
+    }
+
+    #[test]
+    fn node_mapping() {
+        let t = Topology::new(4, 6);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(5), 0);
+        assert_eq!(t.node_of(6), 1);
+        assert_eq!(t.node_of(23), 3);
+        assert!(t.same_node(6, 11));
+        assert!(!t.same_node(5, 6));
+        assert_eq!(t.ranks_of(2), 12..18);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty topology")]
+    fn zero_nodes_rejected() {
+        Topology::new(0, 6);
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared simulation primitives used across the DEDUKT-RS workspace.
+//!
+//! The reproduction computes all *functional* results (k-mer counts, buckets,
+//! communication volumes) for real, but hardware timings are produced by
+//! analytic cost models. This crate holds the vocabulary types those models
+//! speak: [`SimTime`] for simulated durations, [`DataVolume`] for byte
+//! counts, [`Rate`] for throughputs, plus counters and distribution
+//! statistics ([`DistStats`]) used for load-imbalance reporting (Table III of
+//! the paper).
+
+#![warn(missing_docs)]
+
+pub mod rate;
+pub mod rng;
+pub mod stats;
+pub mod tally;
+pub mod time;
+pub mod trace;
+pub mod volume;
+
+pub use rate::Rate;
+pub use rng::SplitMix64;
+pub use stats::DistStats;
+pub use tally::Counter;
+pub use time::{SimClock, SimTime};
+pub use trace::TraceEvent;
+pub use volume::DataVolume;

@@ -1,0 +1,103 @@
+//! Simulation traces in Chrome trace-event format.
+//!
+//! Every BSP superstep and collective can be recorded as a
+//! [`TraceEvent`]; [`write_chrome_trace`] serialises a run to the JSON
+//! array format that `chrome://tracing`, Perfetto, and Speedscope all
+//! ingest — one lane per simulated rank, simulated microseconds on the
+//! x-axis. No JSON dependency: the format is simple enough to emit
+//! directly.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// One completed span on a simulated rank's timeline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Phase name (e.g. `parse`, `alltoallv`, `count`).
+    pub name: String,
+    /// Rank (drawn as the trace's thread id).
+    pub rank: usize,
+    /// Start on the simulated clock.
+    pub start: SimTime,
+    /// Span duration.
+    pub duration: SimTime,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes events as a Chrome trace-event JSON array (`ph: "X"` complete
+/// events; timestamps in microseconds, as the format requires).
+pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[TraceEvent]) -> io::Result<()> {
+    writeln!(w, "[")?;
+    for (i, e) in events.iter().enumerate() {
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        writeln!(
+            w,
+            "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}{comma}",
+            escape(&e.name),
+            e.rank,
+            e.start.as_micros(),
+            e.duration.as_micros(),
+        )?;
+    }
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, rank: usize, start_us: f64, dur_us: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            rank,
+            start: SimTime::from_micros(start_us),
+            duration: SimTime::from_micros(dur_us),
+        }
+    }
+
+    #[test]
+    fn emits_valid_chrome_json() {
+        let events = vec![ev("parse", 0, 0.0, 100.0), ev("alltoallv", 1, 100.0, 50.5)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"name\": \"parse\""));
+        assert!(text.contains("\"tid\": 1"));
+        assert!(text.contains("\"dur\": 50.500"));
+        // Exactly one separating comma for two events.
+        assert_eq!(text.matches("},").count(), 1);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[]).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().split_whitespace().collect::<String>(), "[]");
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        let events = vec![ev("we\"ird\\name\n", 0, 0.0, 1.0)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("we\\\"ird\\\\name\\u000a"));
+    }
+}

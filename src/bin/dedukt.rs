@@ -1,0 +1,385 @@
+//! `dedukt` — the command-line face of the reproduction.
+//!
+//! Subcommands:
+//!
+//! * `simulate <dataset> [--scale S] [--out FILE]` — generate a synthetic
+//!   Table-I dataset as FASTQ.
+//! * `count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K]
+//!   [--m M] [--canonical] [--out dump.tsv] [--spectrum spec.tsv]` — run a
+//!   distributed counter on a FASTQ file and export results.
+//! * `info` — print the simulated hardware presets.
+//!
+//! Examples:
+//!
+//! ```text
+//! dedukt simulate ecoli --scale tiny --out ecoli.fastq
+//! dedukt count ecoli.fastq --mode supermer --nodes 4 --out counts.tsv
+//! ```
+
+use dedukt::core::{dump, pipeline, Mode, RunConfig};
+use dedukt::dna::fastq::parse_fastq;
+use dedukt::dna::{Dataset, DatasetId, ScalePreset};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("count") => cmd_count(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("info") => cmd_info(),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage:\n  dedukt simulate <ecoli|paeruginosa|vvulnificus|abaumannii|celegans|hsapiens>\n\
+         \x20        [--scale tiny|bench|xF] [--seed N] [--out FILE]\n\
+         \x20 dedukt count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K] [--m M]\n\
+         \x20        [--canonical] [--gpu-direct] [--min-qual Q] [--out dump.tsv]\n\
+         \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
+         \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
+         \x20 dedukt info"
+    );
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let path_a = it.next().ok_or("compare needs two dump paths")?;
+    let path_b = it.next().ok_or("compare needs two dump paths")?;
+    let mut k = 17usize;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--k" => k = take_value(&mut it, "--k")?.parse().map_err(|_| "bad k")?,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let enc = dedukt::dna::Encoding::PaperRandom;
+    let load = |p: &str| -> Result<std::collections::HashMap<u64, u32>, String> {
+        let f = File::open(p).map_err(|e| format!("{p}: {e}"))?;
+        Ok(dump::read_dump(BufReader::new(f), enc)
+            .map_err(|e| format!("{p}: {e}"))?
+            .into_iter()
+            .collect())
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let mut only_a = 0u64;
+    let mut only_b = 0u64;
+    let mut differing = 0u64;
+    let mut shown = 0;
+    for (kmer, ca) in &a {
+        match b.get(kmer) {
+            None => only_a += 1,
+            Some(cb) if cb != ca => {
+                differing += 1;
+                if shown < 10 {
+                    println!(
+                        "  {} : {ca} vs {cb}",
+                        dedukt::dna::kmer::Kmer::from_word(*kmer, k).to_ascii(enc)
+                    );
+                    shown += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    for kmer in b.keys() {
+        if !a.contains_key(kmer) {
+            only_b += 1;
+        }
+    }
+    println!(
+        "{} k-mers in {path_a}, {} in {path_b}: {} only in A, {} only in B, {} counts differ",
+        a.len(),
+        b.len(),
+        only_a,
+        only_b,
+        differing
+    );
+    if only_a + only_b + differing == 0 {
+        println!("dumps are identical");
+        Ok(())
+    } else {
+        Err("dumps differ".into())
+    }
+}
+
+fn dataset_id(name: &str) -> Result<DatasetId, String> {
+    Ok(match name {
+        "ecoli" => DatasetId::EColi30x,
+        "paeruginosa" => DatasetId::PAeruginosa30x,
+        "vvulnificus" => DatasetId::VVulnificus30x,
+        "abaumannii" => DatasetId::ABaumannii30x,
+        "celegans" => DatasetId::CElegans40x,
+        "hsapiens" => DatasetId::HSapiens54x,
+        other => return Err(format!("unknown dataset {other:?}")),
+    })
+}
+
+fn take_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
+    it.next().map(String::as_str).ok_or(format!("{flag} needs a value"))
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let name = it.next().ok_or("simulate needs a dataset name")?;
+    let mut ds = Dataset::new(dataset_id(name)?, ScalePreset::Tiny);
+    let mut out_path: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = take_value(&mut it, "--scale")?;
+                ds = Dataset::new(ds.id, parse_scale(v)?);
+            }
+            "--seed" => ds.seed = take_value(&mut it, "--seed")?.parse().map_err(|_| "bad seed")?,
+            "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let reads = ds.generate();
+    eprintln!(
+        "{}: {} reads, {} bases",
+        ds.id.short_name(),
+        reads.len(),
+        reads.total_bases()
+    );
+    match out_path {
+        Some(p) => {
+            let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+            dedukt::dna::fastq::write_fastq(&mut w, &reads).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            eprintln!("wrote {p}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            dedukt::dna::fastq::write_fastq(&mut w, &reads).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_scale(v: &str) -> Result<ScalePreset, String> {
+    Ok(match v {
+        "tiny" => ScalePreset::Tiny,
+        "bench" => ScalePreset::Bench,
+        s if s.starts_with('x') => {
+            ScalePreset::Custom(s[1..].parse().map_err(|_| format!("bad scale {s:?}"))?)
+        }
+        other => return Err(format!("unknown scale {other:?}")),
+    })
+}
+
+fn cmd_count(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let path = it.next().ok_or("count needs a FASTQ path")?;
+    let mut rc = RunConfig::new(Mode::GpuSupermer, 1);
+    let mut out_path: Option<String> = None;
+    let mut spectrum_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut min_qual: Option<u8> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                rc.mode = match take_value(&mut it, "--mode")? {
+                    "cpu" => Mode::CpuBaseline,
+                    "gpu" => Mode::GpuKmer,
+                    "supermer" => Mode::GpuSupermer,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--nodes" => {
+                rc.nodes = take_value(&mut it, "--nodes")?.parse().map_err(|_| "bad node count")?;
+                if rc.nodes == 0 {
+                    return Err("--nodes must be positive".into());
+                }
+            }
+            "--k" => rc.counting.k = take_value(&mut it, "--k")?.parse().map_err(|_| "bad k")?,
+            "--m" => rc.counting.m = take_value(&mut it, "--m")?.parse().map_err(|_| "bad m")?,
+            "--canonical" => rc.counting.canonical = true,
+            "--gpu-direct" => rc.gpu_direct = true,
+            "--min-qual" => {
+                min_qual = Some(
+                    take_value(&mut it, "--min-qual")?
+                        .parse()
+                        .map_err(|_| "bad quality threshold")?,
+                )
+            }
+            "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
+            "--spectrum" => spectrum_path = Some(take_value(&mut it, "--spectrum")?.to_string()),
+            "--trace" => trace_path = Some(take_value(&mut it, "--trace")?.to_string()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    // Wide k (32..=63) routes to the u128 CPU pipelines.
+    if (32..=63).contains(&rc.counting.k) {
+        return count_wide(path, &rc, out_path, spectrum_path, trace_path);
+    }
+    // Keep the supermer word-packing constraint satisfied for custom k.
+    rc.counting.window = rc.counting.window.min(33 - rc.counting.k.min(31));
+    rc.counting.validate()?;
+    rc.collect_tables = true;
+    rc.collect_spectrum = spectrum_path.is_some();
+    rc.collect_trace = trace_path.is_some();
+
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reads = parse_fastq(BufReader::new(file), rc.counting.k).map_err(|e| e.to_string())?;
+    eprintln!("parsed {} reads ({} bases) from {path}", reads.len(), reads.total_bases());
+    if let Some(q) = min_qual {
+        reads = reads.quality_trimmed(q, rc.counting.k);
+        eprintln!(
+            "quality trim at Q{q}: {} reads ({} bases) remain",
+            reads.len(),
+            reads.total_bases()
+        );
+    }
+
+    let report = pipeline::run(&reads, &rc);
+    eprintln!(
+        "mode {:?}: {} k-mer instances, {} distinct, on {} ranks",
+        rc.mode, report.total_kmers, report.distinct_kmers, report.nranks
+    );
+    eprintln!(
+        "simulated phases: parse {} | exchange {} | count {} | total {}",
+        report.phases.parse,
+        report.phases.exchange,
+        report.phases.count,
+        report.total_time()
+    );
+
+    let merged = dump::merge_tables(report.tables.as_ref().expect("collected"));
+    if let Some(p) = out_path {
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        dump::write_dump(&mut w, &merged, rc.counting.k, rc.counting.encoding)
+            .map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {} k-mers to {p}", merged.len());
+    }
+    if let Some(p) = spectrum_path {
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        let spectrum = report.spectrum.as_ref().expect("collected");
+        dump::write_spectrum(&mut w, spectrum).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote spectrum to {p}");
+        // Bonus analysis while we have the spectrum (the §II-A use case).
+        if let Some(size) = dedukt::core::analysis::estimate_genome_size(spectrum) {
+            eprintln!(
+                "spectrum analysis: coverage peak ~{}x, estimated genome size ~{size} bp",
+                dedukt::core::analysis::coverage_peak(spectrum).unwrap_or(0)
+            );
+        }
+    }
+    if let Some(p) = trace_path {
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        dedukt::sim::trace::write_chrome_trace(&mut w, report.trace.as_ref().expect("collected"))
+            .map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote chrome trace to {p} (open in chrome://tracing or Perfetto)");
+    }
+    // Always show the top heavy hitters as a quick sanity signal.
+    eprintln!("top k-mers:");
+    for (kmer, count) in dump::heavy_hitters(&merged, 5) {
+        eprintln!(
+            "  {}  x{count}",
+            dedukt::dna::kmer::Kmer::from_word(kmer, rc.counting.k).to_ascii(rc.counting.encoding)
+        );
+    }
+    Ok(())
+}
+
+/// Wide-k counting (k 32..=63) through the u128 CPU pipelines.
+fn count_wide(
+    path: &str,
+    rc: &RunConfig,
+    out_path: Option<String>,
+    spectrum_path: Option<String>,
+    trace_path: Option<String>,
+) -> Result<(), String> {
+    use dedukt::core::wide::{run_cpu_wide, wide_from, WideMode};
+    if trace_path.is_some() {
+        return Err("--trace is not supported for wide k (32..=63)".into());
+    }
+    let mode = match rc.mode {
+        Mode::GpuSupermer => WideMode::Supermer,
+        Mode::CpuBaseline | Mode::GpuKmer => WideMode::Kmer,
+    };
+    let cfg = wide_from(&rc.counting, rc.counting.k, rc.counting.m.min(31));
+    cfg.validate()?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let reads = parse_fastq(BufReader::new(file), cfg.k).map_err(|e| e.to_string())?;
+    eprintln!("parsed {} reads ({} bases) from {path}", reads.len(), reads.total_bases());
+
+    let report = run_cpu_wide(&reads, &cfg, mode, rc.nodes, &rc.cpu_model);
+    eprintln!(
+        "wide k={} ({:?}): {} k-mer instances, {} distinct",
+        cfg.k, mode, report.total_kmers, report.distinct_kmers
+    );
+    eprintln!(
+        "simulated phases: parse {} | exchange {} | count {} | total {}",
+        report.phases.parse,
+        report.phases.exchange,
+        report.phases.count,
+        report.phases.total()
+    );
+
+    if let Some(p) = out_path {
+        let mut entries: Vec<(u128, u32)> =
+            report.tables.iter().flat_map(|t| t.iter().copied()).collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        for (word, count) in &entries {
+            let ascii: String = dedukt::dna::kmer::Kmer128::from_word(*word, cfg.k)
+                .codes(cfg.encoding)
+                .into_iter()
+                .map(|c| dedukt::dna::Base::from_code(c).to_ascii() as char)
+                .collect();
+            use std::io::Write as _;
+            writeln!(w, "{ascii}\t{count}").map_err(|e| e.to_string())?;
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {} wide k-mers to {p}", entries.len());
+    }
+    if let Some(p) = spectrum_path {
+        let spectrum = dedukt::dna::spectrum::Spectrum::from_counts(
+            report.tables.iter().flat_map(|t| t.iter().map(|&(_, c)| c)),
+        );
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        dump::write_spectrum(&mut w, &spectrum).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote spectrum to {p}");
+    }
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    let v100 = dedukt::gpu::DeviceConfig::v100();
+    println!("GPU preset: {}", v100.name);
+    println!("  SMs {} @ {:.2} GHz, {} GiB HBM @ {}", v100.num_sms, v100.clock_ghz, v100.memory_bytes >> 30, v100.hbm_bandwidth);
+    println!("  NVLink {} | PCIe {}", v100.nvlink_bandwidth, v100.pcie_bandwidth);
+    let net = dedukt::net::cost::NetworkParams::summit();
+    println!("Network preset: Summit fat-tree");
+    println!(
+        "  injection {} per node, alltoallv efficiency {:.0}%, alpha {:.1} µs",
+        net.node_injection,
+        net.alltoallv_efficiency * 100.0,
+        net.alpha_secs * 1e6
+    );
+    println!("Placements: 6 GPU ranks/node, 42 CPU ranks/node (paper §V-A)");
+    Ok(())
+}

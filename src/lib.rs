@@ -1,0 +1,34 @@
+//! DEDUKT-RS — distributed-memory k-mer counting on (simulated) GPUs.
+//!
+//! Facade crate: re-exports the workspace's public API in one namespace.
+//! See the README for a quickstart and DESIGN.md for the architecture.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dedukt::core::{pipeline, Mode, RunConfig};
+//! use dedukt::dna::{Dataset, DatasetId, ScalePreset};
+//!
+//! // A deterministic synthetic stand-in for E. coli 30X (Table I).
+//! let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+//!
+//! // The paper's best configuration: GPU supermer counter, k=17, m=7,
+//! // window=15, on a simulated 2-node Summit slice (12 V100s).
+//! let config = RunConfig::new(Mode::GpuSupermer, 2);
+//! let report = pipeline::run(&reads, &config);
+//!
+//! assert_eq!(report.total_kmers, reads.total_kmers(17) as u64);
+//! assert!(report.phases.exchange > dedukt::sim::SimTime::ZERO);
+//! ```
+//!
+//! Counting is exact (asserted against a single-threaded oracle across
+//! the test suite); phase times are simulated by documented cost models.
+
+#![warn(missing_docs)]
+
+pub use dedukt_core as core;
+pub use dedukt_dna as dna;
+pub use dedukt_gpu as gpu;
+pub use dedukt_hash as hash;
+pub use dedukt_net as net;
+pub use dedukt_sim as sim;

@@ -1,0 +1,237 @@
+//! End-to-end tests of the `dedukt` command-line tool: simulate → count →
+//! dump → compare, through real files and process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dedukt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dedukt"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dedukt-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn simulate_writes_parseable_fastq() {
+    let dir = tmpdir("simulate");
+    let fastq = dir.join("ecoli.fastq");
+    let out = dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&fastq).unwrap();
+    assert!(text.starts_with('@'));
+    // 4 lines per record.
+    assert_eq!(text.lines().count() % 4, 0);
+    let reads = dedukt::dna::fastq::parse_fastq(std::io::BufReader::new(text.as_bytes()), 1).unwrap();
+    assert!(!reads.is_empty());
+}
+
+#[test]
+fn count_produces_correct_dump_and_spectrum() {
+    let dir = tmpdir("count");
+    let fastq = dir.join("reads.fastq");
+    let dump = dir.join("counts.tsv");
+    let spec = dir.join("spectrum.tsv");
+    assert!(dedukt()
+        .args(["simulate", "vvulnificus", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--out"])
+        .arg(&dump)
+        .arg("--spectrum")
+        .arg(&spec)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The dump must agree with the library oracle on the same file.
+    let reads = dedukt::dna::fastq::parse_fastq(
+        std::io::BufReader::new(std::fs::File::open(&fastq).unwrap()),
+        17,
+    )
+    .unwrap();
+    let cfg = dedukt::core::RunConfig::new(dedukt::core::Mode::GpuSupermer, 2).counting;
+    let oracle = dedukt::core::verify::reference_counts(&reads, &cfg);
+    let dumped = dedukt::core::dump::read_dump(
+        std::io::BufReader::new(std::fs::File::open(&dump).unwrap()),
+        cfg.encoding,
+    )
+    .unwrap();
+    assert_eq!(dumped.len(), oracle.len());
+    for (kmer, count) in &dumped {
+        assert_eq!(oracle.get(kmer).copied(), Some(*count as u64));
+    }
+
+    // The spectrum file is multiplicity\tdistinct and its mass matches.
+    let spec_text = std::fs::read_to_string(&spec).unwrap();
+    let mut distinct = 0u64;
+    for line in spec_text.lines() {
+        let (_, d) = line.split_once('\t').unwrap();
+        distinct += d.parse::<u64>().unwrap();
+    }
+    assert_eq!(distinct, oracle.len() as u64);
+}
+
+#[test]
+fn compare_detects_identity_and_difference() {
+    let dir = tmpdir("compare");
+    let fastq = dir.join("reads.fastq");
+    let a = dir.join("a.tsv");
+    let b = dir.join("b.tsv");
+    assert!(dedukt()
+        .args(["simulate", "abaumannii", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    // Count twice with different modes: dumps must be identical.
+    for (mode, path) in [("gpu", &a), ("cpu", &b)] {
+        assert!(dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args(["--mode", mode, "--out"])
+            .arg(path)
+            .status()
+            .unwrap()
+            .success());
+    }
+    let same = dedukt().args(["compare"]).arg(&a).arg(&b).output().unwrap();
+    assert!(same.status.success(), "{}", String::from_utf8_lossy(&same.stderr));
+    assert!(String::from_utf8_lossy(&same.stdout).contains("identical"));
+
+    // Corrupt one count; compare must fail.
+    let text = std::fs::read_to_string(&b).unwrap();
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    let (seq, count) = lines[0].split_once('\t').unwrap();
+    lines[0] = format!("{seq}\t{}", count.parse::<u32>().unwrap() + 1);
+    std::fs::write(&b, lines.join("\n")).unwrap();
+    let diff = dedukt().args(["compare"]).arg(&a).arg(&b).output().unwrap();
+    assert!(!diff.status.success());
+}
+
+#[test]
+fn wide_k_counts_through_the_u128_pipeline() {
+    let dir = tmpdir("wide");
+    let fastq = dir.join("reads.fastq");
+    let dump = dir.join("wide.tsv");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let out = dedukt()
+        .args(["count"]).arg(&fastq)
+        .args(["--mode", "supermer", "--k", "41", "--m", "11", "--out"]).arg(&dump)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&dump).unwrap();
+    let first = text.lines().next().unwrap();
+    let (seq, count) = first.split_once('\t').unwrap();
+    assert_eq!(seq.len(), 41, "wide k-mers render at full length");
+    assert!(count.parse::<u32>().unwrap() >= 1);
+    // Totals must match the wide oracle.
+    let reads = dedukt::dna::fastq::parse_fastq(
+        std::io::BufReader::new(std::fs::File::open(&fastq).unwrap()),
+        41,
+    )
+    .unwrap();
+    let cfg = dedukt::core::wide::WideConfig {
+        k: 41,
+        m: 11,
+        ..Default::default()
+    };
+    let oracle = dedukt::core::wide::wide_reference_counts(&reads, &cfg);
+    assert_eq!(text.lines().count(), oracle.len());
+}
+
+#[test]
+fn min_qual_trims_before_counting() {
+    let dir = tmpdir("minqual");
+    let fastq = dir.join("reads.fastq");
+    // Hand-written FASTQ: one read whose tail is junk quality.
+    let seq = "ACGTTGCAAGGATCCGTACCAGTTGACTGATC"; // 32 bases, aperiodic
+    let quals = format!("{}{}", "I".repeat(24), "#".repeat(8));
+    std::fs::write(&fastq, format!("@r1\n{seq}\n+\n{quals}\n")).unwrap();
+    let full = dir.join("full.tsv");
+    let trimmed = dir.join("trimmed.tsv");
+    assert!(dedukt()
+        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--out"]).arg(&full)
+        .status().unwrap().success());
+    assert!(dedukt()
+        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--min-qual", "20", "--out"]).arg(&trimmed)
+        .status().unwrap().success());
+    let count_lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
+    // Full read: 32 − 17 + 1 = 16 k-mers; trimmed to 24 good bases: 8.
+    assert_eq!(count_lines(&full), 16);
+    assert_eq!(count_lines(&trimmed), 8);
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    assert!(!dedukt().args(["frobnicate"]).output().unwrap().status.success());
+    assert!(!dedukt().args(["simulate", "unknown-species"]).output().unwrap().status.success());
+    assert!(!dedukt().args(["count", "/nonexistent.fastq"]).output().unwrap().status.success());
+    // Help succeeds.
+    assert!(dedukt().args(["--help"]).output().unwrap().status.success());
+}
+
+#[test]
+fn trace_flag_writes_chrome_trace() {
+    let dir = tmpdir("trace");
+    let fastq = dir.join("reads.fastq");
+    let trace = dir.join("trace.json");
+    assert!(dedukt()
+        .args(["simulate", "paeruginosa", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    assert!(dedukt()
+        .args(["count"]).arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--trace"]).arg(&trace)
+        .status().unwrap().success());
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.trim_start().starts_with('['));
+    assert!(text.contains("\"name\": \"build-supermers\""));
+    assert!(text.contains("\"name\": \"alltoallv\""));
+    assert!(text.contains("\"name\": \"count\""));
+    // One lane per rank: tid 0..11 all present.
+    for tid in 0..12 {
+        assert!(text.contains(&format!("\"tid\": {tid},")), "missing rank {tid}");
+    }
+}
+
+#[test]
+fn canonical_flag_shrinks_distinct_count() {
+    let dir = tmpdir("canonical");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let plain = dir.join("plain.tsv");
+    let canon = dir.join("canon.tsv");
+    assert!(dedukt()
+        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--out"]).arg(&plain)
+        .status().unwrap().success());
+    assert!(dedukt()
+        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--canonical", "--out"]).arg(&canon)
+        .status().unwrap().success());
+    let lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
+    assert!(lines(&canon) < lines(&plain));
+}

@@ -1,0 +1,149 @@
+//! Shape tests: the paper's qualitative results, asserted on the
+//! simulated system at test scale. These are the reproduction's
+//! contract — each test names the paper artifact it guards.
+
+use dedukt::core::{pipeline, Mode, RunConfig};
+use dedukt::dna::{Dataset, DatasetId, ScalePreset};
+
+fn run_m(reads: &dedukt::dna::ReadSet, mode: Mode, nodes: usize, m: usize) -> dedukt::core::RunReport {
+    let mut rc = RunConfig::new(mode, nodes);
+    rc.counting.m = m;
+    pipeline::run(reads, &rc)
+}
+
+/// Shape tests need enough data to saturate the simulated devices (the
+/// occupancy model penalises near-empty grids, which the paper never
+/// measured); 0.25× bench scale ≈ 8.5 M bases.
+fn celegans() -> dedukt::dna::ReadSet {
+    Dataset::new(DatasetId::CElegans40x, ScalePreset::Custom(0.25)).generate()
+}
+
+/// Fig. 3: GPU compute ≫ CPU compute at equal node count; exchange time
+/// of the same order.
+#[test]
+fn fig3_shape_gpu_collapses_compute() {
+    let reads = celegans();
+    let cpu = run_m(&reads, Mode::CpuBaseline, 2, 7);
+    let gpu = run_m(&reads, Mode::GpuKmer, 2, 7);
+    let cpu_compute = cpu.phases.parse + cpu.phases.count;
+    let gpu_compute = gpu.phases.parse + gpu.phases.count;
+    assert!(
+        cpu_compute / gpu_compute > 50.0,
+        "compute collapse too small: {}",
+        cpu_compute / gpu_compute
+    );
+    // Exchange within an order of magnitude (same volume, same nodes;
+    // the GPU side adds staging).
+    let ratio = cpu.phases.exchange / gpu.phases.exchange;
+    assert!((0.1..10.0).contains(&ratio), "exchange ratio {ratio}");
+    // And the GPU pipeline is exchange-dominated (paper: up to 80%).
+    assert!(
+        gpu.phases.exchange_fraction() > 0.5,
+        "GPU pipeline should be communication-bound: {}",
+        gpu.phases.exchange_fraction()
+    );
+}
+
+/// Fig. 6: both GPU counters beat the CPU baseline overall; the supermer
+/// version beats the k-mer version.
+#[test]
+fn fig6_shape_overall_speedups() {
+    let reads = celegans();
+    let cpu = run_m(&reads, Mode::CpuBaseline, 2, 7);
+    let kmer = run_m(&reads, Mode::GpuKmer, 2, 7);
+    let smer = run_m(&reads, Mode::GpuSupermer, 2, 7);
+    assert!(kmer.speedup_over(&cpu) > 5.0);
+    assert!(smer.speedup_over(&cpu) > kmer.speedup_over(&cpu));
+}
+
+/// Fig. 7: supermers pay in parse (+27-33%) and count (+23-27%) but win
+/// the exchange; overhead ratios should be in the paper's neighbourhood.
+#[test]
+fn fig7_shape_supermer_tradeoff() {
+    let reads = celegans();
+    let kmer = run_m(&reads, Mode::GpuKmer, 2, 7);
+    let smer = run_m(&reads, Mode::GpuSupermer, 2, 7);
+    let parse_overhead = smer.phases.parse / kmer.phases.parse;
+    let count_overhead = smer.phases.count / kmer.phases.count;
+    assert!(
+        (1.05..1.9).contains(&parse_overhead),
+        "parse overhead {parse_overhead} (paper ~1.3)"
+    );
+    assert!(
+        (1.05..1.9).contains(&count_overhead),
+        "count overhead {count_overhead} (paper ~1.25)"
+    );
+    assert!(smer.exchange.alltoallv_time < kmer.exchange.alltoallv_time);
+}
+
+/// Fig. 8 / Table II: supermers cut exchanged bytes ~3-4×, more with
+/// m=7 than m=9.
+#[test]
+fn fig8_table2_shape_volume_reduction() {
+    let reads = celegans();
+    let kmer = run_m(&reads, Mode::GpuKmer, 2, 7);
+    let sm7 = run_m(&reads, Mode::GpuSupermer, 2, 7);
+    let sm9 = run_m(&reads, Mode::GpuSupermer, 2, 9);
+    let red7 = kmer.exchange.bytes as f64 / sm7.exchange.bytes as f64;
+    let red9 = kmer.exchange.bytes as f64 / sm9.exchange.bytes as f64;
+    assert!((2.0..5.0).contains(&red7), "m=7 reduction {red7} (paper ~3.4-3.8)");
+    assert!(red7 > red9, "m=7 must reduce more than m=9: {red7} vs {red9}");
+    assert!(sm9.exchange.units > sm7.exchange.units, "m=9 yields more, shorter supermers");
+    // Alltoallv speedup in the paper's 1.5-4x band.
+    let speedup = kmer.exchange.alltoallv_time / sm7.exchange.alltoallv_time;
+    assert!((1.3..5.0).contains(&speedup), "alltoallv speedup {speedup}");
+}
+
+/// Fig. 9: compute kernels scale near-linearly with node count.
+#[test]
+fn fig9_shape_compute_scaling() {
+    let reads = celegans();
+    let r4 = run_m(&reads, Mode::GpuKmer, 4, 7);
+    let r16 = run_m(&reads, Mode::GpuKmer, 16, 7);
+    let rate4 = r4.insertion_rate().unwrap().units_per_sec();
+    let rate16 = r16.insertion_rate().unwrap().units_per_sec();
+    let scaling = rate16 / rate4;
+    assert!(
+        (2.0..6.0).contains(&scaling),
+        "4→16 nodes should scale ~4x (near-linear), got {scaling}"
+    );
+}
+
+/// Table III: minimizer routing is more imbalanced than k-mer hashing.
+/// The effect needs paper-scale rank counts (the paper measures at 384
+/// ranks; at a dozen ranks minimizer buckets average out), so this test
+/// runs at 16 nodes = 96 ranks.
+#[test]
+fn table3_shape_imbalance() {
+    let reads_ce = celegans();
+    let km = run_m(&reads_ce, Mode::GpuKmer, 16, 7);
+    let sm = run_m(&reads_ce, Mode::GpuSupermer, 16, 7);
+    assert!(
+        sm.load.imbalance() > km.load.imbalance(),
+        "supermer {} vs kmer {}",
+        sm.load.imbalance(),
+        km.load.imbalance()
+    );
+    let reads_hs = Dataset::new(DatasetId::HSapiens54x, ScalePreset::Custom(0.1)).generate();
+    let sm_hs = run_m(&reads_hs, Mode::GpuSupermer, 16, 7);
+    assert!(
+        sm_hs.load.imbalance() > 1.2,
+        "repeat-rich supermer routing should be visibly imbalanced: {}",
+        sm_hs.load.imbalance()
+    );
+}
+
+/// §V-C: the exchange fraction grows with node count for the GPU
+/// pipeline (communication becomes *the* bottleneck at scale).
+#[test]
+fn exchange_fraction_grows_with_scale() {
+    let reads = celegans();
+    let small = run_m(&reads, Mode::GpuKmer, 1, 7);
+    let big = run_m(&reads, Mode::GpuKmer, 16, 7);
+    assert!(
+        big.phases.exchange_fraction() >= small.phases.exchange_fraction() * 0.8,
+        "exchange fraction should not collapse with scale: {} -> {}",
+        small.phases.exchange_fraction(),
+        big.phases.exchange_fraction()
+    );
+}

@@ -1,0 +1,135 @@
+//! Integration: the three distributed pipelines must produce *identical*
+//! k-mer counts — equal to the single-threaded oracle — across node
+//! counts, datasets, and parameter settings.
+
+use dedukt::core::verify::{check_against_reference, reference_counts, reference_total};
+use dedukt::core::{pipeline, Mode, RunConfig};
+use dedukt::dna::{Dataset, DatasetId, ScalePreset};
+
+fn run(mode: Mode, nodes: usize, reads: &dedukt::dna::ReadSet, m: usize) -> dedukt::core::RunReport {
+    let mut rc = RunConfig::new(mode, nodes);
+    rc.counting.m = m;
+    rc.collect_tables = true;
+    pipeline::run(reads, &rc)
+}
+
+#[test]
+fn all_pipelines_match_oracle_on_all_tiny_datasets() {
+    for id in [DatasetId::EColi30x, DatasetId::CElegans40x] {
+        let reads = Dataset::new(id, ScalePreset::Tiny).generate();
+        let cfg = RunConfig::new(Mode::GpuKmer, 1).counting;
+        let expect_total = reference_total(&reads, cfg.k);
+        for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+            let report = run(mode, 1, &reads, 7);
+            assert_eq!(report.total_kmers, expect_total, "{id:?} {mode:?}");
+            check_against_reference(&reads, &cfg, report.tables.as_ref().unwrap())
+                .unwrap_or_else(|e| panic!("{id:?} {mode:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn node_count_does_not_change_results() {
+    let reads = Dataset::new(DatasetId::PAeruginosa30x, ScalePreset::Tiny).generate();
+    let reference = reference_counts(&reads, &RunConfig::new(Mode::GpuKmer, 1).counting);
+    for mode in [Mode::GpuKmer, Mode::GpuSupermer] {
+        for nodes in [1usize, 2, 4] {
+            let report = run(mode, nodes, &reads, 7);
+            assert_eq!(
+                report.distinct_kmers,
+                reference.len() as u64,
+                "{mode:?} at {nodes} nodes"
+            );
+            assert_eq!(report.nranks, nodes * 6);
+        }
+    }
+}
+
+#[test]
+fn minimizer_length_does_not_change_counts() {
+    // m affects routing and volume, never the counted multiset.
+    let reads = Dataset::new(DatasetId::ABaumannii30x, ScalePreset::Tiny).generate();
+    let base = run(Mode::GpuSupermer, 2, &reads, 7);
+    for m in [5usize, 9, 11] {
+        let r = run(Mode::GpuSupermer, 2, &reads, m);
+        assert_eq!(r.total_kmers, base.total_kmers, "m={m}");
+        assert_eq!(r.distinct_kmers, base.distinct_kmers, "m={m}");
+    }
+}
+
+#[test]
+fn gpu_direct_changes_time_not_results() {
+    let reads = Dataset::new(DatasetId::VVulnificus30x, ScalePreset::Tiny).generate();
+    let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
+    rc.collect_tables = true;
+    let staged = pipeline::run(&reads, &rc);
+    rc.gpu_direct = true;
+    let direct = pipeline::run(&reads, &rc);
+    assert_eq!(staged.total_kmers, direct.total_kmers);
+    assert_eq!(staged.tables, direct.tables);
+    assert!(direct.phases.exchange < staged.phases.exchange);
+}
+
+#[test]
+fn every_rank_owns_a_disjoint_key_space() {
+    let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let report = run(mode, 2, &reads, 7);
+        let tables = report.tables.as_ref().unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (rank, table) in tables.iter().enumerate() {
+            for &(kmer, _) in table {
+                assert!(
+                    seen.insert(kmer),
+                    "{mode:?}: k-mer {kmer:#x} appears on two ranks (second: {rank})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn multi_round_exchange_changes_time_not_results() {
+    // §III-A: memory-bounded runs exchange in rounds; the counted multiset
+    // must be identical and only the exchange latency may grow.
+    let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer] {
+        let mut rc = RunConfig::new(mode, 1);
+        rc.collect_tables = true;
+        let single = pipeline::run(&reads, &rc);
+        rc.round_limit_bytes = Some(4096); // force many small rounds
+        let rounds = pipeline::run(&reads, &rc);
+        assert_eq!(single.total_kmers, rounds.total_kmers, "{mode:?}");
+        // Probing layout (hence iteration order) depends on insertion
+        // order, so compare the table *contents* per rank.
+        let sorted = |r: &dedukt::core::RunReport| -> Vec<Vec<(u64, u32)>> {
+            r.tables
+                .as_ref()
+                .unwrap()
+                .iter()
+                .map(|t| {
+                    let mut t = t.clone();
+                    t.sort_unstable();
+                    t
+                })
+                .collect()
+        };
+        assert_eq!(sorted(&single), sorted(&rounds), "{mode:?}");
+        assert!(
+            rounds.exchange.alltoallv_time >= single.exchange.alltoallv_time,
+            "{mode:?}: rounds must not make the wire faster"
+        );
+        assert_eq!(single.exchange.bytes, rounds.exchange.bytes);
+    }
+}
+
+#[test]
+fn spectrum_totals_match_report() {
+    let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+    let mut rc = RunConfig::new(Mode::GpuKmer, 2);
+    rc.collect_spectrum = true;
+    let report = pipeline::run(&reads, &rc);
+    let spectrum = report.spectrum.unwrap();
+    assert_eq!(spectrum.total(), report.total_kmers);
+    assert_eq!(spectrum.distinct(), report.distinct_kmers);
+}

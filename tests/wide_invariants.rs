@@ -1,0 +1,89 @@
+//! Property tests for the wide-k (u128) extension: the same invariants
+//! the narrow supermer machinery guarantees, under random reads and
+//! parameters in the wide regime.
+
+use dedukt::core::wide::{
+    minimizer_of_wide, run_cpu_wide, wide_reference_counts, wide_supermers, WideConfig, WideMode,
+};
+use dedukt::core::CpuCoreModel;
+use dedukt::dna::kmer::kmer_words128;
+use dedukt::dna::{Encoding, Read, ReadSet};
+use proptest::prelude::*;
+
+fn wide_cfg_strategy() -> impl Strategy<Value = WideConfig> {
+    (32usize..=63, 2usize..16).prop_map(|(k, m)| WideConfig {
+        k,
+        m: m.min(k - 1),
+        window: 65 - k,
+        encoding: Encoding::PaperRandom,
+        ..WideConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wide windowed supermers preserve the wide k-mer multiset.
+    #[test]
+    fn wide_supermers_preserve_multiset(
+        codes in prop::collection::vec(0u8..4, 0..300),
+        cfg in wide_cfg_strategy(),
+    ) {
+        let mut extracted: Vec<u128> = wide_supermers(&codes, &cfg)
+            .iter()
+            .flat_map(|s| s.kmers(cfg.k).collect::<Vec<_>>())
+            .collect();
+        extracted.sort_unstable();
+        let mut direct: Vec<u128> = kmer_words128(&codes, cfg.k, cfg.encoding).collect();
+        direct.sort_unstable();
+        prop_assert_eq!(extracted, direct);
+    }
+
+    /// Every wide k-mer in a supermer shares the supermer's minimizer,
+    /// and lengths respect the one-u128 packing bound.
+    #[test]
+    fn wide_minimizer_invariant(
+        codes in prop::collection::vec(0u8..4, 0..200),
+        cfg in wide_cfg_strategy(),
+    ) {
+        let scheme = dedukt::core::minimizer::MinimizerScheme {
+            encoding: cfg.encoding,
+            ordering: dedukt::core::minimizer::OrderingKind::EncodedLexicographic,
+            m: cfg.m,
+        };
+        for sm in wide_supermers(&codes, &cfg) {
+            prop_assert!((cfg.k..=64).contains(&(sm.len as usize)));
+            for kw in sm.kmers(cfg.k) {
+                prop_assert_eq!(minimizer_of_wide(&scheme, kw, cfg.k), sm.minimizer);
+            }
+        }
+    }
+
+    /// Both wide pipelines equal the wide oracle on random read sets.
+    #[test]
+    fn wide_pipelines_equal_oracle(
+        reads in prop::collection::vec(prop::collection::vec(0u8..4, 0..150), 1..12),
+        mode_supermer in any::<bool>(),
+    ) {
+        let rs: ReadSet = reads
+            .into_iter()
+            .enumerate()
+            .map(|(i, codes)| Read { id: format!("w{i}"), codes, quals: None })
+            .collect();
+        let cfg = WideConfig::default();
+        let oracle = wide_reference_counts(&rs, &cfg);
+        let mode = if mode_supermer { WideMode::Supermer } else { WideMode::Kmer };
+        let report = run_cpu_wide(&rs, &cfg, mode, 1, &CpuCoreModel::default());
+        prop_assert_eq!(report.distinct_kmers as usize, oracle.len());
+        prop_assert_eq!(report.total_kmers, oracle.values().sum::<u64>());
+        let mut seen = std::collections::HashMap::new();
+        for t in &report.tables {
+            for &(kmer, count) in t {
+                prop_assert!(seen.insert(kmer, count).is_none(), "duplicate owner");
+            }
+        }
+        for (kmer, &count) in &oracle {
+            prop_assert_eq!(seen.get(kmer).copied(), Some(count as u32));
+        }
+    }
+}
