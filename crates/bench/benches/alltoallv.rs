@@ -17,7 +17,11 @@ fn bench_alltoallv(c: &mut Criterion) {
                     let world = BspWorld::new(Network::summit_gpu(nodes));
                     let p = world.nranks();
                     let send: Vec<Vec<Vec<u64>>> = (0..p)
-                        .map(|src| (0..p).map(|dst| vec![(src ^ dst) as u64; payload]).collect())
+                        .map(|src| {
+                            (0..p)
+                                .map(|dst| vec![(src ^ dst) as u64; payload])
+                                .collect()
+                        })
                         .collect();
                     (world, send)
                 },

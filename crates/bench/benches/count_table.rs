@@ -31,7 +31,10 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("count_table");
     g.throughput(Throughput::Elements(n as u64));
 
-    for (dist, keys) in [("uniform", uniform_keys(n, 1)), ("skewed", skewed_keys(n, 2))] {
+    for (dist, keys) in [
+        ("uniform", uniform_keys(n, 1)),
+        ("skewed", skewed_keys(n, 2)),
+    ] {
         g.bench_with_input(BenchmarkId::new("host_insert", dist), &keys, |b, keys| {
             b.iter(|| {
                 let mut t: HostCountTable = HostCountTable::with_expected(keys.len(), 0.7, 9);

@@ -21,7 +21,9 @@ fn bench_encode(c: &mut Criterion) {
     });
 
     let packed = PackedSeq::from_codes(&codes, Encoding::PaperRandom);
-    g.bench_function("unpack_2bit", |b| b.iter(|| black_box(&packed).to_codes().len()));
+    g.bench_function("unpack_2bit", |b| {
+        b.iter(|| black_box(&packed).to_codes().len())
+    });
 
     g.bench_function("rolling_kmer_extraction_k17", |b| {
         b.iter(|| {

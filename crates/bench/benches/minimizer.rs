@@ -20,9 +20,17 @@ fn bench_minimizer(c: &mut Criterion) {
     g.throughput(Throughput::Elements(kmers.len() as u64));
 
     let schemes = [
-        ("lexicographic", Encoding::Alphabetical, OrderingKind::EncodedLexicographic),
+        (
+            "lexicographic",
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+        ),
         ("kmc2", Encoding::Alphabetical, OrderingKind::Kmc2),
-        ("random-encoding", Encoding::PaperRandom, OrderingKind::EncodedLexicographic),
+        (
+            "random-encoding",
+            Encoding::PaperRandom,
+            OrderingKind::EncodedLexicographic,
+        ),
     ];
     for (name, enc, ord) in schemes {
         for m in [7usize, 9] {

@@ -8,7 +8,9 @@ use dedukt_hash::{murmur3_x64_128, murmur3_x86_32, Murmur3x64};
 
 fn bench_murmur(c: &mut Criterion) {
     let mut g = c.benchmark_group("murmur3");
-    let words: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let words: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
     let hasher = Murmur3x64::new(0x5EED);
 
     g.throughput(Throughput::Elements(words.len() as u64));

@@ -85,7 +85,10 @@ impl ExperimentArgs {
                 }
                 "--m" => {
                     let v = it.next().ok_or("--m needs a value")?;
-                    out.m = Some(v.parse().map_err(|_| format!("bad minimizer length {v:?}"))?);
+                    out.m = Some(
+                        v.parse()
+                            .map_err(|_| format!("bad minimizer length {v:?}"))?,
+                    );
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
@@ -117,7 +120,18 @@ mod tests {
 
     #[test]
     fn full_flags() {
-        let a = parse(&["--scale", "tiny", "--nodes", "16", "--m", "9", "--seed", "7", "--gpu-direct"]).unwrap();
+        let a = parse(&[
+            "--scale",
+            "tiny",
+            "--nodes",
+            "16",
+            "--m",
+            "9",
+            "--seed",
+            "7",
+            "--gpu-direct",
+        ])
+        .unwrap();
         assert_eq!(a.scale, ScalePreset::Tiny);
         assert_eq!(a.nodes, Some(16));
         assert_eq!(a.m, Some(9));

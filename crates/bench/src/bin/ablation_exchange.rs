@@ -24,7 +24,13 @@ fn main() {
         &format!("C. elegans 40X, {nodes} nodes"),
     );
 
-    let mut t = Table::new(["counter", "routing", "messages/rank", "alltoallv time", "total"]);
+    let mut t = Table::new([
+        "counter",
+        "routing",
+        "messages/rank",
+        "alltoallv time",
+        "total",
+    ]);
     for mode in [Mode::CpuBaseline, Mode::GpuKmer] {
         for algo in [ExchangeAlgo::Direct, ExchangeAlgo::NodeAggregated] {
             let mut rc = RunConfig::new(mode, nodes);

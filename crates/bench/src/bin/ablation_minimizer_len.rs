@@ -21,7 +21,10 @@ fn main() {
     let reads = generate(id, &args);
     print_header(
         "Ablation — minimizer length vs volume and imbalance (§V-D)",
-        &format!("{}, {nodes} nodes, GPU supermer counter, k=17", id.short_name()),
+        &format!(
+            "{}, {nodes} nodes, GPU supermer counter, k=17",
+            id.short_name()
+        ),
     );
 
     let total_kmers = reads.total_kmers(17) as u64;

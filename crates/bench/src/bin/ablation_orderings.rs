@@ -34,9 +34,21 @@ fn main() {
     );
 
     let orderings: [(&str, Encoding, OrderingKind); 3] = [
-        ("lexicographic", Encoding::Alphabetical, OrderingKind::EncodedLexicographic),
-        ("KMC2 (AAA/ACA demoted)", Encoding::Alphabetical, OrderingKind::Kmc2),
-        ("random encoding (paper)", Encoding::PaperRandom, OrderingKind::EncodedLexicographic),
+        (
+            "lexicographic",
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+        ),
+        (
+            "KMC2 (AAA/ACA demoted)",
+            Encoding::Alphabetical,
+            OrderingKind::Kmc2,
+        ),
+        (
+            "random encoding (paper)",
+            Encoding::PaperRandom,
+            OrderingKind::EncodedLexicographic,
+        ),
     ];
 
     let hasher = Murmur3x64::new(rc.counting.hash_seed);

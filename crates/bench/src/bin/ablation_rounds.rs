@@ -27,7 +27,13 @@ fn main() {
     let unlimited = pipeline::run(&reads, &rc);
     let out_bytes_per_rank = unlimited.exchange.bytes / rc.nranks() as u64;
 
-    let mut t = Table::new(["per-round cap", "rounds (approx)", "alltoallv time", "total", "distinct kmers"]);
+    let mut t = Table::new([
+        "per-round cap",
+        "rounds (approx)",
+        "alltoallv time",
+        "total",
+        "distinct kmers",
+    ]);
     t.row([
         "unlimited".to_string(),
         "1".to_string(),
@@ -41,8 +47,14 @@ fn main() {
         rc.round_limit_bytes = Some(cap);
         rc.collect_spectrum = true;
         let r = pipeline::run(&reads, &rc);
-        assert_eq!(r.distinct_kmers, unlimited.distinct_kmers, "rounds must not change results");
-        assert_eq!(r.spectrum, unlimited.spectrum, "rounds must not change the spectrum");
+        assert_eq!(
+            r.distinct_kmers, unlimited.distinct_kmers,
+            "rounds must not change results"
+        );
+        assert_eq!(
+            r.spectrum, unlimited.spectrum,
+            "rounds must not change the spectrum"
+        );
         t.row([
             format!("{cap} B"),
             format!("{divisor}"),

@@ -47,7 +47,10 @@ fn main() {
             format!("{}", km.exchange.bytes),
             format!("{}", sm.exchange.units),
             format!("{}", sm.exchange.bytes),
-            format!("{:.2}x", km.exchange.bytes as f64 / sm.exchange.bytes as f64),
+            format!(
+                "{:.2}x",
+                km.exchange.bytes as f64 / sm.exchange.bytes as f64
+            ),
         ]);
     }
 
@@ -69,7 +72,10 @@ fn main() {
             format!("{}", km.exchange.bytes),
             format!("{}", sm.exchange.units),
             format!("{}", sm.exchange.bytes),
-            format!("{:.2}x", km.exchange.bytes as f64 / sm.exchange.bytes as f64),
+            format!(
+                "{:.2}x",
+                km.exchange.bytes as f64 / sm.exchange.bytes as f64
+            ),
         ]);
     }
     t.print();

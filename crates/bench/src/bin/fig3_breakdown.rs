@@ -24,11 +24,31 @@ fn main() {
     let cpu = run_mode(&reads, Mode::CpuBaseline, nodes, &args);
     let gpu = run_mode(&reads, Mode::GpuKmer, nodes, &args);
 
-    let mut t = Table::new(["module", &format!("CPU ({} ranks)", cpu.nranks), &format!("GPU ({} ranks)", gpu.nranks)]);
-    t.row(["parse & process kmers".to_string(), format!("{}", cpu.phases.parse), format!("{}", gpu.phases.parse)]);
-    t.row(["exchange (incl. MPI call)".to_string(), format!("{}", cpu.phases.exchange), format!("{}", gpu.phases.exchange)]);
-    t.row(["kmer counter".to_string(), format!("{}", cpu.phases.count), format!("{}", gpu.phases.count)]);
-    t.row(["TOTAL (excl. I/O)".to_string(), format!("{}", cpu.total_time()), format!("{}", gpu.total_time())]);
+    let mut t = Table::new([
+        "module",
+        &format!("CPU ({} ranks)", cpu.nranks),
+        &format!("GPU ({} ranks)", gpu.nranks),
+    ]);
+    t.row([
+        "parse & process kmers".to_string(),
+        format!("{}", cpu.phases.parse),
+        format!("{}", gpu.phases.parse),
+    ]);
+    t.row([
+        "exchange (incl. MPI call)".to_string(),
+        format!("{}", cpu.phases.exchange),
+        format!("{}", gpu.phases.exchange),
+    ]);
+    t.row([
+        "kmer counter".to_string(),
+        format!("{}", cpu.phases.count),
+        format!("{}", gpu.phases.count),
+    ]);
+    t.row([
+        "TOTAL (excl. I/O)".to_string(),
+        format!("{}", cpu.total_time()),
+        format!("{}", gpu.total_time()),
+    ]);
     t.print();
 
     let compute_speedup =

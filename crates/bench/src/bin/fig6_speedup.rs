@@ -22,7 +22,10 @@ fn main() {
         &DatasetId::SMALL
     };
     print_header(
-        &format!("Fig. 6{} — overall speedup over the CPU baseline", if nodes >= 64 { 'b' } else { 'a' }),
+        &format!(
+            "Fig. 6{} — overall speedup over the CPU baseline",
+            if nodes >= 64 { 'b' } else { 'a' }
+        ),
         &format!(
             "{nodes} nodes: {} GPU ranks vs {} CPU ranks; times are simulated",
             nodes * 6,

@@ -18,8 +18,14 @@ fn main() {
     let nodes = args.nodes.unwrap_or(64);
     for (sub, id) in [('a', DatasetId::CElegans40x), ('b', DatasetId::HSapiens54x)] {
         print_header(
-            &format!("Fig. 7{sub} — GPU k-mer vs supermer breakdown: {}", id.short_name()),
-            &format!("{nodes} nodes, {} GPU ranks; times are simulated", nodes * 6),
+            &format!(
+                "Fig. 7{sub} — GPU k-mer vs supermer breakdown: {}",
+                id.short_name()
+            ),
+            &format!(
+                "{nodes} nodes, {} GPU ranks; times are simulated",
+                nodes * 6
+            ),
         );
         let reads = generate(id, &args);
         let kmer = run_mode(&reads, Mode::GpuKmer, nodes, &args);

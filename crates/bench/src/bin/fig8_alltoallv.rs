@@ -21,8 +21,14 @@ fn main() {
         &DatasetId::SMALL
     };
     print_header(
-        &format!("Fig. 8{} — Alltoallv speedup of supermers over k-mers", if nodes >= 64 { 'b' } else { 'a' }),
-        &format!("{nodes} nodes, {} GPU ranks; wire times are simulated", nodes * 6),
+        &format!(
+            "Fig. 8{} — Alltoallv speedup of supermers over k-mers",
+            if nodes >= 64 { 'b' } else { 'a' }
+        ),
+        &format!(
+            "{nodes} nodes, {} GPU ranks; wire times are simulated",
+            nodes * 6
+        ),
     );
 
     let mut t = Table::new([
@@ -43,8 +49,14 @@ fn main() {
             format!("{}", kmer.exchange.alltoallv_time),
             format!("{}", sm7.exchange.alltoallv_time),
             format!("{}", sm9.exchange.alltoallv_time),
-            format!("{:.2}x", kmer.exchange.alltoallv_time / sm7.exchange.alltoallv_time),
-            format!("{:.2}x", kmer.exchange.alltoallv_time / sm9.exchange.alltoallv_time),
+            format!(
+                "{:.2}x",
+                kmer.exchange.alltoallv_time / sm7.exchange.alltoallv_time
+            ),
+            format!(
+                "{:.2}x",
+                kmer.exchange.alltoallv_time / sm9.exchange.alltoallv_time
+            ),
         ]);
     }
     t.print();

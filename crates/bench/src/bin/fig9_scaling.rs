@@ -23,12 +23,19 @@ fn main() {
     for id in DatasetId::ALL {
         let reads = generate(id, &args);
         let small = DatasetId::SMALL.contains(&id);
-        let node_counts: &[usize] = if small { &[4, 16, 32] } else { &[4, 16, 32, 64, 128] };
+        let node_counts: &[usize] = if small {
+            &[4, 16, 32]
+        } else {
+            &[4, 16, 32, 64, 128]
+        };
         let mut cells = vec![id.short_name().to_string()];
         let mut rates = Vec::new();
         for &n in node_counts {
             let r = run_mode(&reads, Mode::GpuKmer, n, &args);
-            let rate = r.insertion_rate().map(|x| x.units_per_sec() / 1e9).unwrap_or(0.0);
+            let rate = r
+                .insertion_rate()
+                .map(|x| x.units_per_sec() / 1e9)
+                .unwrap_or(0.0);
             rates.push(rate);
             cells.push(format!("{rate:.2}"));
         }

@@ -15,7 +15,10 @@ fn main() {
     let args = ExperimentArgs::parse();
     print_header(
         "Table I — datasets used for performance evaluation",
-        &format!("synthetic catalog at scale {:?}; paper sizes for reference", args.scale),
+        &format!(
+            "synthetic catalog at scale {:?}; paper sizes for reference",
+            args.scale
+        ),
     );
 
     let mut t = Table::new([

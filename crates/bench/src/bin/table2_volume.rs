@@ -18,7 +18,10 @@ fn main() {
     let nodes = args.nodes.unwrap_or(1);
     print_header(
         "Table II — k-mers and supermers exchanged",
-        &format!("synthetic datasets at scale {:?}, {nodes} node(s); paper counts for reference", args.scale),
+        &format!(
+            "synthetic datasets at scale {:?}, {nodes} node(s); paper counts for reference",
+            args.scale
+        ),
     );
 
     let mut t = Table::new([

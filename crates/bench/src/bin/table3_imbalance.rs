@@ -17,7 +17,10 @@ fn main() {
     let nodes = args.nodes.unwrap_or(64);
     print_header(
         "Table III — per-rank k-mer load imbalance (kmer vs supermer routing)",
-        &format!("{nodes} nodes, {} GPU ranks; load = k-mer instances counted per rank", nodes * 6),
+        &format!(
+            "{nodes} nodes, {} GPU ranks; load = k-mer instances counted per rank",
+            nodes * 6
+        ),
     );
 
     let mut t = Table::new([
@@ -46,7 +49,9 @@ fn main() {
         let ks = kmer.load.stats();
         let ss = smer.load.stats();
         let bs = balanced.load.stats();
-        let paper = table3_row(id).map(|r| format!("{:.2}", r.5)).unwrap_or_default();
+        let paper = table3_row(id)
+            .map(|r| format!("{:.2}", r.5))
+            .unwrap_or_default();
         t.row([
             id.short_name().to_string(),
             fmt_count(ks.mean as u64),

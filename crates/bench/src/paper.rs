@@ -25,8 +25,17 @@ pub fn table2_reduction_m7(id: DatasetId) -> f64 {
 /// imbalance)` in k-mer instances.
 pub fn table3_row(id: DatasetId) -> Option<(u64, u64, u64, u64, u64, f64)> {
     match id {
-        DatasetId::CElegans40x => Some((12_000_000, 12_000_000, 14_000_000, 3_000_000, 50_000_000, 1.16)),
-        DatasetId::HSapiens54x => Some((255_000_000, 253_000_000, 283_000_000, 41_000_000, 606_000_000, 2.37)),
+        DatasetId::CElegans40x => Some((
+            12_000_000, 12_000_000, 14_000_000, 3_000_000, 50_000_000, 1.16,
+        )),
+        DatasetId::HSapiens54x => Some((
+            255_000_000,
+            253_000_000,
+            283_000_000,
+            41_000_000,
+            606_000_000,
+            2.37,
+        )),
         _ => None,
     }
 }

@@ -110,7 +110,15 @@ mod tests {
     fn valley_and_peak_on_textbook_histogram() {
         // Error peak at 1, valley at 3, coverage peak at 20.
         let mut s = Spectrum::new();
-        for (m, n) in [(1, 1000), (2, 200), (3, 40), (10, 60), (19, 300), (20, 400), (21, 290)] {
+        for (m, n) in [
+            (1, 1000),
+            (2, 200),
+            (3, 40),
+            (10, 60),
+            (19, 300),
+            (20, 400),
+            (21, 290),
+        ] {
             for _ in 0..n {
                 s.record(m);
             }
@@ -133,7 +141,10 @@ mod tests {
         );
         let est = estimate_genome_size(&s).expect("estimate") as f64;
         let err = (est - genome_len as f64).abs() / genome_len as f64;
-        assert!(err < 0.25, "genome size {est} vs {genome_len} ({err:.2} rel err)");
+        assert!(
+            err < 0.25,
+            "genome size {est} vs {genome_len} ({err:.2} rel err)"
+        );
     }
 
     #[test]

@@ -8,10 +8,9 @@
 //! It plugs into the counting phase of any of this crate's pipelines.
 
 use dedukt_hash::fmix64;
-use serde::{Deserialize, Serialize};
 
 /// A fixed-size blocked Bloom filter for packed k-mer words.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     mask: u64,
@@ -157,6 +156,10 @@ mod tests {
             }
         }
         assert!(admitted.len() >= 10, "heavy k-mers must be admitted");
-        assert!(admitted.len() < 50, "most singletons must be suppressed: {}", admitted.len());
+        assert!(
+            admitted.len() < 50,
+            "most singletons must be suppressed: {}",
+            admitted.len()
+        );
     }
 }

@@ -2,12 +2,11 @@
 
 use dedukt_dna::Encoding;
 use dedukt_sim::Rate;
-use serde::{Deserialize, Serialize};
 
 use crate::minimizer::{MinimizerScheme, OrderingKind};
 
 /// Algorithmic parameters shared by all pipelines.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CountingConfig {
     /// k-mer length. The paper evaluates k = 17 throughout (§V-A).
     pub k: usize,
@@ -56,7 +55,10 @@ impl CountingConfig {
             return Err(format!("k = {} outside supported range 2..=31", self.k));
         }
         if self.m == 0 || self.m >= self.k {
-            return Err(format!("m = {} must satisfy 0 < m < k = {}", self.m, self.k));
+            return Err(format!(
+                "m = {} must satisfy 0 < m < k = {}",
+                self.m, self.k
+            ));
         }
         if self.window == 0 {
             return Err("window must be positive".into());
@@ -72,7 +74,10 @@ impl CountingConfig {
             ));
         }
         if !(0.1..=0.95).contains(&self.table_load_factor) {
-            return Err(format!("load factor {} unreasonable", self.table_load_factor));
+            return Err(format!(
+                "load factor {} unreasonable",
+                self.table_load_factor
+            ));
         }
         Ok(())
     }
@@ -93,7 +98,7 @@ impl CountingConfig {
 }
 
 /// Which of the three counters to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Mode {
     /// CPU baseline (Algorithm 1), 42 ranks/node.
     CpuBaseline,
@@ -120,7 +125,7 @@ impl Mode {
 /// counting 167 G k-mers, i.e. ≈52 K bases/s and ≈25 K k-mers/s per core
 /// end-to-end (diBELLA's k-mer analysis includes routing, buffering and
 /// copying, hence far below raw memory speed). See EXPERIMENTS.md.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CpuCoreModel {
     /// Bases parsed (k-mer extraction + routing) per second per core.
     pub parse_rate: Rate,
@@ -147,7 +152,7 @@ impl Default for CpuCoreModel {
 /// so a fully occupied V100 reproduces the paper's measured rates — while
 /// the *ratios* between pipeline variants implement the paper's measured
 /// overheads (+27-33% parse and +23-27% count for supermers, §V-C).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct GpuTuning {
     /// Effective instruction slots per k-mer in the k-mer parse kernel.
     pub parse_cycles_per_kmer: f64,
@@ -175,7 +180,7 @@ impl Default for GpuTuning {
 }
 
 /// A full experiment description: algorithm + machine shape.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Algorithmic parameters.
     pub counting: CountingConfig,
@@ -218,6 +223,12 @@ pub struct RunConfig {
     /// Record a per-rank phase timeline in the report (viewable with
     /// `chrome://tracing` via [`dedukt_sim::trace::write_chrome_trace`]).
     pub collect_trace: bool,
+    /// Collect run-wide telemetry (per-rank exchange counters, probe-step
+    /// and supermer-length histograms, occupancy and memory high-water
+    /// gauges) into [`crate::pipeline::RunReport::metrics`]. Disabled runs
+    /// do no metrics work at all; simulated times are identical either way
+    /// (they come from the analytic cost models).
+    pub collect_metrics: bool,
 }
 
 impl RunConfig {
@@ -238,6 +249,7 @@ impl RunConfig {
             collect_spectrum: false,
             collect_tables: false,
             collect_trace: false,
+            collect_metrics: false,
         }
     }
 
@@ -263,18 +275,27 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = CountingConfig::default();
-        c.k = 32;
-        assert!(c.validate().is_err());
-        c = CountingConfig::default();
-        c.m = 17;
-        assert!(c.validate().is_err());
-        c = CountingConfig::default();
-        c.window = 20; // 20 + 16 = 36 > 32
-        assert!(c.validate().is_err());
-        c = CountingConfig::default();
-        c.table_load_factor = 0.99;
-        assert!(c.validate().is_err());
+        let bad = [
+            CountingConfig {
+                k: 32,
+                ..Default::default()
+            },
+            CountingConfig {
+                m: 17,
+                ..Default::default()
+            },
+            CountingConfig {
+                window: 20, // 20 + 16 = 36 > 32
+                ..Default::default()
+            },
+            CountingConfig {
+                table_load_factor: 0.99,
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]

@@ -32,16 +32,18 @@ pub fn write_dump<W: Write>(
     encoding: Encoding,
 ) -> io::Result<()> {
     for &(kmer, count) in entries {
-        writeln!(w, "{}\t{}", Kmer::from_word(kmer, k).to_ascii(encoding), count)?;
+        writeln!(
+            w,
+            "{}\t{}",
+            Kmer::from_word(kmer, k).to_ascii(encoding),
+            count
+        )?;
     }
     Ok(())
 }
 
 /// Parses a KMC-style dump back into `(kmer, count)` pairs.
-pub fn read_dump<R: BufRead>(
-    r: R,
-    encoding: Encoding,
-) -> io::Result<Vec<(u64, u32)>> {
+pub fn read_dump<R: BufRead>(r: R, encoding: Encoding) -> io::Result<Vec<(u64, u32)>> {
     let mut out = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;

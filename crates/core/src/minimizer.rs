@@ -19,10 +19,9 @@
 //! [`MinimizerScheme`].
 
 use dedukt_dna::{kmer::Kmer, Encoding};
-use serde::{Deserialize, Serialize};
 
 /// How m-mer rank keys are derived from packed words.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum OrderingKind {
     /// Numeric order of the packed word under the scheme's encoding.
     /// With [`Encoding::Alphabetical`] this is Roberts' lexicographic
@@ -35,7 +34,7 @@ pub enum OrderingKind {
 }
 
 /// A complete minimizer scheme: encoding, ordering, and m.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MinimizerScheme {
     /// Base encoding the packed words use.
     pub encoding: Encoding,
@@ -130,7 +129,11 @@ mod tests {
     #[test]
     fn lexicographic_picks_alphabetical_min() {
         // GATTACA, m=3 windows: GAT ATT TTA TAC ACA → min is ACA at pos 4.
-        let s = scheme(Encoding::Alphabetical, OrderingKind::EncodedLexicographic, 3);
+        let s = scheme(
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+            3,
+        );
         let mz = s.minimizer_of(kmer_word(b"GATTACA", Encoding::Alphabetical), 7);
         assert_eq!(mz.pos, 4);
         assert_eq!(mz.word, kmer_word(b"ACA", Encoding::Alphabetical));
@@ -141,7 +144,11 @@ mod tests {
         // Fig. 4 parses read GTCATCGCACTTACTGATG with k=8, m=4 under plain
         // lexicographic ordering. First k-mer GTCATCGC: windows GTCA TCAT
         // CATC ATCG TCGC → min ATCG.
-        let s = scheme(Encoding::Alphabetical, OrderingKind::EncodedLexicographic, 4);
+        let s = scheme(
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+            4,
+        );
         let mz = s.minimizer_of(kmer_word(b"GTCATCGC", Encoding::Alphabetical), 8);
         assert_eq!(mz.word, kmer_word(b"ATCG", Encoding::Alphabetical));
         assert_eq!(mz.pos, 3);
@@ -185,7 +192,11 @@ mod tests {
 
     #[test]
     fn ties_break_leftmost() {
-        let s = scheme(Encoding::Alphabetical, OrderingKind::EncodedLexicographic, 2);
+        let s = scheme(
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+            2,
+        );
         // ACACAC: windows AC CA AC CA AC → AC wins at pos 0.
         let mz = s.minimizer_of(kmer_word(b"ACACAC", Encoding::Alphabetical), 6);
         assert_eq!(mz.pos, 0);
@@ -232,7 +243,11 @@ mod tests {
 
     #[test]
     fn rank_key_is_monotone_for_plain_ordering() {
-        let s = scheme(Encoding::Alphabetical, OrderingKind::EncodedLexicographic, 4);
+        let s = scheme(
+            Encoding::Alphabetical,
+            OrderingKind::EncodedLexicographic,
+            4,
+        );
         assert!(s.rank_key(3) < s.rank_key(4));
         assert_eq!(s.rank_key(100), 100);
     }

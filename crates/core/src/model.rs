@@ -13,10 +13,8 @@
 //!   "≈ (s − k)×", which reads as a typo; the worked example and Fig. 4
 //!   arithmetic match the exact form implemented here.
 
-use serde::{Deserialize, Serialize};
-
 /// Inputs to the §IV-D model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CommModel {
     /// Total input size in bases (the paper's `D`).
     pub total_bases: f64,

@@ -51,7 +51,9 @@ impl BalancedAssignment {
         let mut map = HashMap::with_capacity(buckets.len());
         for (mmer, w) in buckets {
             // Lightest rank; ties broken by lowest rank id.
-            let r = (0..nranks).min_by_key(|&r| (rank_load[r], r)).expect("nranks > 0");
+            let r = (0..nranks)
+                .min_by_key(|&r| (rank_load[r], r))
+                .expect("nranks > 0");
             rank_load[r] += w;
             map.insert(mmer, r as u32);
         }

@@ -17,7 +17,8 @@ use dedukt_dna::ReadSet;
 use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::SimTime;
+use dedukt_sim::{MetricsRegistry, SimTime};
+use std::sync::Arc;
 
 /// Runs the CPU baseline counter.
 pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
@@ -27,6 +28,10 @@ pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
     net.params.algo = rc.exchange_algo;
     let mut world = BspWorld::new(net);
     assert_eq!(world.nranks(), nranks);
+    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(m) = &metrics {
+        world.enable_metrics(Arc::clone(m));
+    }
     let parts = reads.partition_by_bases(nranks);
     let hasher = Murmur3x64::new(cfg.hash_seed);
 
@@ -79,6 +84,15 @@ pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         for &k in &recv[rank] {
             table.insert(k);
         }
+        if let Some(m) = &metrics {
+            m.counter_add("kmers_counted_total", Some(rank), received);
+            m.counter_add("count_probe_steps_total", Some(rank), table.probe_steps());
+            m.gauge_set(
+                "count_table_load_factor",
+                Some(rank),
+                table.distinct() as f64 / table.capacity() as f64,
+            );
+        }
         let dt = rc.cpu_model.count_rate.time_for(received as f64);
         (
             RankCountResult {
@@ -91,6 +105,7 @@ pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
 
     let makespan = world.elapsed();
     let trace = rc.collect_trace.then(|| world.take_trace());
+    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
     let stats = world.stats();
     let (load, total, distinct, spectrum, tables) =
         assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
@@ -116,13 +131,15 @@ pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         spectrum,
         tables,
         trace,
+        trace_counters,
+        metrics: metrics.map(|m| m.snapshot()),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{CountingConfig, Mode};
+    use crate::config::Mode;
     use crate::verify::{check_against_reference, reference_total};
     use dedukt_dna::{Dataset, DatasetId, ScalePreset};
     use dedukt_sim::SimTime;

@@ -6,7 +6,7 @@ use dedukt_dna::packed::ConcatReads;
 use dedukt_dna::ReadSet;
 use dedukt_gpu::transfer::staging_time;
 use dedukt_gpu::{Device, KernelReport, LaunchConfig};
-use dedukt_sim::{DataVolume, SimTime};
+use dedukt_sim::{DataVolume, Histogram, SimTime};
 
 /// Thread-block size used by all pipeline kernels.
 pub const BLOCK_THREADS: u32 = 256;
@@ -78,6 +78,12 @@ pub struct CountOutcome {
     pub entries: Vec<(u64, u32)>,
     /// Total probe steps across all inserts.
     pub probe_steps: u64,
+    /// Per-insert probe-step distribution (1 = direct hit), accumulated
+    /// block-locally and merged once per block.
+    pub probe_hist: Histogram,
+    /// Fraction of table slots occupied after counting
+    /// (distinct / capacity).
+    pub load_factor: f64,
 }
 
 /// The GPU counting kernel (§III-B3): one thread per received k-mer,
@@ -95,14 +101,16 @@ pub fn count_kmers_on_device(
     let table = DeviceCountTable::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
         .expect("count table exceeds device memory");
     let launch = chunked_launch(kmers.len().max(1));
-    let (report, block_probes) = device.launch_map("count_kmers", launch, |b| {
+    let (report, block_stats) = device.launch_map("count_kmers", launch, |b| {
         let (lo, hi) = block_range(kmers.len(), b.cfg.grid_blocks, b.block);
         let mut probes = 0u64;
         let mut fresh = 0u64;
+        let mut hist = Histogram::new();
         for &k in &kmers[lo..hi] {
             let r = table.insert(k);
             probes += r.steps as u64;
             fresh += u64::from(r.new);
+            hist.observe(r.steps as u64);
         }
         let n = (hi - lo) as u64;
         // Effective compute (calibrated) + real memory/atomic traffic:
@@ -113,13 +121,22 @@ pub fn count_kmers_on_device(
         b.gmem_coalesced(n * 8); // streaming the received k-mers
         b.gmem_random(probes * 8 + n * 4);
         b.atomic(2 * n, n - fresh);
-        probes
+        (probes, hist)
     });
     let entries = table.to_host();
+    let mut probe_hist = Histogram::new();
+    let mut probe_steps = 0u64;
+    for (p, h) in &block_stats {
+        probe_steps += p;
+        probe_hist.merge(h);
+    }
+    let load_factor = entries.len() as f64 / table.capacity() as f64;
     CountOutcome {
         report,
         entries,
-        probe_steps: block_probes.iter().sum(),
+        probe_steps,
+        probe_hist,
+        load_factor,
     }
 }
 
@@ -174,7 +191,11 @@ mod tests {
     fn split_rounds_roundtrip_and_cap() {
         let nranks = 3;
         let buckets: Vec<Vec<Vec<u64>>> = (0..nranks)
-            .map(|s| (0..nranks).map(|d| (0..(s * 10 + d * 3)).map(|i| i as u64).collect()).collect())
+            .map(|s| {
+                (0..nranks)
+                    .map(|d| (0..(s * 10 + d * 3)).map(|i| i as u64).collect())
+                    .collect()
+            })
             .collect();
         let original = buckets.clone();
         // Cap at 64 bytes per rank per round (8 u64s).
@@ -288,6 +309,12 @@ mod tests {
         }
         assert!(out.probe_steps >= kmers.len() as u64);
         assert!(out.report.time > SimTime::ZERO);
+        // The probe histogram covers every insert and sums to the probe
+        // total; the load factor reflects 100 distinct keys in the table.
+        assert_eq!(out.probe_hist.count(), kmers.len() as u64);
+        assert_eq!(out.probe_hist.sum(), out.probe_steps);
+        assert!(out.probe_hist.min() >= 1);
+        assert!(out.load_factor > 0.0 && out.load_factor <= 1.0);
     }
 
     #[test]

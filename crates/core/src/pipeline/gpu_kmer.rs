@@ -27,7 +27,8 @@ use dedukt_dna::ReadSet;
 use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::{DataVolume, SimTime};
+use dedukt_sim::{DataVolume, MetricsRegistry, SimTime};
+use std::sync::Arc;
 
 /// Calls `f` with every packed k-mer whose start position lies in
 /// `[lo, hi)` of the concatenated base array, honouring read boundaries.
@@ -77,6 +78,10 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
     net.params.algo = rc.exchange_algo;
     let mut world = BspWorld::new(net);
     assert_eq!(world.nranks(), nranks);
+    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(m) = &metrics {
+        world.enable_metrics(Arc::clone(m));
+    }
     let parts = reads.partition_by_bases(nranks);
     let hasher = Murmur3x64::new(cfg.hash_seed);
     let tuning = rc.gpu_tuning;
@@ -121,6 +126,10 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         }
         let out_bytes: u64 = out.iter().map(|v| v.len() as u64 * 8).sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
+        if let Some(m) = &metrics {
+            m.gauge_set("kernel_occupancy:parse_kmers", Some(rank), report.occupancy);
+            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
+        }
         ((out, d2h), h2d + report.time)
     });
 
@@ -163,6 +172,17 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
         let kmers = &recv_flat[rank];
         let out = count_kmers_on_device(&device, &cfg, kmers, tuning.count_cycles_per_kmer);
+        if let Some(m) = &metrics {
+            m.counter_add("kmers_counted_total", Some(rank), kmers.len() as u64);
+            m.merge_histogram("count_probe_steps", Some(rank), &out.probe_hist);
+            m.gauge_set("count_table_load_factor", Some(rank), out.load_factor);
+            m.gauge_set(
+                "kernel_occupancy:count_kmers",
+                Some(rank),
+                out.report.occupancy,
+            );
+            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
+        }
         (
             RankCountResult {
                 entries: out.entries,
@@ -174,6 +194,7 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
 
     let makespan = world.elapsed();
     let trace = rc.collect_trace.then(|| world.take_trace());
+    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
     let stats = world.stats();
     let (load, total, distinct, spectrum, tables) =
         assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
@@ -199,6 +220,8 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         spectrum,
         tables,
         trace,
+        trace_counters,
+        metrics: metrics.map(|m| m.snapshot()),
     }
 }
 
@@ -220,8 +243,14 @@ mod tests {
     fn kmer_iteration_respects_read_boundaries() {
         use dedukt_dna::base::Base;
         use dedukt_dna::Encoding;
-        let r1: Vec<u8> = b"ACGTACG".iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
-        let r2: Vec<u8> = b"GGTT".iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let r1: Vec<u8> = b"ACGTACG"
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
+        let r2: Vec<u8> = b"GGTT"
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let concat = ConcatReads::from_reads([&r1[..], &r2[..]], Encoding::Alphabetical);
         let k = 3;
         let mut seen = Vec::new();
@@ -233,7 +262,9 @@ mod tests {
         for split in 1..concat.num_bases() {
             let mut split_seen = Vec::new();
             for_kmers_in_range(&concat, 0, split, k, |w| split_seen.push(w));
-            for_kmers_in_range(&concat, split, concat.num_bases(), k, |w| split_seen.push(w));
+            for_kmers_in_range(&concat, split, concat.num_bases(), k, |w| {
+                split_seen.push(w)
+            });
             assert_eq!(split_seen, seen, "split at {split}");
         }
     }

@@ -17,20 +17,19 @@
 
 use crate::config::RunConfig;
 use crate::partition::{minimizer_owner, BalancedAssignment};
-use crate::supermer::build_supermers_reference;
-use std::collections::HashMap;
-use crate::pipeline::gpu_common::{
-    block_range, chunked_launch, count_kmers_on_device, staging,
-};
+use crate::pipeline::gpu_common::{block_range, chunked_launch, count_kmers_on_device, staging};
 use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
 use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::supermer::build_supermers_reference;
 use crate::supermer::{num_windows, supermers_of_window, Supermer};
 use dedukt_dna::kmer::Kmer;
 use dedukt_dna::ReadSet;
 use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::DataVolume;
+use dedukt_sim::{DataVolume, Histogram, MetricsRegistry};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Runs the GPU supermer counter.
 pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
@@ -44,6 +43,10 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
     let mut net = Network::summit_gpu(rc.nodes);
     net.params.algo = rc.exchange_algo;
     let mut world = BspWorld::new(net);
+    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(m) = &metrics {
+        world.enable_metrics(Arc::clone(m));
+    }
     let parts = reads.partition_by_bases(nranks);
     let hasher = Murmur3x64::new(cfg.hash_seed);
     let tuning = rc.gpu_tuning;
@@ -82,7 +85,9 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
             }
         }
         prepass_time = sample_times.mean
-            + world.network().allreduce_time(weight_bytes / nranks.max(1) as u64);
+            + world
+                .network()
+                .allreduce_time(weight_bytes / nranks.max(1) as u64);
         Some(BalancedAssignment::build(&merged, nranks, cfg.hash_seed))
     } else {
         None
@@ -153,8 +158,38 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 lens[dst].extend(l);
             }
         }
-        let out_bytes: u64 = words.iter().map(|v| v.len() as u64 * Supermer::WIRE_BYTES).sum();
+        let out_bytes: u64 = words
+            .iter()
+            .map(|v| v.len() as u64 * Supermer::WIRE_BYTES)
+            .sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
+        if let Some(m) = &metrics {
+            // Supermer-length distribution and the wire-compression ratio
+            // this rank achieved: 8 B per k-mer had they been sent raw vs
+            // 9 B per supermer actually sent (Table II's saving).
+            let mut length_hist = Histogram::new();
+            let mut kmer_count = 0u64;
+            for l in lens.iter().flatten() {
+                length_hist.observe(*l as u64);
+                kmer_count += (*l as u64).saturating_sub(cfg.k as u64 - 1);
+            }
+            let supermer_count = length_hist.count();
+            m.merge_histogram("supermer_length_bases", Some(rank), &length_hist);
+            m.counter_add("supermers_built_total", Some(rank), supermer_count);
+            if supermer_count > 0 {
+                m.gauge_set(
+                    "supermer_compression_ratio",
+                    Some(rank),
+                    (kmer_count * 8) as f64 / (supermer_count * Supermer::WIRE_BYTES) as f64,
+                );
+            }
+            m.gauge_set(
+                "kernel_occupancy:build_supermers",
+                Some(rank),
+                report.occupancy,
+            );
+            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
+        }
         (((words, lens), d2h), h2d + report.time)
     });
 
@@ -218,6 +253,17 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
             &kmers,
             tuning.count_cycles_per_kmer + tuning.extract_cycles_per_kmer,
         );
+        if let Some(m) = &metrics {
+            m.counter_add("kmers_counted_total", Some(rank), kmers.len() as u64);
+            m.merge_histogram("count_probe_steps", Some(rank), &out.probe_hist);
+            m.gauge_set("count_table_load_factor", Some(rank), out.load_factor);
+            m.gauge_set(
+                "kernel_occupancy:count_kmers",
+                Some(rank),
+                out.report.occupancy,
+            );
+            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
+        }
         (
             RankCountResult {
                 entries: out.entries,
@@ -229,6 +275,7 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
 
     let makespan = world.elapsed();
     let trace = rc.collect_trace.then(|| world.take_trace());
+    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
     let stats = world.stats();
     let (load, total, distinct, spectrum, tables) =
         assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
@@ -254,6 +301,8 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         spectrum,
         tables,
         trace,
+        trace_counters,
+        metrics: metrics.map(|m| m.snapshot()),
     }
 }
 
@@ -306,8 +355,12 @@ mod tests {
         let mut rck = rc.clone();
         rck.mode = Mode::GpuKmer;
         let km = crate::pipeline::gpu_kmer::run_gpu_kmer(&reads, &rck);
-        assert!(sm.exchange.units * 2 < km.exchange.units,
-            "supermers {} vs k-mers {}", sm.exchange.units, km.exchange.units);
+        assert!(
+            sm.exchange.units * 2 < km.exchange.units,
+            "supermers {} vs k-mers {}",
+            sm.exchange.units,
+            km.exchange.units
+        );
         assert!(sm.exchange.bytes * 2 < km.exchange.bytes);
         assert_eq!(sm.exchange.bytes, sm.exchange.units * 9);
     }
@@ -320,8 +373,14 @@ mod tests {
         let mut rck = rc.clone();
         rck.mode = Mode::GpuKmer;
         let km = crate::pipeline::gpu_kmer::run_gpu_kmer(&reads, &rck);
-        assert!(sm.phases.parse > km.phases.parse, "supermer parse must cost more");
-        assert!(sm.phases.count > km.phases.count, "supermer count must cost more");
+        assert!(
+            sm.phases.parse > km.phases.parse,
+            "supermer parse must cost more"
+        );
+        assert!(
+            sm.phases.count > km.phases.count,
+            "supermer count must cost more"
+        );
         assert!(
             sm.exchange.alltoallv_time < km.exchange.alltoallv_time,
             "supermer Alltoallv must be faster: {} vs {}",

@@ -15,10 +15,9 @@ use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
 use dedukt_dna::spectrum::Spectrum;
 use dedukt_dna::ReadSet;
 use dedukt_sim::{Rate, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Everything a pipeline run reports.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunReport {
     /// Which counter ran.
     pub mode: Mode,
@@ -47,6 +46,13 @@ pub struct RunReport {
     pub tables: Option<Vec<Vec<(u64, u32)>>>,
     /// Per-rank phase timeline, if requested (Chrome trace-event ready).
     pub trace: Option<Vec<dedukt_sim::TraceEvent>>,
+    /// Cumulative per-rank exchange-byte samples, if a trace was
+    /// requested — embedded as `"ph": "C"` counter tracks by
+    /// [`dedukt_sim::trace::write_chrome_trace_with`].
+    pub trace_counters: Option<Vec<dedukt_sim::TraceCounter>>,
+    /// Run-wide telemetry snapshot, if requested
+    /// ([`crate::config::RunConfig::collect_metrics`]).
+    pub metrics: Option<dedukt_sim::MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -87,11 +93,21 @@ pub(crate) struct RankCountResult {
     pub instances: u64,
 }
 
+/// `(load, total, distinct, spectrum, tables)` — the report pieces in
+/// the order [`RunReport`] consumes them.
+pub(crate) type AssembledCounts = (
+    LoadSummary,
+    u64,
+    u64,
+    Option<Spectrum>,
+    Option<Vec<Vec<(u64, u32)>>>,
+);
+
 pub(crate) fn assemble_counts(
     rank_results: Vec<RankCountResult>,
     collect_spectrum: bool,
     collect_tables: bool,
-) -> (LoadSummary, u64, u64, Option<Spectrum>, Option<Vec<Vec<(u64, u32)>>>) {
+) -> AssembledCounts {
     let kmers_per_rank: Vec<u64> = rank_results.iter().map(|r| r.instances).collect();
     let total: u64 = kmers_per_rank.iter().sum();
     let distinct: u64 = rank_results.iter().map(|r| r.entries.len() as u64).sum();

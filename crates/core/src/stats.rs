@@ -2,12 +2,11 @@
 //! paper's Figs. 3/7, Table II and Table III.
 
 use dedukt_sim::{DataVolume, DistStats, Rate, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Simulated time spent in each of the pipeline's three modules
 /// (Fig. 1 / Fig. 3): parse & process, exchange (incl. staging and the
 /// `MPI_Alltoallv`), and building the k-mer counter.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PhaseBreakdown {
     /// Parse & process k-mers (or build supermers).
     pub parse: SimTime,
@@ -36,7 +35,7 @@ impl PhaseBreakdown {
 }
 
 /// Exchange-volume accounting for one run (Table II's columns).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExchangeSummary {
     /// Units exchanged: k-mers for the k-mer pipelines, supermers for the
     /// supermer pipeline.
@@ -59,7 +58,7 @@ impl ExchangeSummary {
 
 /// Per-rank counting load (Table III): k-mer instances counted by each
 /// rank.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct LoadSummary {
     /// k-mer instances counted per rank.
     pub kmers_per_rank: Vec<u64>,
@@ -111,7 +110,8 @@ mod tests {
 
     #[test]
     fn insertion_rate_excludes_exchange() {
-        let r = insertion_rate(1_000_000, SimTime::from_secs(0.5), SimTime::from_secs(0.5)).unwrap();
+        let r =
+            insertion_rate(1_000_000, SimTime::from_secs(0.5), SimTime::from_secs(0.5)).unwrap();
         assert!((r.units_per_sec() - 1e6).abs() < 1e-6);
         assert!(insertion_rate(0, SimTime::from_secs(1.0), SimTime::ZERO).is_none());
     }

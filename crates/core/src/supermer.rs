@@ -20,7 +20,6 @@
 use crate::minimizer::MinimizerScheme;
 use dedukt_dna::kmer::Kmer;
 use dedukt_dna::Encoding;
-use serde::{Deserialize, Serialize};
 
 /// A packed supermer: at most 32 bases in one 64-bit word (MSB-first, like
 /// [`Kmer`]) plus its base length and the shared minimizer.
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// length byte ("this approach requires an extra byte of communication to
 /// identify the length of each supermer", §V-D). The minimizer is *not*
 /// transmitted — the receiver only needs the bases.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Supermer {
     /// Packed bases, MSB-first, right-aligned.
     pub word: u64,
@@ -228,7 +227,9 @@ mod tests {
     use dedukt_dna::base::Base;
 
     fn codes(s: &[u8]) -> Vec<u8> {
-        s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect()
+        s.iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect()
     }
 
     fn lex_scheme(m: usize) -> MinimizerScheme {
@@ -290,7 +291,7 @@ mod tests {
         let smers = build_supermers_windowed(&read, k, window, &s);
         let mut got: Vec<u64> = Vec::new();
         for sm in &smers {
-            assert!(sm.len as usize <= window + k - 1);
+            assert!((sm.len as usize) < window + k);
             got.extend(sm.kmers(k));
         }
         got.sort_unstable();

@@ -210,7 +210,11 @@ pub struct DeviceCountTable {
 impl DeviceCountTable {
     /// Allocates a table with `capacity` slots (rounded up to a power of
     /// two) on `device`.
-    pub fn new(device: &Device, capacity: usize, hash_seed: u64) -> Result<DeviceCountTable, OomError> {
+    pub fn new(
+        device: &Device,
+        capacity: usize,
+        hash_seed: u64,
+    ) -> Result<DeviceCountTable, OomError> {
         let cap = capacity.next_power_of_two().max(16);
         let keys = device.alloc_atomic(cap)?;
         let counts = device.alloc_atomic32(cap)?;
@@ -301,7 +305,11 @@ impl DeviceCountTable {
 
     /// Number of distinct keys (quiescent reads only).
     pub fn distinct(&self) -> usize {
-        self.keys.snapshot().iter().filter(|&&k| k != EMPTY_KEY).count()
+        self.keys
+            .snapshot()
+            .iter()
+            .filter(|&&k| k != EMPTY_KEY)
+            .count()
     }
 }
 
@@ -437,8 +445,20 @@ mod tests {
         let device = Device::v100();
         let t = DeviceCountTable::new(&device, 64, 13).unwrap();
         let first = t.insert(5);
-        assert_eq!(first, InsertResult { steps: 1, new: true });
+        assert_eq!(
+            first,
+            InsertResult {
+                steps: 1,
+                new: true
+            }
+        );
         let again = t.insert(5);
-        assert_eq!(again, InsertResult { steps: 1, new: false });
+        assert_eq!(
+            again,
+            InsertResult {
+                steps: 1,
+                new: false
+            }
+        );
     }
 }

@@ -66,7 +66,9 @@ pub fn check_against_reference(
         match seen.get(kmer) {
             Some(&got) if got == expect => {}
             Some(&got) => {
-                return Err(format!("count mismatch for {kmer:#x}: got {got}, oracle {expect}"))
+                return Err(format!(
+                    "count mismatch for {kmer:#x}: got {got}, oracle {expect}"
+                ))
             }
             None => return Err(format!("k-mer {kmer:#x} missing from distributed result")),
         }
@@ -134,7 +136,10 @@ mod tests {
         let rs = reads(&[b"ACGTACGT"]);
         let c = cfg(3);
         let oracle = reference_counts(&rs, &c);
-        let mut ranks = vec![oracle.iter().map(|(&k, &v)| (k, v as u32)).collect::<Vec<_>>()];
+        let mut ranks = vec![oracle
+            .iter()
+            .map(|(&k, &v)| (k, v as u32))
+            .collect::<Vec<_>>()];
         ranks[0][0].1 += 1;
         assert!(check_against_reference(&rs, &c, &ranks).is_err());
     }

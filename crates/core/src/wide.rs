@@ -10,7 +10,7 @@
 //! k-mer exchange and supermer exchange — built on the same BSP engine
 //! and verified against a wide oracle.
 
-use crate::config::{CpuCoreModel, CountingConfig};
+use crate::config::{CountingConfig, CpuCoreModel};
 use crate::minimizer::MinimizerScheme;
 use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
 use crate::table::HostCountTable;
@@ -19,12 +19,11 @@ use dedukt_dna::{Encoding, ReadSet};
 use dedukt_hash::{owner_rank_mult_shift, Murmur3x64};
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Parameters for wide counting. Mirrors [`CountingConfig`] with the wide
 /// packing constraints.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct WideConfig {
     /// k-mer length, 32..=63.
     pub k: usize,
@@ -49,7 +48,7 @@ impl Default for WideConfig {
             m: 11,
             window: 24,
             encoding: Encoding::PaperRandom,
-            hash_seed: 0x77_6964_65, // "wide"
+            hash_seed: 0x7769_6465, // "wide"
             table_load_factor: 0.7,
         }
     }
@@ -62,7 +61,10 @@ impl WideConfig {
             return Err(format!("wide k = {} outside 32..=63", self.k));
         }
         if self.m == 0 || self.m >= 32 || self.m >= self.k {
-            return Err(format!("wide m = {} must satisfy 0 < m < min(k, 32)", self.m));
+            return Err(format!(
+                "wide m = {} must satisfy 0 < m < min(k, 32)",
+                self.m
+            ));
         }
         if self.window == 0 || self.window + self.k - 1 > 64 {
             return Err(format!(
@@ -268,8 +270,7 @@ pub fn run_cpu_wide(
                 }
                 WideMode::Supermer => {
                     for sm in wide_supermers(&read.codes, cfg) {
-                        let dst =
-                            owner_rank_mult_shift(hasher.hash_u64(sm.minimizer), nranks);
+                        let dst = owner_rank_mult_shift(hasher.hash_u64(sm.minimizer), nranks);
                         out[dst].push(sm.word);
                         lens[dst].push(sm.len);
                     }
@@ -333,7 +334,13 @@ pub fn run_cpu_wide(
             table.insert(w);
         }
         let dt = cpu.count_rate.scaled(0.5).time_for(kmers.len() as f64);
-        ((table.iter().collect::<Vec<(u128, u32)>>(), kmers.len() as u64), dt)
+        (
+            (
+                table.iter().collect::<Vec<(u128, u32)>>(),
+                kmers.len() as u64,
+            ),
+            dt,
+        )
     });
 
     let stats = world.stats();
@@ -393,18 +400,27 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(WideConfig::default().validate().is_ok());
-        let mut c = WideConfig::default();
-        c.k = 31;
-        assert!(c.validate().is_err());
-        c = WideConfig::default();
-        c.k = 64;
-        assert!(c.validate().is_err());
-        c = WideConfig::default();
-        c.window = 30; // 30 + 40 = 70 > 64
-        assert!(c.validate().is_err());
-        c = WideConfig::default();
-        c.m = 32;
-        assert!(c.validate().is_err());
+        let bad = [
+            WideConfig {
+                k: 31,
+                ..Default::default()
+            },
+            WideConfig {
+                k: 64,
+                ..Default::default()
+            },
+            WideConfig {
+                window: 30, // 30 + 40 = 70 > 64
+                ..Default::default()
+            },
+            WideConfig {
+                m: 32,
+                ..Default::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err());
+        }
     }
 
     #[test]
@@ -416,8 +432,7 @@ mod tests {
                 .flat_map(|s| s.kmers(cfg.k).collect::<Vec<_>>())
                 .collect();
             extracted.sort_unstable();
-            let mut direct: Vec<u128> =
-                kmer_words128(&read.codes, cfg.k, cfg.encoding).collect();
+            let mut direct: Vec<u128> = kmer_words128(&read.codes, cfg.k, cfg.encoding).collect();
             direct.sort_unstable();
             assert_eq!(extracted, direct);
         }
@@ -447,11 +462,7 @@ mod tests {
         for mode in [WideMode::Kmer, WideMode::Supermer] {
             let report = run_cpu_wide(&rs, &cfg, mode, 1, &cpu);
             assert_eq!(report.distinct_kmers as usize, oracle.len(), "{mode:?}");
-            assert_eq!(
-                report.total_kmers,
-                oracle.values().sum::<u64>(),
-                "{mode:?}"
-            );
+            assert_eq!(report.total_kmers, oracle.values().sum::<u64>(), "{mode:?}");
             let mut seen = HashMap::new();
             for t in &report.tables {
                 for &(kmer, count) in t {

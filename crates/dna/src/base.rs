@@ -9,12 +9,11 @@
 //! custom ordering, spreading minimizers more evenly across partitions
 //! without extra computation.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single nucleotide. The discriminant is the internal *code*
 /// (alphabetical: A=0, C=1, G=2, T=3).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 #[repr(u8)]
 pub enum Base {
     /// Adenine.
@@ -93,7 +92,7 @@ impl fmt::Display for Base {
 /// therefore the induced minimizer ordering (packed words are compared
 /// numerically, which equals lexicographic comparison over encoded symbols
 /// because bases are packed most-significant-first).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Encoding {
     /// Alphabetical: A=0, C=1, G=2, T=3. Induces the classic lexicographic
     /// minimizer ordering of Roberts et al., which is known to produce

@@ -19,10 +19,9 @@
 
 use crate::read::ReadSet;
 use crate::sim::{simulate_genome, simulate_reads, GenomeParams, ReadSimParams};
-use serde::{Deserialize, Serialize};
 
 /// Identifies one of the paper's six evaluation datasets.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DatasetId {
     /// Escherichia coli MG1655, 30X (792 MB FASTQ in the paper).
     EColi30x,
@@ -111,7 +110,7 @@ impl DatasetId {
 }
 
 /// How aggressively to shrink the catalog for the host at hand.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum ScalePreset {
     /// Unit-test scale: tens of thousands of k-mers per dataset; entire
     /// suite generates in milliseconds.
@@ -135,7 +134,7 @@ impl ScalePreset {
 
 /// A fully specified synthetic dataset: identity plus generation
 /// parameters. Construct via [`Dataset::catalog`] or [`Dataset::new`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Dataset {
     /// Which Table I entry this models.
     pub id: DatasetId,
@@ -197,7 +196,10 @@ impl Dataset {
 
     /// The whole Table I catalog at one scale.
     pub fn catalog(scale: ScalePreset) -> Vec<Dataset> {
-        DatasetId::ALL.iter().map(|&id| Dataset::new(id, scale)).collect()
+        DatasetId::ALL
+            .iter()
+            .map(|&id| Dataset::new(id, scale))
+            .collect()
     }
 
     /// Generates the dataset (genome synthesis + read sampling).
@@ -239,7 +241,10 @@ mod tests {
         let p = Dataset::new(DatasetId::PAeruginosa30x, ScalePreset::Bench);
         let ratio = e.genome.length as f64 / p.genome.length as f64;
         let paper = 412.0 / 187.0;
-        assert!((ratio - paper).abs() / paper < 0.02, "ratio {ratio} vs {paper}");
+        assert!(
+            (ratio - paper).abs() / paper < 0.02,
+            "ratio {ratio} vs {paper}"
+        );
     }
 
     #[test]
@@ -262,7 +267,10 @@ mod tests {
         // Coverage target honoured within 10%.
         let total = a.total_bases() as f64;
         let expect = d.expected_bases() as f64;
-        assert!(total >= expect && total < expect * 1.1, "{total} vs {expect}");
+        assert!(
+            total >= expect && total < expect * 1.1,
+            "{total} vs {expect}"
+        );
     }
 
     #[test]

@@ -50,10 +50,7 @@ impl From<io::Error> for ParseError {
 pub fn parse_fastq<R: BufRead>(reader: R, min_fragment: usize) -> Result<ReadSet, ParseError> {
     let mut out = ReadSet::new();
     let mut lines = reader.lines().enumerate();
-    loop {
-        let Some((i, header)) = lines.next() else {
-            break;
-        };
+    while let Some((i, header)) = lines.next() {
         let header = header?;
         if header.is_empty() {
             continue; // tolerate trailing blank lines
@@ -65,7 +62,11 @@ pub fn parse_fastq<R: BufRead>(reader: R, min_fragment: usize) -> Result<ReadSet
                 reason: format!("expected '@' header, got {header:?}"),
             });
         }
-        let id = header[1..].split_whitespace().next().unwrap_or("").to_string();
+        let id = header[1..]
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
         let (_, seq) = lines.next().ok_or(ParseError::Malformed {
             line: lineno,
             reason: "missing sequence line".into(),
@@ -90,10 +91,20 @@ pub fn parse_fastq<R: BufRead>(reader: R, min_fragment: usize) -> Result<ReadSet
         if qual.len() != seq.len() {
             return Err(ParseError::Malformed {
                 line: qi + 1,
-                reason: format!("quality length {} != sequence length {}", qual.len(), seq.len()),
+                reason: format!(
+                    "quality length {} != sequence length {}",
+                    qual.len(),
+                    seq.len()
+                ),
             });
         }
-        push_sequence(&mut out, &id, seq.as_bytes(), Some(qual.as_bytes()), min_fragment);
+        push_sequence(
+            &mut out,
+            &id,
+            seq.as_bytes(),
+            Some(qual.as_bytes()),
+            min_fragment,
+        );
     }
     Ok(out)
 }
@@ -158,7 +169,10 @@ fn push_sequence(
         }
         return;
     }
-    for (fi, frag) in ascii_to_fragments(seq, min_fragment).into_iter().enumerate() {
+    for (fi, frag) in ascii_to_fragments(seq, min_fragment)
+        .into_iter()
+        .enumerate()
+    {
         out.reads.push(Read {
             id: format!("{id}/{fi}"),
             codes: frag,
@@ -266,7 +280,7 @@ mod tests {
 
     #[test]
     fn fasta_write_wraps_lines() {
-        let rs: ReadSet = [Read::from_ascii("long", &vec![b'A'; 200]).unwrap()]
+        let rs: ReadSet = [Read::from_ascii("long", &[b'A'; 200]).unwrap()]
             .into_iter()
             .collect();
         let mut buf = Vec::new();

@@ -16,11 +16,10 @@
 //! enforces this invariant.
 
 use crate::base::{Base, Encoding};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A packed k-mer with k ≤ 32 (2 bits/base in a `u64`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Kmer {
     word: u64,
     k: u8,
@@ -177,7 +176,7 @@ pub fn reverse_2bit_groups(mut v: u64) -> u64 {
 
 /// A packed k-mer with k ≤ 64 (2 bits/base in a `u128`), for long-k
 /// workloads (third-generation analyses sometimes use k up to 63).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Kmer128 {
     word: u128,
     k: u8,
@@ -365,10 +364,7 @@ mod tests {
         packed.sort_unstable();
         assert_eq!(packed, sorted);
         // And the lexicographically smallest string gives smallest word.
-        assert_eq!(
-            packed[0],
-            Kmer::from_ascii(b"AAAA", ENC).unwrap().word()
-        );
+        assert_eq!(packed[0], Kmer::from_ascii(b"AAAA", ENC).unwrap().word());
     }
 
     #[test]
@@ -405,7 +401,10 @@ mod tests {
     #[test]
     fn kmer_words_iterator_matches_windows() {
         let seq = b"ACGTTGCAACGT";
-        let codes: Vec<u8> = seq.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let codes: Vec<u8> = seq
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let k = 4;
         let got: Vec<u64> = kmer_words(&codes, k, ENC).collect();
         let expect: Vec<u64> = (0..=seq.len() - k)
@@ -474,7 +473,10 @@ mod tests {
     #[test]
     fn kmer128_roundtrip_and_rc() {
         let s = b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"; // 44 bases
-        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let codes: Vec<u8> = s
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let k = Kmer128::from_codes(&codes, ENC);
         assert_eq!(k.k(), 44);
         assert_eq!(k.codes(ENC), codes);
@@ -485,7 +487,10 @@ mod tests {
     #[test]
     fn kmer128_submer_matches_narrow_submer() {
         let s = b"GATTACAGATTACAGATTACAGATTACAGATTACAGATT"; // 39 bases
-        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let codes: Vec<u8> = s
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let wide = Kmer128::from_codes(&codes, ENC);
         for m in [3usize, 7, 15] {
             for pos in [0usize, 5, 39 - m] {
@@ -498,7 +503,10 @@ mod tests {
     #[test]
     fn kmer_words128_matches_fresh_packing() {
         let s = b"ACGTTGCAACGTACGTTGCAACGTACGTTGCAACGTACGTTGCAACGT"; // 48 bases
-        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let codes: Vec<u8> = s
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let k = 41;
         let got: Vec<u128> = kmer_words128(&codes, k, ENC).collect();
         let expect: Vec<u128> = (0..=codes.len() - k)
@@ -511,7 +519,10 @@ mod tests {
     #[test]
     fn kmer128_rolling() {
         let s = b"GATTACAGATTACAGATTACAGATTACAGATTACAG"; // 36 bases
-        let codes: Vec<u8> = s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect();
+        let codes: Vec<u8> = s
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
         let k = 35;
         let mut rolled = Kmer128::from_codes(&codes[..k], ENC);
         rolled = rolled.rolled(codes[k], ENC);

@@ -8,7 +8,6 @@
 //! transfer cost model charges for.
 
 use crate::base::Encoding;
-use serde::{Deserialize, Serialize};
 
 /// An append-only 2-bit packed sequence of base *symbols* under a fixed
 /// [`Encoding`].
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// Symbols — not raw base codes — are stored, so slicing a window out of a
 /// `PackedSeq` and comparing packed words is consistent with [`crate::kmer`]
 /// packing under the same encoding.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PackedSeq {
     /// 4 symbols per byte, first symbol in the two most significant bits.
     data: Vec<u8>,
@@ -139,7 +138,7 @@ impl PackedSeq {
 /// The paper marks read ends with special in-band bases; an offset side
 /// table is the idiomatic out-of-band equivalent (and is what the paper's
 /// released CUDA code also does for supermer lengths).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConcatReads {
     /// All bases of all reads, packed.
     pub bases: PackedSeq,
@@ -198,7 +197,9 @@ mod tests {
     use crate::kmer::Kmer;
 
     fn codes(s: &[u8]) -> Vec<u8> {
-        s.iter().map(|&c| Base::from_ascii(c).unwrap().code()).collect()
+        s.iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect()
     }
 
     #[test]
@@ -228,7 +229,9 @@ mod tests {
             let p = PackedSeq::from_codes(&codes(seq), enc);
             for k in [1usize, 3, 7, 14] {
                 for start in 0..=(seq.len() - k) {
-                    let expect = Kmer::from_ascii(&seq[start..start + k], enc).unwrap().word();
+                    let expect = Kmer::from_ascii(&seq[start..start + k], enc)
+                        .unwrap()
+                        .word();
                     assert_eq!(p.kmer_word(start, k), expect, "enc {enc:?} k {k} s {start}");
                 }
             }
@@ -240,10 +243,7 @@ mod tests {
         let r1 = codes(b"ACGT");
         let r2 = codes(b"GG");
         let r3 = codes(b"TTTTT");
-        let c = ConcatReads::from_reads(
-            [&r1[..], &r2[..], &r3[..]],
-            Encoding::Alphabetical,
-        );
+        let c = ConcatReads::from_reads([&r1[..], &r2[..], &r3[..]], Encoding::Alphabetical);
         assert_eq!(c.num_reads(), 3);
         assert_eq!(c.num_bases(), 11);
         assert_eq!(c.read_span(0), (0, 4));

@@ -1,12 +1,11 @@
 //! Sequencing reads.
 
 use crate::base::Base;
-use serde::{Deserialize, Serialize};
 
 /// A single sequencing read: an identifier, base codes, and optional
 /// per-base quality scores (Phred+33 style, kept only for FASTQ round
 /// tripping — the counting pipelines ignore qualities, as the paper does).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Read {
     /// Read name (FASTQ header without the leading `@`).
     pub id: String,
@@ -97,7 +96,7 @@ impl Read {
 }
 
 /// An owned collection of reads with convenience statistics.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReadSet {
     /// The reads.
     pub reads: Vec<Read>,
@@ -166,10 +165,7 @@ impl ReadSet {
             // Close the current partition once it has reached its share,
             // but never exceed n partitions.
             let boundary = (parts.len() + 1) as f64 * target;
-            if parts.len() + 1 < n
-                && !cur.reads.is_empty()
-                && (acc + r.len()) as f64 > boundary
-            {
+            if parts.len() + 1 < n && !cur.reads.is_empty() && (acc + r.len()) as f64 > boundary {
                 parts.push(std::mem::take(&mut cur));
             }
             acc += r.len();
@@ -216,7 +212,9 @@ mod tests {
 
     #[test]
     fn set_statistics() {
-        let s: ReadSet = [read("a", b"ACGT"), read("b", b"GGGGGGGG")].into_iter().collect();
+        let s: ReadSet = [read("a", b"ACGT"), read("b", b"GGGGGGGG")]
+            .into_iter()
+            .collect();
         assert_eq!(s.len(), 2);
         assert_eq!(s.total_bases(), 12);
         assert_eq!(s.total_kmers(4), 1 + 5);
@@ -241,7 +239,9 @@ mod tests {
 
     #[test]
     fn partition_is_roughly_even_by_bases() {
-        let s: ReadSet = (0..100).map(|i| read(&format!("r{i}"), &vec![b'C'; 100])).collect();
+        let s: ReadSet = (0..100)
+            .map(|i| read(&format!("r{i}"), &[b'C'; 100]))
+            .collect();
         let parts = s.partition_by_bases(4);
         for p in &parts {
             let b = p.total_bases();
@@ -291,9 +291,9 @@ mod tests {
             quals: Some(quals.to_vec()),
         };
         let s: ReadSet = [
-            mk("long", b"IIIIIIII"),   // survives
-            mk("short", b"##II####"),  // trims to 2 -> dropped at min_len 4
-            mk("dead", b"########"),   // nothing survives
+            mk("long", b"IIIIIIII"),  // survives
+            mk("short", b"##II####"), // trims to 2 -> dropped at min_len 4
+            mk("dead", b"########"),  // nothing survives
         ]
         .into_iter()
         .collect();

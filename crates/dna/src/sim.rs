@@ -19,12 +19,16 @@
 
 use crate::base::Base;
 use crate::read::{Read, ReadSet};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use dedukt_sim::SplitMix64;
+
+/// Uniform draw from the inclusive range `[lo, hi]`.
+fn gen_usize(rng: &mut SplitMix64, lo: usize, hi: usize) -> usize {
+    debug_assert!(lo <= hi);
+    lo + rng.next_below((hi - lo + 1) as u64) as usize
+}
 
 /// Parameters for synthetic genome generation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct GenomeParams {
     /// Genome length in bases.
     pub length: usize,
@@ -81,11 +85,11 @@ pub fn simulate_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
             && params.low_complexity_len.0 <= params.low_complexity_len.1,
         "bad low_complexity_len range"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let gc = params.gc_content;
     let mut genome: Vec<u8> = (0..params.length)
         .map(|_| {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.next_f64();
             // Split GC mass between C and G, AT mass between A and T.
             if r < gc / 2.0 {
                 Base::C.code()
@@ -104,18 +108,18 @@ pub fn simulate_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
     let mut lc_budget = (params.length as f64 * params.low_complexity_fraction) as usize;
     let (lc_min, lc_max) = params.low_complexity_len;
     while lc_budget > 0 && params.length > lc_max * 2 {
-        let len = rng.gen_range(lc_min..=lc_max).min(lc_budget.max(lc_min));
-        let dst = rng.gen_range(0..=params.length - len);
+        let len = gen_usize(&mut rng, lc_min, lc_max).min(lc_budget.max(lc_min));
+        let dst = gen_usize(&mut rng, 0, params.length - len);
         // 45% poly-A, 30% poly-T, 25% AT microsatellite — with ~20% random
         // interruptions, as in real genomes. Interruptions matter: they
         // spread the tract's k-mers over many near-poly-A *keys* (so exact
         // k-mer hashing stays balanced) while all those keys still share
         // AT-heavy *minimizers* (so minimizer routing concentrates — the
         // paper's Table III effect).
-        let style: f64 = rng.gen();
+        let style: f64 = rng.next_f64();
         for (i, slot) in genome[dst..dst + len].iter_mut().enumerate() {
-            if rng.gen_bool(0.20) {
-                *slot = rng.gen_range(0..4u8);
+            if rng.next_f64() < 0.20 {
+                *slot = rng.next_below(4) as u8;
                 continue;
             }
             *slot = if style < 0.45 {
@@ -134,14 +138,18 @@ pub fn simulate_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
     // Paste repeat copies until the budget is used.
     let mut budget = (params.length as f64 * params.repeat_fraction) as usize;
     while budget > 0 && params.length > params.repeat_len.0 * 2 {
-        let max_len = params.repeat_len.1.min(params.length / 2).min(budget.max(params.repeat_len.0));
+        let max_len = params
+            .repeat_len
+            .1
+            .min(params.length / 2)
+            .min(budget.max(params.repeat_len.0));
         let len = if max_len <= params.repeat_len.0 {
             params.repeat_len.0
         } else {
-            rng.gen_range(params.repeat_len.0..=max_len)
+            gen_usize(&mut rng, params.repeat_len.0, max_len)
         };
-        let src = rng.gen_range(0..=params.length - len);
-        let dst = rng.gen_range(0..=params.length - len);
+        let src = gen_usize(&mut rng, 0, params.length - len);
+        let dst = gen_usize(&mut rng, 0, params.length - len);
         if src != dst {
             let segment: Vec<u8> = genome[src..src + len].to_vec();
             genome[dst..dst + len].copy_from_slice(&segment);
@@ -152,7 +160,7 @@ pub fn simulate_genome(params: &GenomeParams, seed: u64) -> Vec<u8> {
 }
 
 /// Parameters for read simulation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReadSimParams {
     /// Target sequencing depth: total sampled bases ≈ `coverage × genome`.
     pub coverage: f64,
@@ -189,7 +197,7 @@ pub fn simulate_reads(genome: &[u8], params: &ReadSimParams, seed: u64) -> ReadS
     assert!(!genome.is_empty(), "empty genome");
     assert!(params.coverage > 0.0 && params.mean_read_len > 0);
     assert!((0.0..=0.5).contains(&params.sub_rate));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let target_bases = (genome.len() as f64 * params.coverage) as usize;
 
     // Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
@@ -201,16 +209,16 @@ pub fn simulate_reads(genome: &[u8], params: &ReadSimParams, seed: u64) -> ReadS
     let mut idx = 0usize;
     while sampled < target_bases {
         // Box-Muller normal draw.
-        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = rng.gen();
+        let u1: f64 = rng.next_f64().max(f64::EPSILON);
+        let u2: f64 = rng.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let len = (mu + sigma * z).exp() as usize;
         let len = len.clamp(params.min_read_len, genome.len());
 
-        let start = rng.gen_range(0..=genome.len() - len);
+        let start = gen_usize(&mut rng, 0, genome.len() - len);
         let mut codes: Vec<u8> = genome[start..start + len].to_vec();
 
-        if params.both_strands && rng.gen_bool(0.5) {
+        if params.both_strands && rng.next_f64() < 0.5 {
             codes.reverse();
             for c in &mut codes {
                 *c = 3 - *c; // complement in code space (alphabetical codes)
@@ -219,9 +227,9 @@ pub fn simulate_reads(genome: &[u8], params: &ReadSimParams, seed: u64) -> ReadS
 
         if params.sub_rate > 0.0 {
             for c in &mut codes {
-                if rng.gen_bool(params.sub_rate) {
+                if rng.next_f64() < params.sub_rate {
                     // Substitute with one of the three other bases.
-                    *c = (*c + rng.gen_range(1..4u8)) % 4;
+                    *c = (*c + 1 + rng.next_below(3) as u8) % 4;
                 }
             }
         }
@@ -352,7 +360,10 @@ mod tests {
             prev = c;
             best_clean = best_clean.max(run);
         }
-        assert!(best_clean < 20, "unexpected homopolymer in clean genome: {best_clean}");
+        assert!(
+            best_clean < 20,
+            "unexpected homopolymer in clean genome: {best_clean}"
+        );
     }
 
     #[test]

@@ -5,12 +5,11 @@
 //! k-mers with that multiplicity; it is also the natural cross-check
 //! artifact between two counters (identical multisets ⇒ identical spectra).
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A k-mer spectrum: for each multiplicity `c`, the number of distinct
 /// k-mers that occur exactly `c` times.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Spectrum {
     counts: BTreeMap<u32, u64>,
 }

@@ -6,10 +6,9 @@
 //! ~900 GB/s HBM2 bandwidth).
 
 use dedukt_sim::Rate;
-use serde::{Deserialize, Serialize};
 
 /// Static description of a simulated GPU.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DeviceConfig {
     /// Marketing name, for reports.
     pub name: String,

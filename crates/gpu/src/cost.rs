@@ -21,7 +21,6 @@
 use crate::config::DeviceConfig;
 use crate::launch::WorkTally;
 use dedukt_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of peak HBM bandwidth achieved by fully random accesses.
 pub const RANDOM_ACCESS_EFFICIENCY: f64 = 0.125;
@@ -31,7 +30,7 @@ pub const RANDOM_ACCESS_EFFICIENCY: f64 = 0.125;
 pub const OCCUPANCY_KNEE: f64 = 0.5;
 
 /// Component durations behind a kernel time.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct TimeBreakdown {
     /// Instruction-pipeline time.
     pub compute: SimTime,
@@ -79,8 +78,8 @@ pub fn kernel_time(
             .time_for(tally.gmem_random_bytes as f64);
 
     // Atomic pipeline: conflicts serialise.
-    let effective_atomics = tally.atomics as f64
-        + tally.atomic_conflicts as f64 * config.atomic_contention_penalty;
+    let effective_atomics =
+        tally.atomics as f64 + tally.atomic_conflicts as f64 * config.atomic_contention_penalty;
     let atomics = config
         .atomic_throughput
         .scaled(eff)

@@ -16,11 +16,10 @@ use crate::memory::Device;
 use crate::occupancy;
 use dedukt_sim::SimTime;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Grid and block dimensions for a launch (1-D, which is all the paper's
 /// kernels need).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Number of thread blocks in the grid.
     pub grid_blocks: u32,
@@ -49,7 +48,7 @@ impl LaunchConfig {
 /// Work performed by a kernel, tallied per block and merged after the
 /// launch. All quantities are *logical* (what the real GPU would do), not
 /// host-side measurements.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WorkTally {
     /// Simple arithmetic/logic instructions executed.
     pub instructions: u64,
@@ -175,7 +174,7 @@ impl BlockCtx {
 }
 
 /// Everything known about a completed launch.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct KernelReport {
     /// Kernel name (for reports and traces).
     pub name: String,
@@ -242,7 +241,12 @@ impl Device {
     /// global memory, which the simulator represents as the returned
     /// values. The *cost* of those writes must still be tallied by the
     /// kernel body.
-    pub fn launch_map<R, F>(&self, name: &str, cfg: LaunchConfig, kernel: F) -> (KernelReport, Vec<R>)
+    pub fn launch_map<R, F>(
+        &self,
+        name: &str,
+        cfg: LaunchConfig,
+        kernel: F,
+    ) -> (KernelReport, Vec<R>)
     where
         R: Send,
         F: Fn(&mut BlockCtx) -> R + Sync,

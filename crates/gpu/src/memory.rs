@@ -110,7 +110,10 @@ impl Device {
     }
 
     /// Allocates a zero-initialised buffer of `len` elements.
-    pub fn alloc_zeroed<T: Default + Clone>(&self, len: usize) -> Result<DeviceBuffer<T>, OomError> {
+    pub fn alloc_zeroed<T: Default + Clone>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, OomError> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         self.inner.try_reserve(bytes)?;
         Ok(DeviceBuffer {
@@ -248,7 +251,10 @@ impl AtomicBuffer {
 
     /// Copies the current contents to a host `Vec`.
     pub fn snapshot(&self) -> Vec<u64> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -297,7 +303,10 @@ impl AtomicBuffer32 {
 
     /// Copies the current contents to a host `Vec`.
     pub fn snapshot(&self) -> Vec<u32> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -334,7 +343,7 @@ mod tests {
         assert_eq!(err.requested, 200);
         assert_eq!(err.capacity, 100);
         assert_eq!(d.allocated_bytes(), 0); // rollback happened
-        // A fitting allocation still works afterwards.
+                                            // A fitting allocation still works afterwards.
         assert!(d.alloc_zeroed::<u8>(100).is_ok());
     }
 

@@ -8,10 +8,9 @@
 
 use crate::config::DeviceConfig;
 use dedukt_sim::{DataVolume, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The link a transfer crosses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Link {
     /// Host↔device over PCIe.
     Pcie,
@@ -21,7 +20,7 @@ pub enum Link {
 
 /// Direction of a host↔device transfer. Both directions cost the same in
 /// this model; the distinction is kept for traces.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TransferDirection {
     /// Host to device.
     HostToDevice,

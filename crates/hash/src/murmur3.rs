@@ -264,7 +264,12 @@ mod tests {
     #[test]
     fn hash_u128_matches_byte_slice_path() {
         let h = Murmur3x64::new(7);
-        for w in [0u128, 1, u128::MAX, 0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210] {
+        for w in [
+            0u128,
+            1,
+            u128::MAX,
+            0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210,
+        ] {
             assert_eq!(
                 h.hash_u128(w),
                 murmur3_x64_128(&w.to_le_bytes(), 7).0,

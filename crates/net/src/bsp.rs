@@ -14,8 +14,9 @@
 
 use crate::cost::Network;
 use crate::stats::CommStats;
-use dedukt_sim::{SimClock, SimTime, TraceEvent};
+use dedukt_sim::{MetricsRegistry, SimClock, SimTime, TraceCounter, TraceEvent};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Durations of one superstep, aggregated over ranks.
 ///
@@ -67,6 +68,9 @@ pub struct BspWorld {
     clocks: Vec<SimClock>,
     stats: CommStats,
     trace: Vec<TraceEvent>,
+    counters: Vec<TraceCounter>,
+    sent_bytes_cum: Vec<u64>,
+    metrics: Option<Arc<MetricsRegistry>>,
     step_counter: usize,
 }
 
@@ -79,8 +83,19 @@ impl BspWorld {
             clocks: vec![SimClock::new(); n],
             stats: CommStats::new(n),
             trace: Vec::new(),
+            counters: Vec::new(),
+            sent_bytes_cum: vec![0; n],
+            metrics: None,
             step_counter: 0,
         }
+    }
+
+    /// Attaches a metrics registry: subsequent supersteps and collectives
+    /// record per-rank counters and gauges into it. All simulated times
+    /// come from the analytic cost models, so attaching a registry never
+    /// changes them.
+    pub fn enable_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
     }
 
     /// Number of ranks.
@@ -132,6 +147,7 @@ impl BspWorld {
         F: Fn(usize) -> (T, SimTime) + Sync,
     {
         let results: Vec<(T, SimTime)> = (0..self.nranks()).into_par_iter().map(&f).collect();
+        let metrics = self.metrics.clone();
         let mut outputs = Vec::with_capacity(results.len());
         let mut times = Vec::with_capacity(results.len());
         for (rank, (out, dt)) in results.into_iter().enumerate() {
@@ -142,6 +158,9 @@ impl BspWorld {
                     start: self.clocks[rank].now(),
                     duration: dt,
                 });
+            }
+            if let Some(m) = &metrics {
+                m.gauge_add("compute_seconds_total", Some(rank), dt.as_secs());
             }
             self.clocks[rank].advance(dt);
             times.push(dt);
@@ -155,6 +174,13 @@ impl BspWorld {
     /// [`dedukt_sim::trace::write_chrome_trace`].
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Drains the recorded counter samples (cumulative Alltoallv bytes per
+    /// rank, one sample per collective), for
+    /// [`dedukt_sim::trace::write_chrome_trace_with`].
+    pub fn take_trace_counters(&mut self) -> Vec<TraceCounter> {
+        std::mem::take(&mut self.counters)
     }
 
     /// Performs an Alltoallv: `send[src][dst]` is the payload `src` sends
@@ -175,9 +201,21 @@ impl BspWorld {
         self.stats
             .record_alltoallv(&send_bytes, |r| topo.node_of(r));
         let wire_times = self.net.alltoallv_times(&send_bytes);
+        let sent_per_rank: Vec<u64> = send_bytes.iter().map(|row| row.iter().sum()).collect();
 
         // Synchronize: nobody finishes before the slowest rank has arrived.
         let start = self.elapsed();
+        let metrics = self.metrics.clone();
+        if let Some(m) = &metrics {
+            m.counter_add("exchange_collectives_total", None, 1);
+            // Zero-padded so the superstep series sorts numerically in
+            // exports (the registry is name-ordered).
+            m.counter_add(
+                &format!("exchange_superstep_bytes:{:04}", self.stats.collectives),
+                None,
+                sent_per_rank.iter().sum(),
+            );
+        }
         let mut elapsed = Vec::with_capacity(p);
         for (rank, wt) in wire_times.iter().enumerate() {
             self.trace.push(TraceEvent {
@@ -186,7 +224,22 @@ impl BspWorld {
                 start,
                 duration: *wt,
             });
+            if let Some(m) = &metrics {
+                // How long this rank idled at the barrier waiting for the
+                // slowest participant (SimTime subtraction floors at zero).
+                let wait = start - self.clocks[rank].now();
+                m.counter_add("exchange_bytes_total", Some(rank), sent_per_rank[rank]);
+                m.gauge_add("alltoallv_wire_seconds_total", Some(rank), wt.as_secs());
+                m.gauge_add("alltoallv_wait_seconds_total", Some(rank), wait.as_secs());
+            }
             self.clocks[rank].sync_to(start + *wt);
+            self.sent_bytes_cum[rank] += sent_per_rank[rank];
+            self.counters.push(TraceCounter {
+                name: "alltoallv bytes".to_string(),
+                rank,
+                ts: start + *wt,
+                value: self.sent_bytes_cum[rank] as f64,
+            });
             elapsed.push(*wt);
         }
         let times = StepTimes::from_times(&elapsed);
@@ -337,5 +390,69 @@ mod tests {
         }
         // Draining empties the trace.
         assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn metrics_record_exchange_and_straggler_waits() {
+        use dedukt_sim::MetricValue;
+        let mut w = world(1);
+        let reg = Arc::new(MetricsRegistry::new());
+        w.enable_metrics(Arc::clone(&reg));
+        let p = w.nranks();
+        // Rank 0 computes for 1 s; everyone else waits at the collective.
+        w.compute_step(|r| {
+            (
+                (),
+                if r == 0 {
+                    SimTime::from_secs(1.0)
+                } else {
+                    SimTime::ZERO
+                },
+            )
+        });
+        let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![7u64; 3]; p]; p];
+        w.alltoallv(send.clone());
+        w.alltoallv(send);
+        let snap = reg.snapshot();
+        // Per-rank bytes sum to the world's total exchange bytes.
+        assert_eq!(
+            snap.counter_total("exchange_bytes_total"),
+            w.stats().total_bytes
+        );
+        assert_eq!(
+            snap.get("exchange_collectives_total", None),
+            Some(&MetricValue::Counter(2))
+        );
+        // One per-superstep byte series per collective, each half the total.
+        assert_eq!(
+            snap.counter_total("exchange_superstep_bytes:0001"),
+            w.stats().total_bytes / 2
+        );
+        assert_eq!(
+            snap.counter_total("exchange_superstep_bytes:0002"),
+            w.stats().total_bytes / 2
+        );
+        // Rank 0 was the straggler: it never waited, everyone else did.
+        let wait = |r: usize| match snap.get("alltoallv_wait_seconds_total", Some(r)) {
+            Some(MetricValue::Gauge(v)) => *v,
+            other => panic!("missing wait gauge for rank {r}: {other:?}"),
+        };
+        assert_eq!(wait(0), 0.0);
+        for r in 1..p {
+            assert!(wait(r) >= 1.0, "rank {r} waited {}", wait(r));
+        }
+        // Compute seconds were recorded for the straggler.
+        assert_eq!(
+            snap.get("compute_seconds_total", Some(0)),
+            Some(&MetricValue::Gauge(1.0))
+        );
+        // The counter lane carries one cumulative-bytes sample per rank per
+        // collective, recorded whether or not metrics are attached.
+        let counters = w.take_trace_counters();
+        assert_eq!(counters.len(), 2 * p);
+        let last = counters.last().unwrap();
+        assert_eq!(last.name, "alltoallv bytes");
+        assert_eq!(last.value, (w.stats().total_bytes / p as u64) as f64);
+        assert!(w.take_trace_counters().is_empty());
     }
 }

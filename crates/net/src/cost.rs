@@ -18,10 +18,9 @@
 
 use crate::topology::Topology;
 use dedukt_sim::{Rate, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// How the personalized all-to-all is routed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ExchangeAlgo {
     /// Every rank messages every other rank directly — `P − 1` messages
     /// per rank, the default `MPI_Alltoallv` shape.
@@ -35,7 +34,7 @@ pub enum ExchangeAlgo {
 }
 
 /// Network performance parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct NetworkParams {
     /// Point-to-point software/fabric latency per message round (seconds).
     pub alpha_secs: f64,
@@ -79,7 +78,7 @@ impl NetworkParams {
 }
 
 /// A topology plus its performance parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Network {
     /// Rank→node layout.
     pub topology: Topology,
@@ -206,8 +205,7 @@ mod tests {
     fn empty_exchange_costs_latency_and_messages_only() {
         let net = Network::summit_gpu(2);
         let times = net.alltoallv_times(&uniform_matrix(12, 0));
-        let expect =
-            net.latency(12) + SimTime::from_secs(net.params.per_message_secs * 11.0);
+        let expect = net.latency(12) + SimTime::from_secs(net.params.per_message_secs * 11.0);
         for t in &times {
             assert_eq!(*t, expect);
         }
@@ -225,7 +223,10 @@ mod tests {
         let m = uniform_matrix(p, 16);
         let td = direct.alltoallv_times(&m)[0];
         let ta = agg.alltoallv_times(&m)[0];
-        assert!(ta < td, "aggregated {ta} should beat direct {td} on small messages");
+        assert!(
+            ta < td,
+            "aggregated {ta} should beat direct {td} on small messages"
+        );
     }
 
     #[test]
@@ -240,7 +241,10 @@ mod tests {
         let m = uniform_matrix(p, 10_000_000);
         let td = direct.alltoallv_times(&m)[0];
         let ta = agg.alltoallv_times(&m)[0];
-        assert!(ta > td, "aggregated {ta} should lose to direct {td} on big payloads");
+        assert!(
+            ta > td,
+            "aggregated {ta} should lose to direct {td} on big payloads"
+        );
     }
 
     #[test]

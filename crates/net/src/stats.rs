@@ -2,10 +2,9 @@
 //! paper's Table II.
 
 use dedukt_sim::{DataVolume, DistStats};
-use serde::{Deserialize, Serialize};
 
 /// Accumulated statistics over one or more collectives.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CommStats {
     /// Number of collective operations performed.
     pub collectives: u64,
@@ -96,9 +95,9 @@ mod tests {
     #[test]
     fn merge_accumulates() {
         let mut a = CommStats::new(2);
-        a.record_alltoallv(&vec![vec![0, 1], vec![2, 0]], |_| 0);
+        a.record_alltoallv(&[vec![0, 1], vec![2, 0]], |_| 0);
         let mut b = CommStats::new(2);
-        b.record_alltoallv(&vec![vec![0, 5], vec![5, 0]], |r| r);
+        b.record_alltoallv(&[vec![0, 5], vec![5, 0]], |r| r);
         a.merge(&b);
         assert_eq!(a.collectives, 2);
         assert_eq!(a.total_bytes, 13);
@@ -109,7 +108,7 @@ mod tests {
     #[test]
     fn send_distribution_reports_imbalance() {
         let mut s = CommStats::new(2);
-        s.record_alltoallv(&vec![vec![0, 30], vec![10, 0]], |_| 0);
+        s.record_alltoallv(&[vec![0, 30], vec![10, 0]], |_| 0);
         let d = s.send_distribution().unwrap();
         assert_eq!(d.max, 30);
         assert!((d.imbalance() - 1.5).abs() < 1e-12);

@@ -147,8 +147,9 @@ impl ThreadedWorld {
         assert!(nranks > 0);
         // channels[src][dst]
         let mut senders: Vec<Vec<Sender<Payload>>> = Vec::with_capacity(nranks);
-        let mut receivers: Vec<Vec<Option<Receiver<Payload>>>> =
-            (0..nranks).map(|_| (0..nranks).map(|_| None).collect()).collect();
+        let mut receivers: Vec<Vec<Option<Receiver<Payload>>>> = (0..nranks)
+            .map(|_| (0..nranks).map(|_| None).collect())
+            .collect();
         for src in 0..nranks {
             let mut row = Vec::with_capacity(nranks);
             for (dst, rx_row) in receivers.iter_mut().enumerate() {
@@ -179,7 +180,10 @@ impl ThreadedWorld {
                 .into_iter()
                 .map(|comm| scope.spawn(|| f(comm)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         })
     }
 }
@@ -208,9 +212,7 @@ mod tests {
     fn alltoallv_bytes_roundtrip() {
         let p = 3;
         let results = ThreadedWorld::run(p, |comm| {
-            let send: Vec<Vec<u8>> = (0..p)
-                .map(|dst| vec![comm.rank() as u8; dst + 1])
-                .collect();
+            let send: Vec<Vec<u8>> = (0..p).map(|dst| vec![comm.rank() as u8; dst + 1]).collect();
             comm.alltoallv_bytes(send)
         });
         for (dst, recv) in results.iter().enumerate() {

@@ -6,10 +6,8 @@
 //! shared memory) and which cross the fat-tree (charged against the node's
 //! injection bandwidth).
 
-use serde::{Deserialize, Serialize};
-
 /// A flat nodes × ranks-per-node topology.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
     /// Number of compute nodes.
     pub nodes: usize,

@@ -68,9 +68,9 @@ proptest! {
             .map(|s| (0..6).map(|d| if s < p && d < p { vec![m[s][d]] } else { vec![] }).collect())
             .collect();
         let out = world.alltoallv(send);
-        for dst in 0..p {
-            for src in 0..p {
-                prop_assert_eq!(&out.recv[dst][src], &threaded[dst][src]);
+        for (dst, t_row) in threaded.iter().enumerate() {
+            for (src, t_cell) in t_row.iter().enumerate() {
+                prop_assert_eq!(&out.recv[dst][src], t_cell);
             }
         }
     }

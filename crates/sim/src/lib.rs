@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod rate;
 pub mod rng;
 pub mod stats;
@@ -18,10 +19,11 @@ pub mod time;
 pub mod trace;
 pub mod volume;
 
+pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use rate::Rate;
 pub use rng::SplitMix64;
 pub use stats::DistStats;
 pub use tally::Counter;
 pub use time::{SimClock, SimTime};
-pub use trace::TraceEvent;
+pub use trace::{TraceCounter, TraceEvent};
 pub use volume::DataVolume;

@@ -1,0 +1,514 @@
+//! Run-wide metrics: mergeable counters, gauges, and log-bucketed
+//! histograms behind a [`MetricsRegistry`].
+//!
+//! The paper's whole argument is read off instrumentation — phase
+//! breakdowns (Figs. 3/7), exchange volume (Table II), load imbalance
+//! (Table III) — so the reproduction carries a first-class metrics layer.
+//! Every metric is keyed by `(name, rank)`: `rank = None` is a run-global
+//! series, `rank = Some(r)` a per-rank lane. Two exporters are provided:
+//! a JSON snapshot ([`MetricsSnapshot::write_json`]) and Prometheus text
+//! exposition ([`MetricsSnapshot::write_prometheus`]).
+//!
+//! Collection is strictly an observer: all simulated times come from
+//! analytic cost models, so recording metrics can never perturb them, and
+//! the registry is threaded through the pipelines as an `Option` so a run
+//! without `--metrics` does no work at all.
+
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A mergeable power-of-two-bucketed histogram of `u64` samples.
+///
+/// Merging shard histograms is exactly equivalent (bucket-wise, and for
+/// `sum`/`count`/`min`/`max`) to building one histogram over the
+/// concatenated samples — the property the per-block accumulators in the
+/// GPU pipelines rely on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of a bucket (`u64::MAX` for the last one).
+    pub fn bucket_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Index of the highest non-empty bucket, if any.
+    fn top_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// One recorded series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event/byte count.
+    Counter(u64),
+    /// Last-written (or max-tracked) level.
+    Gauge(f64),
+    /// Distribution of `u64` samples.
+    Histogram(Histogram),
+}
+
+type MetricKey = (String, Option<usize>);
+
+/// Thread-safe registry of `(name, rank)`-keyed metrics.
+///
+/// The map is a `BTreeMap` so exports are deterministically ordered —
+/// name-major, run-global series before per-rank lanes.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<MetricKey, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn counter_add(&self, name: &str, rank: Option<usize>, n: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry((name.to_string(), rank))
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += n,
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Sets a gauge to `v`.
+    pub fn gauge_set(&self, name: &str, rank: Option<usize>, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.insert((name.to_string(), rank), MetricValue::Gauge(v));
+    }
+
+    /// Adds `v` to a gauge (creating it at `v`). Used for accumulated
+    /// simulated durations, which are fractional.
+    pub fn gauge_add(&self, name: &str, rank: Option<usize>, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry((name.to_string(), rank))
+            .or_insert(MetricValue::Gauge(0.0))
+        {
+            MetricValue::Gauge(g) => *g += v,
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Raises a gauge to `v` if `v` is larger (high-water marks).
+    pub fn gauge_max(&self, name: &str, rank: Option<usize>, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry((name.to_string(), rank))
+            .or_insert(MetricValue::Gauge(f64::NEG_INFINITY))
+        {
+            MetricValue::Gauge(g) => *g = g.max(v),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Records one histogram sample.
+    pub fn observe(&self, name: &str, rank: Option<usize>, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry((name.to_string(), rank))
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+        {
+            MetricValue::Histogram(h) => h.observe(value),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Merges a locally-accumulated shard histogram in one lock
+    /// acquisition (the hot-loop-friendly path).
+    pub fn merge_histogram(&self, name: &str, rank: Option<usize>, shard: &Histogram) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .entry((name.to_string(), rank))
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new()))
+        {
+            MetricValue::Histogram(h) => h.merge(shard),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Freezes the registry into an exportable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            entries: inner
+                .iter()
+                .map(|((name, rank), value)| MetricEntry {
+                    name: name.clone(),
+                    rank: *rank,
+                    value: value.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One exported series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEntry {
+    /// Metric name (Prometheus-style, e.g. `exchange_bytes_total`).
+    pub name: String,
+    /// Per-rank lane, or `None` for a run-global series.
+    pub rank: Option<usize>,
+    /// The recorded value.
+    pub value: MetricValue,
+}
+
+/// A frozen, ordered view of every metric in a registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All series, ordered name-major then rank.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one series.
+    pub fn get(&self, name: &str, rank: Option<usize>) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name && e.rank == rank)
+            .map(|e| &e.value)
+    }
+
+    /// Sums a counter across every rank lane (and the global lane).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| match &e.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Writes the snapshot as a JSON document:
+    /// `{"metrics": [{"name": ..., "rank": ..., "type": ..., ...}]}`.
+    pub fn write_json<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"metrics\": [")?;
+        let lines: Vec<String> = self.entries.iter().map(json_entry).collect();
+        write!(w, "{}", lines.join(",\n"))?;
+        if !lines.is_empty() {
+            writeln!(w)?;
+        }
+        writeln!(w, "  ]")?;
+        writeln!(w, "}}")?;
+        Ok(())
+    }
+
+    /// Writes the snapshot in Prometheus text exposition format. Ranks
+    /// become a `rank="N"` label; metric names are sanitised to the
+    /// Prometheus charset.
+    pub fn write_prometheus<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut last_name: Option<&str> = None;
+        for e in &self.entries {
+            let name = prom_name(&e.name);
+            let labels = match e.rank {
+                Some(r) => format!("{{rank=\"{r}\"}}"),
+                None => String::new(),
+            };
+            if last_name != Some(e.name.as_str()) {
+                let kind = match &e.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                writeln!(w, "# TYPE {name} {kind}")?;
+                last_name = Some(e.name.as_str());
+            }
+            match &e.value {
+                MetricValue::Counter(v) => writeln!(w, "{name}{labels} {v}")?,
+                MetricValue::Gauge(v) => writeln!(w, "{name}{labels} {v}")?,
+                MetricValue::Histogram(h) => {
+                    let rank_label = match e.rank {
+                        Some(r) => format!("rank=\"{r}\","),
+                        None => String::new(),
+                    };
+                    let top = h.top_bucket().unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets().iter().enumerate().take(top + 1) {
+                        cumulative += c;
+                        let le = Histogram::bucket_bound(i);
+                        writeln!(w, "{name}_bucket{{{rank_label}le=\"{le}\"}} {cumulative}")?;
+                    }
+                    writeln!(w, "{name}_bucket{{{rank_label}le=\"+Inf\"}} {}", h.count())?;
+                    writeln!(w, "{name}_sum{labels} {}", h.sum())?;
+                    writeln!(w, "{name}_count{labels} {}", h.count())?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn json_entry(e: &MetricEntry) -> String {
+    let name = crate::trace::escape(&e.name);
+    let rank = match e.rank {
+        Some(r) => format!("\"rank\": {r}, "),
+        None => String::new(),
+    };
+    match &e.value {
+        MetricValue::Counter(v) => {
+            format!("    {{\"name\": \"{name}\", {rank}\"type\": \"counter\", \"value\": {v}}}")
+        }
+        MetricValue::Gauge(v) => {
+            let v = if v.is_finite() { *v } else { 0.0 };
+            format!("    {{\"name\": \"{name}\", {rank}\"type\": \"gauge\", \"value\": {v}}}")
+        }
+        MetricValue::Histogram(h) => {
+            let top = h.top_bucket().unwrap_or(0);
+            let buckets: Vec<String> = h
+                .buckets()
+                .iter()
+                .enumerate()
+                .take(top + 1)
+                .map(|(i, c)| format!("{{\"le\": {}, \"count\": {c}}}", Histogram::bucket_bound(i)))
+                .collect();
+            format!(
+                "    {{\"name\": \"{name}\", {rank}\"type\": \"histogram\", \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                buckets.join(", "),
+            )
+        }
+    }
+}
+
+/// Maps a metric name onto the Prometheus charset `[a-zA-Z0-9_:]`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_values_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.buckets()[0], 1); // {0}
+        assert_eq!(h.buckets()[1], 1); // {1}
+        assert_eq!(h.buckets()[2], 2); // {2,3}
+        assert_eq!(h.buckets()[3], 2); // {4..7}
+        assert_eq!(h.buckets()[4], 1); // {8..15}
+        assert_eq!(h.buckets()[11], 1); // {1024..2047}
+        assert_eq!(h.buckets()[64], 1); // top bucket
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenation() {
+        let (a, b): (Vec<u64>, Vec<u64>) = ((0..100).collect(), (50..300).collect());
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.observe(v);
+            hall.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            hall.observe(v);
+        }
+        ha.merge(&hb);
+        assert_eq!(ha, hall);
+    }
+
+    #[test]
+    fn registry_accumulates_and_snapshots_ordered() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("bytes_total", Some(1), 10);
+        reg.counter_add("bytes_total", Some(0), 5);
+        reg.counter_add("bytes_total", Some(1), 7);
+        reg.gauge_max("peak", None, 3.0);
+        reg.gauge_max("peak", None, 2.0);
+        reg.observe("probe_steps", Some(0), 1);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.get("bytes_total", Some(1)),
+            Some(&MetricValue::Counter(17))
+        );
+        assert_eq!(
+            snap.get("bytes_total", Some(0)),
+            Some(&MetricValue::Counter(5))
+        );
+        assert_eq!(snap.get("peak", None), Some(&MetricValue::Gauge(3.0)));
+        assert_eq!(snap.counter_total("bytes_total"), 22);
+        // BTreeMap ordering: names sorted, None before Some within a name.
+        let names: Vec<_> = snap.entries.iter().map(|e| (&e.name, e.rank)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", Some(0), 1);
+        reg.gauge_set("g", None, 0.5);
+        reg.observe("h", Some(2), 9);
+        let mut buf = Vec::new();
+        reg.snapshot().write_json(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"metrics\": ["));
+        assert!(text.contains("\"name\": \"c\", \"rank\": 0, \"type\": \"counter\", \"value\": 1"));
+        assert!(text.contains("\"name\": \"g\", \"type\": \"gauge\", \"value\": 0.5"));
+        assert!(text.contains("\"type\": \"histogram\""));
+        assert!(text.contains("\"le\": 15, \"count\": 1"));
+    }
+
+    #[test]
+    fn prometheus_export_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("exchange_bytes_total", Some(0), 64);
+        reg.counter_add("exchange_bytes_total", Some(1), 32);
+        reg.observe("probe-steps", Some(0), 3);
+        let mut buf = Vec::new();
+        reg.snapshot().write_prometheus(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE exchange_bytes_total counter"));
+        // The TYPE line is emitted once per metric name, not per lane.
+        assert_eq!(text.matches("# TYPE exchange_bytes_total").count(), 1);
+        assert!(text.contains("exchange_bytes_total{rank=\"0\"} 64"));
+        assert!(text.contains("exchange_bytes_total{rank=\"1\"} 32"));
+        // Name sanitised, histogram series complete.
+        assert!(text.contains("# TYPE probe_steps histogram"));
+        assert!(text.contains("probe_steps_bucket{rank=\"0\",le=\"+Inf\"} 1"));
+        assert!(text.contains("probe_steps_sum{rank=\"0\"} 3"));
+        assert!(text.contains("probe_steps_count{rank=\"0\"} 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let mut buf = Vec::new();
+        MetricsRegistry::new()
+            .snapshot()
+            .write_json(&mut buf)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"metrics\": ["));
+        assert!(text.contains("]"));
+    }
+}

@@ -5,12 +5,11 @@
 //! [`SimTime`] by dividing through a [`Rate`].
 
 use crate::{DataVolume, SimTime};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A throughput in *units per second*. The unit is contextual: bytes for
 /// bandwidths, items (bases, k-mers) for processing rates.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
 pub struct Rate(f64);
 
 impl Rate {

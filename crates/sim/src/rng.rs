@@ -126,7 +126,10 @@ mod tests {
         }
         let expect = n as f64 / 8.0;
         for &b in &buckets {
-            assert!((b as f64 - expect).abs() < expect * 0.1, "skewed: {buckets:?}");
+            assert!(
+                (b as f64 - expect).abs() < expect * 0.1,
+                "skewed: {buckets:?}"
+            );
         }
     }
 }

@@ -5,11 +5,10 @@
 //! partitioning vs 2.37 for supermers on H. sapiens). [`DistStats`]
 //! summarises any per-rank load vector that way.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Summary statistics of a load distribution (one value per rank).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DistStats {
     /// Number of samples (ranks).
     pub count: usize,

@@ -1,7 +1,6 @@
 //! Lightweight concurrent counters for instrumenting simulated kernels and
 //! collectives.
 
-use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A relaxed atomic event counter. Suitable for statistics only — relaxed
@@ -43,18 +42,6 @@ impl Counter {
 impl Clone for Counter {
     fn clone(&self) -> Self {
         Counter(AtomicU64::new(self.get()))
-    }
-}
-
-impl Serialize for Counter {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.get())
-    }
-}
-
-impl<'de> Deserialize<'de> for Counter {
-    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        u64::deserialize(d).map(|v| Counter(AtomicU64::new(v)))
     }
 }
 

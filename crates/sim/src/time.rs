@@ -5,7 +5,6 @@
 //! Keeping them in a newtype prevents accidental mixing with
 //! `std::time::Duration` wall times.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -15,7 +14,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// `SimTime` is a thin wrapper over `f64` seconds with saturating-at-zero
 /// subtraction and convenience constructors. Values are always finite and
 /// non-negative; constructors debug-assert this.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -177,7 +176,7 @@ impl fmt::Display for SimTime {
 /// Clocks accumulate [`SimTime`] from cost models. Synchronising collectives
 /// align all participating clocks to the maximum (see
 /// [`SimClock::sync_to`]).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimClock {
     now: SimTime,
 }

@@ -4,15 +4,19 @@
 //! [`TraceEvent`]; [`write_chrome_trace`] serialises a run to the JSON
 //! array format that `chrome://tracing`, Perfetto, and Speedscope all
 //! ingest — one lane per simulated rank, simulated microseconds on the
-//! x-axis. No JSON dependency: the format is simple enough to emit
-//! directly.
+//! x-axis. Each rank's lane carries a `thread_name` metadata event
+//! (`"ph": "M"`) so viewers label it "rank N", and
+//! [`write_chrome_trace_with`] additionally embeds counter series
+//! (`"ph": "C"`, e.g. cumulative alltoallv bytes or resident device
+//! memory) that Perfetto renders as per-rank counter tracks. No JSON
+//! dependency: the format is simple enough to emit directly.
 
 use crate::SimTime;
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::io::{self, Write};
 
 /// One completed span on a simulated rank's timeline.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceEvent {
     /// Phase name (e.g. `parse`, `alltoallv`, `count`).
     pub name: String,
@@ -24,8 +28,22 @@ pub struct TraceEvent {
     pub duration: SimTime,
 }
 
+/// One sample of a counter series (`"ph": "C"`): the value of a named
+/// quantity on one rank at one simulated instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceCounter {
+    /// Counter-track name (e.g. `alltoallv bytes`, `device memory`).
+    pub name: String,
+    /// Rank the sample belongs to (drawn as the trace's thread id).
+    pub rank: usize,
+    /// Sample instant on the simulated clock.
+    pub ts: SimTime,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -39,19 +57,51 @@ fn escape(s: &str) -> String {
 }
 
 /// Writes events as a Chrome trace-event JSON array (`ph: "X"` complete
-/// events; timestamps in microseconds, as the format requires).
+/// events plus `ph: "M"` thread-name metadata; timestamps in
+/// microseconds, as the format requires).
 pub fn write_chrome_trace<W: Write>(w: &mut W, events: &[TraceEvent]) -> io::Result<()> {
-    writeln!(w, "[")?;
-    for (i, e) in events.iter().enumerate() {
-        let comma = if i + 1 == events.len() { "" } else { "," };
-        writeln!(
-            w,
-            "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}{comma}",
+    write_chrome_trace_with(w, events, &[])
+}
+
+/// Like [`write_chrome_trace`], with counter series (`ph: "C"`) embedded
+/// alongside the span events.
+pub fn write_chrome_trace_with<W: Write>(
+    w: &mut W,
+    events: &[TraceEvent],
+    counters: &[TraceCounter],
+) -> io::Result<()> {
+    let ranks: BTreeSet<usize> = events
+        .iter()
+        .map(|e| e.rank)
+        .chain(counters.iter().map(|c| c.rank))
+        .collect();
+    let mut lines: Vec<String> = Vec::with_capacity(ranks.len() + events.len() + counters.len());
+    for r in ranks {
+        lines.push(format!(
+            "  {{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": {r}, \"args\": {{\"name\": \"rank {r}\"}}}}"
+        ));
+    }
+    for e in events {
+        lines.push(format!(
+            "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"dur\": {:.3}}}",
             escape(&e.name),
             e.rank,
             e.start.as_micros(),
             e.duration.as_micros(),
-        )?;
+        ));
+    }
+    for c in counters {
+        lines.push(format!(
+            "  {{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 0, \"tid\": {}, \"ts\": {:.3}, \"args\": {{\"value\": {}}}}}",
+            escape(&c.name),
+            c.rank,
+            c.ts.as_micros(),
+            c.value,
+        ));
+    }
+    writeln!(w, "[")?;
+    if !lines.is_empty() {
+        writeln!(w, "{}", lines.join(",\n"))?;
     }
     writeln!(w, "]")?;
     Ok(())
@@ -81,15 +131,60 @@ mod tests {
         assert!(text.contains("\"name\": \"parse\""));
         assert!(text.contains("\"tid\": 1"));
         assert!(text.contains("\"dur\": 50.500"));
-        // Exactly one separating comma for two events.
-        assert_eq!(text.matches("},").count(), 1);
+        // Two metadata events (ranks 0 and 1) + two span events = four
+        // objects, so exactly three separating commas.
+        assert_eq!(text.matches("},").count(), 3);
+    }
+
+    #[test]
+    fn labels_every_rank_lane() {
+        let events = vec![ev("a", 0, 0.0, 1.0), ev("b", 3, 0.0, 1.0)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"ph\": \"M\""));
+        assert!(text.contains("\"args\": {\"name\": \"rank 0\"}"));
+        assert!(text.contains("\"args\": {\"name\": \"rank 3\"}"));
+        assert_eq!(text.matches("thread_name").count(), 2);
+    }
+
+    #[test]
+    fn counter_events_are_embedded() {
+        let events = vec![ev("alltoallv", 0, 0.0, 10.0)];
+        let counters = vec![
+            TraceCounter {
+                name: "alltoallv bytes".into(),
+                rank: 0,
+                ts: SimTime::from_micros(10.0),
+                value: 4096.0,
+            },
+            TraceCounter {
+                name: "alltoallv bytes".into(),
+                rank: 0,
+                ts: SimTime::from_micros(20.0),
+                value: 8192.0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace_with(&mut buf, &events, &counters).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("\"ph\": \"C\"").count(), 2);
+        assert!(text.contains(
+            "\"name\": \"alltoallv bytes\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": 10.000, \"args\": {\"value\": 4096}"
+        ));
     }
 
     #[test]
     fn empty_trace_is_valid() {
         let mut buf = Vec::new();
         write_chrome_trace(&mut buf, &[]).unwrap();
-        assert_eq!(String::from_utf8(buf).unwrap().split_whitespace().collect::<String>(), "[]");
+        assert_eq!(
+            String::from_utf8(buf)
+                .unwrap()
+                .split_whitespace()
+                .collect::<String>(),
+            "[]"
+        );
     }
 
     #[test]

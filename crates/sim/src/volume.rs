@@ -5,13 +5,12 @@
 //! crossing the network by up to 4×. [`DataVolume`] is the exact byte count
 //! the simulators track.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub};
 
 /// An exact number of bytes.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DataVolume(u64);
 
 impl DataVolume {

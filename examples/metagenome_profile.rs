@@ -36,9 +36,21 @@ fn main() {
         )
     };
     let community = [
-        Species { name: "synthococcus-A", genome: mk_genome(30_000, 11), coverage: 16.0 },
-        Species { name: "synthobacter-B", genome: mk_genome(45_000, 22), coverage: 8.0 },
-        Species { name: "rarevibrio-C", genome: mk_genome(20_000, 33), coverage: 2.0 },
+        Species {
+            name: "synthococcus-A",
+            genome: mk_genome(30_000, 11),
+            coverage: 16.0,
+        },
+        Species {
+            name: "synthobacter-B",
+            genome: mk_genome(45_000, 22),
+            coverage: 8.0,
+        },
+        Species {
+            name: "rarevibrio-C",
+            genome: mk_genome(20_000, 33),
+            coverage: 2.0,
+        },
     ];
 
     // 2. Pool reads into one metagenomic sample.
@@ -60,7 +72,11 @@ fn main() {
             r
         }));
     }
-    println!("pooled sample: {} reads, {} bases", sample.len(), sample.total_bases());
+    println!(
+        "pooled sample: {} reads, {} bases",
+        sample.len(),
+        sample.total_bases()
+    );
 
     // 3. Count the sample's k-mers with the distributed pipeline.
     //    Reads sample both strands, so abundance estimation needs
@@ -94,10 +110,13 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, sp)| {
-            let genome_reads: ReadSet =
-                [Read { id: sp.name.into(), codes: sp.genome.clone(), quals: None }]
-                    .into_iter()
-                    .collect();
+            let genome_reads: ReadSet = [Read {
+                id: sp.name.into(),
+                codes: sp.genome.clone(),
+                quals: None,
+            }]
+            .into_iter()
+            .collect();
             (i, reference_counts(&genome_reads, &rc.counting))
         })
         .collect();
@@ -118,7 +137,11 @@ fn main() {
                 mass += c;
             }
         }
-        let est = if hits > 0 { mass as f64 / hits as f64 } else { 0.0 };
+        let est = if hits > 0 {
+            mass as f64 / hits as f64
+        } else {
+            0.0
+        };
         println!(
             "  {:<16} true coverage {:>4.1}x   estimated {:>5.2}x   ({} exclusive k-mers hit)",
             sp.name, sp.coverage, est, hits

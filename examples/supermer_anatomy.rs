@@ -12,11 +12,16 @@ use dedukt::dna::kmer::Kmer;
 use dedukt::dna::Encoding;
 
 fn codes_of(s: &str) -> Vec<u8> {
-    s.bytes().map(|c| Base::from_ascii(c).unwrap().code()).collect()
+    s.bytes()
+        .map(|c| Base::from_ascii(c).unwrap().code())
+        .collect()
 }
 
 fn ascii_of(codes: &[u8]) -> String {
-    codes.iter().map(|&c| Base::from_code(c).to_ascii() as char).collect()
+    codes
+        .iter()
+        .map(|&c| Base::from_code(c).to_ascii() as char)
+        .collect()
 }
 
 fn main() {
@@ -28,7 +33,10 @@ fn main() {
         ordering: OrderingKind::EncodedLexicographic,
         m,
     };
-    println!("Fig. 4 worked example: read={read} (len {}), k={k}, m={m}", read.len());
+    println!(
+        "Fig. 4 worked example: read={read} (len {}), k={k}, m={m}",
+        read.len()
+    );
     let codes = codes_of(read);
 
     println!("\nk-mers and their minimizers:");

@@ -5,8 +5,10 @@
 //! * `simulate <dataset> [--scale S] [--out FILE]` — generate a synthetic
 //!   Table-I dataset as FASTQ.
 //! * `count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K]
-//!   [--m M] [--canonical] [--out dump.tsv] [--spectrum spec.tsv]` — run a
-//!   distributed counter on a FASTQ file and export results.
+//!   [--m M] [--canonical] [--out dump.tsv] [--spectrum spec.tsv]
+//!   [--trace trace.json] [--metrics m.json [--metrics-format json|prom]]`
+//!   — run a distributed counter on a FASTQ file and export results,
+//!   optionally with a Chrome trace and a run-wide metrics snapshot.
 //! * `info` — print the simulated hardware presets.
 //!
 //! Examples:
@@ -53,6 +55,7 @@ fn print_usage() {
          \x20 dedukt count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K] [--m M]\n\
          \x20        [--canonical] [--gpu-direct] [--min-qual Q] [--out dump.tsv]\n\
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
+         \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
          \x20 dedukt info"
     );
@@ -133,7 +136,9 @@ fn dataset_id(name: &str) -> Result<DatasetId, String> {
 }
 
 fn take_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, String> {
-    it.next().map(String::as_str).ok_or(format!("{flag} needs a value"))
+    it.next()
+        .map(String::as_str)
+        .ok_or(format!("{flag} needs a value"))
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
@@ -147,7 +152,11 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
                 let v = take_value(&mut it, "--scale")?;
                 ds = Dataset::new(ds.id, parse_scale(v)?);
             }
-            "--seed" => ds.seed = take_value(&mut it, "--seed")?.parse().map_err(|_| "bad seed")?,
+            "--seed" => {
+                ds.seed = take_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad seed")?
+            }
             "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -186,6 +195,35 @@ fn parse_scale(v: &str) -> Result<ScalePreset, String> {
     })
 }
 
+/// Export format for `--metrics`.
+#[derive(Clone, Copy)]
+enum MetricsFormat {
+    Json,
+    Prometheus,
+}
+
+/// The human-readable phase/imbalance digest printed after every run.
+fn print_run_summary(report: &pipeline::RunReport) {
+    eprintln!(
+        "simulated phases: parse {} | exchange {} | count {} | total {} | makespan {}",
+        report.phases.parse,
+        report.phases.exchange,
+        report.phases.count,
+        report.total_time(),
+        report.makespan
+    );
+    let stats = report.load.stats();
+    eprintln!(
+        "load: mean {:.0} k-mers/rank, max {} — imbalance {:.2}",
+        stats.mean,
+        stats.max,
+        report.load.imbalance()
+    );
+    if let Some(rate) = report.insertion_rate() {
+        eprintln!("insertion rate: {rate} (compute only)");
+    }
+}
+
 fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
     let path = it.next().ok_or("count needs a FASTQ path")?;
@@ -193,6 +231,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut out_path: Option<String> = None;
     let mut spectrum_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_format = MetricsFormat::Json;
     let mut min_qual: Option<u8> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -205,7 +245,9 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                 }
             }
             "--nodes" => {
-                rc.nodes = take_value(&mut it, "--nodes")?.parse().map_err(|_| "bad node count")?;
+                rc.nodes = take_value(&mut it, "--nodes")?
+                    .parse()
+                    .map_err(|_| "bad node count")?;
                 if rc.nodes == 0 {
                     return Err("--nodes must be positive".into());
                 }
@@ -224,11 +266,22 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
             "--spectrum" => spectrum_path = Some(take_value(&mut it, "--spectrum")?.to_string()),
             "--trace" => trace_path = Some(take_value(&mut it, "--trace")?.to_string()),
+            "--metrics" => metrics_path = Some(take_value(&mut it, "--metrics")?.to_string()),
+            "--metrics-format" => {
+                metrics_format = match take_value(&mut it, "--metrics-format")? {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prometheus,
+                    other => return Err(format!("unknown metrics format {other:?}")),
+                }
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     // Wide k (32..=63) routes to the u128 CPU pipelines.
     if (32..=63).contains(&rc.counting.k) {
+        if metrics_path.is_some() {
+            return Err("--metrics is not supported for wide k (32..=63)".into());
+        }
         return count_wide(path, &rc, out_path, spectrum_path, trace_path);
     }
     // Keep the supermer word-packing constraint satisfied for custom k.
@@ -237,10 +290,15 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     rc.collect_tables = true;
     rc.collect_spectrum = spectrum_path.is_some();
     rc.collect_trace = trace_path.is_some();
+    rc.collect_metrics = metrics_path.is_some();
 
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut reads = parse_fastq(BufReader::new(file), rc.counting.k).map_err(|e| e.to_string())?;
-    eprintln!("parsed {} reads ({} bases) from {path}", reads.len(), reads.total_bases());
+    eprintln!(
+        "parsed {} reads ({} bases) from {path}",
+        reads.len(),
+        reads.total_bases()
+    );
     if let Some(q) = min_qual {
         reads = reads.quality_trimmed(q, rc.counting.k);
         eprintln!(
@@ -255,15 +313,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         "mode {:?}: {} k-mer instances, {} distinct, on {} ranks",
         rc.mode, report.total_kmers, report.distinct_kmers, report.nranks
     );
-    eprintln!(
-        "simulated phases: parse {} | exchange {} | count {} | total {}",
-        report.phases.parse,
-        report.phases.exchange,
-        report.phases.count,
-        report.total_time()
-    );
+    print_run_summary(&report);
 
-    let merged = dump::merge_tables(report.tables.as_ref().expect("collected"));
+    let merged = dump::merge_tables(
+        report
+            .tables
+            .as_ref()
+            .ok_or("internal error: pipeline did not collect the rank tables")?,
+    );
     if let Some(p) = out_path {
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
         dump::write_dump(&mut w, &merged, rc.counting.k, rc.counting.encoding)
@@ -273,7 +330,10 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     }
     if let Some(p) = spectrum_path {
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
-        let spectrum = report.spectrum.as_ref().expect("collected");
+        let spectrum = report
+            .spectrum
+            .as_ref()
+            .ok_or("internal error: pipeline did not collect the spectrum")?;
         dump::write_spectrum(&mut w, spectrum).map_err(|e| e.to_string())?;
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("wrote spectrum to {p}");
@@ -286,11 +346,31 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(p) = trace_path {
+        let events = report
+            .trace
+            .as_ref()
+            .ok_or("internal error: pipeline did not collect the trace despite --trace")?;
+        let counters = report.trace_counters.as_deref().unwrap_or(&[]);
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
-        dedukt::sim::trace::write_chrome_trace(&mut w, report.trace.as_ref().expect("collected"))
+        dedukt::sim::trace::write_chrome_trace_with(&mut w, events, counters)
             .map_err(|e| e.to_string())?;
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("wrote chrome trace to {p} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(p) = metrics_path {
+        let snapshot = report
+            .metrics
+            .as_ref()
+            .ok_or("internal error: pipeline did not collect metrics despite --metrics")?;
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
+        match metrics_format {
+            MetricsFormat::Json => snapshot.write_json(&mut w).map_err(|e| e.to_string())?,
+            MetricsFormat::Prometheus => snapshot
+                .write_prometheus(&mut w)
+                .map_err(|e| e.to_string())?,
+        }
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!("wrote {} metric series to {p}", snapshot.entries.len());
     }
     // Always show the top heavy hitters as a quick sanity signal.
     eprintln!("top k-mers:");
@@ -323,7 +403,11 @@ fn count_wide(
     cfg.validate()?;
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let reads = parse_fastq(BufReader::new(file), cfg.k).map_err(|e| e.to_string())?;
-    eprintln!("parsed {} reads ({} bases) from {path}", reads.len(), reads.total_bases());
+    eprintln!(
+        "parsed {} reads ({} bases) from {path}",
+        reads.len(),
+        reads.total_bases()
+    );
 
     let report = run_cpu_wide(&reads, &cfg, mode, rc.nodes, &rc.cpu_model);
     eprintln!(
@@ -339,8 +423,11 @@ fn count_wide(
     );
 
     if let Some(p) = out_path {
-        let mut entries: Vec<(u128, u32)> =
-            report.tables.iter().flat_map(|t| t.iter().copied()).collect();
+        let mut entries: Vec<(u128, u32)> = report
+            .tables
+            .iter()
+            .flat_map(|t| t.iter().copied())
+            .collect();
         entries.sort_unstable_by_key(|&(k, _)| k);
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
         for (word, count) in &entries {
@@ -370,8 +457,17 @@ fn count_wide(
 fn cmd_info() -> Result<(), String> {
     let v100 = dedukt::gpu::DeviceConfig::v100();
     println!("GPU preset: {}", v100.name);
-    println!("  SMs {} @ {:.2} GHz, {} GiB HBM @ {}", v100.num_sms, v100.clock_ghz, v100.memory_bytes >> 30, v100.hbm_bandwidth);
-    println!("  NVLink {} | PCIe {}", v100.nvlink_bandwidth, v100.pcie_bandwidth);
+    println!(
+        "  SMs {} @ {:.2} GHz, {} GiB HBM @ {}",
+        v100.num_sms,
+        v100.clock_ghz,
+        v100.memory_bytes >> 30,
+        v100.hbm_bandwidth
+    );
+    println!(
+        "  NVLink {} | PCIe {}",
+        v100.nvlink_bandwidth, v100.pcie_bandwidth
+    );
     let net = dedukt::net::cost::NetworkParams::summit();
     println!("Network preset: Summit fat-tree");
     println!(

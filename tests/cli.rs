@@ -23,12 +23,17 @@ fn simulate_writes_parseable_fastq() {
         .arg(&fastq)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&fastq).unwrap();
     assert!(text.starts_with('@'));
     // 4 lines per record.
     assert_eq!(text.lines().count() % 4, 0);
-    let reads = dedukt::dna::fastq::parse_fastq(std::io::BufReader::new(text.as_bytes()), 1).unwrap();
+    let reads =
+        dedukt::dna::fastq::parse_fastq(std::io::BufReader::new(text.as_bytes()), 1).unwrap();
     assert!(!reads.is_empty());
 }
 
@@ -53,7 +58,11 @@ fn count_produces_correct_dump_and_spectrum() {
         .arg(&spec)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The dump must agree with the library oracle on the same file.
     let reads = dedukt::dna::fastq::parse_fastq(
@@ -107,7 +116,11 @@ fn compare_detects_identity_and_difference() {
             .success());
     }
     let same = dedukt().args(["compare"]).arg(&a).arg(&b).output().unwrap();
-    assert!(same.status.success(), "{}", String::from_utf8_lossy(&same.stderr));
+    assert!(
+        same.status.success(),
+        "{}",
+        String::from_utf8_lossy(&same.stderr)
+    );
     assert!(String::from_utf8_lossy(&same.stdout).contains("identical"));
 
     // Corrupt one count; compare must fail.
@@ -132,11 +145,17 @@ fn wide_k_counts_through_the_u128_pipeline() {
         .unwrap()
         .success());
     let out = dedukt()
-        .args(["count"]).arg(&fastq)
-        .args(["--mode", "supermer", "--k", "41", "--m", "11", "--out"]).arg(&dump)
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--k", "41", "--m", "11", "--out"])
+        .arg(&dump)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&dump).unwrap();
     let first = text.lines().next().unwrap();
     let (seq, count) = first.split_once('\t').unwrap();
@@ -168,11 +187,21 @@ fn min_qual_trims_before_counting() {
     let full = dir.join("full.tsv");
     let trimmed = dir.join("trimmed.tsv");
     assert!(dedukt()
-        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--out"]).arg(&full)
-        .status().unwrap().success());
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "gpu", "--out"])
+        .arg(&full)
+        .status()
+        .unwrap()
+        .success());
     assert!(dedukt()
-        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--min-qual", "20", "--out"]).arg(&trimmed)
-        .status().unwrap().success());
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "gpu", "--min-qual", "20", "--out"])
+        .arg(&trimmed)
+        .status()
+        .unwrap()
+        .success());
     let count_lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
     // Full read: 32 − 17 + 1 = 16 k-mers; trimmed to 24 good bases: 8.
     assert_eq!(count_lines(&full), 16);
@@ -181,9 +210,24 @@ fn min_qual_trims_before_counting() {
 
 #[test]
 fn bad_usage_exits_nonzero() {
-    assert!(!dedukt().args(["frobnicate"]).output().unwrap().status.success());
-    assert!(!dedukt().args(["simulate", "unknown-species"]).output().unwrap().status.success());
-    assert!(!dedukt().args(["count", "/nonexistent.fastq"]).output().unwrap().status.success());
+    assert!(!dedukt()
+        .args(["frobnicate"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!dedukt()
+        .args(["simulate", "unknown-species"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    assert!(!dedukt()
+        .args(["count", "/nonexistent.fastq"])
+        .output()
+        .unwrap()
+        .status
+        .success());
     // Help succeeds.
     assert!(dedukt().args(["--help"]).output().unwrap().status.success());
 }
@@ -200,9 +244,13 @@ fn trace_flag_writes_chrome_trace() {
         .unwrap()
         .success());
     assert!(dedukt()
-        .args(["count"]).arg(&fastq)
-        .args(["--mode", "supermer", "--nodes", "2", "--trace"]).arg(&trace)
-        .status().unwrap().success());
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--trace"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
     let text = std::fs::read_to_string(&trace).unwrap();
     assert!(text.trim_start().starts_with('['));
     assert!(text.contains("\"name\": \"build-supermers\""));
@@ -210,7 +258,10 @@ fn trace_flag_writes_chrome_trace() {
     assert!(text.contains("\"name\": \"count\""));
     // One lane per rank: tid 0..11 all present.
     for tid in 0..12 {
-        assert!(text.contains(&format!("\"tid\": {tid},")), "missing rank {tid}");
+        assert!(
+            text.contains(&format!("\"tid\": {tid},")),
+            "missing rank {tid}"
+        );
     }
 }
 
@@ -227,11 +278,21 @@ fn canonical_flag_shrinks_distinct_count() {
     let plain = dir.join("plain.tsv");
     let canon = dir.join("canon.tsv");
     assert!(dedukt()
-        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--out"]).arg(&plain)
-        .status().unwrap().success());
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "gpu", "--out"])
+        .arg(&plain)
+        .status()
+        .unwrap()
+        .success());
     assert!(dedukt()
-        .args(["count"]).arg(&fastq).args(["--mode", "gpu", "--canonical", "--out"]).arg(&canon)
-        .status().unwrap().success());
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "gpu", "--canonical", "--out"])
+        .arg(&canon)
+        .status()
+        .unwrap()
+        .success());
     let lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
     assert!(lines(&canon) < lines(&plain));
 }

@@ -43,7 +43,10 @@ fn pipeline_results_are_stable_across_runs() {
         assert_eq!(a.distinct_kmers, b.distinct_kmers, "{mode:?}");
         assert_eq!(a.exchange.units, b.exchange.units, "{mode:?}");
         assert_eq!(a.exchange.bytes, b.exchange.bytes, "{mode:?}");
-        assert_eq!(a.exchange.off_node_bytes, b.exchange.off_node_bytes, "{mode:?}");
+        assert_eq!(
+            a.exchange.off_node_bytes, b.exchange.off_node_bytes,
+            "{mode:?}"
+        );
         assert_eq!(a.load.kmers_per_rank, b.load.kmers_per_rank, "{mode:?}");
         assert_eq!(a.spectrum, b.spectrum, "{mode:?}");
         assert_eq!(sorted_tables(&a), sorted_tables(&b), "{mode:?}");

@@ -46,7 +46,10 @@ fn threaded_count(reads: &dedukt::dna::ReadSet, nranks: usize, k: usize) -> Hash
 
     // All ranks must agree on the global total.
     let totals: Vec<u64> = results.iter().map(|(_, t)| *t).collect();
-    assert!(totals.windows(2).all(|w| w[0] == w[1]), "allreduce disagreement");
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "allreduce disagreement"
+    );
 
     let mut merged = HashMap::new();
     for (entries, _) in results {
@@ -84,7 +87,11 @@ fn threaded_engine_matches_bsp_pipeline() {
     // Per-k-mer equality.
     for table in bsp.tables.as_ref().unwrap() {
         for &(kmer, count) in table {
-            assert_eq!(threaded.get(&kmer), Some(&(count as u64)), "k-mer {kmer:#x}");
+            assert_eq!(
+                threaded.get(&kmer),
+                Some(&(count as u64)),
+                "k-mer {kmer:#x}"
+            );
         }
     }
 }

@@ -1,0 +1,229 @@
+//! Golden tests for the `--metrics` export surface: the metric names and
+//! totals form a schema that downstream dashboards key on, so this file
+//! pins them. It also pins the zero-observer-effect guarantee: enabling
+//! telemetry must not move a single simulated timestamp.
+
+use dedukt::core::pipeline::{run, RunReport};
+use dedukt::core::{Mode, RunConfig};
+use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
+use dedukt::sim::MetricValue;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tiny_reads() -> ReadSet {
+    Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate()
+}
+
+fn run_with_metrics(mode: Mode) -> RunReport {
+    let reads = tiny_reads();
+    let mut rc = RunConfig::new(mode, 2);
+    rc.collect_metrics = true;
+    run(&reads, &rc)
+}
+
+/// Every series name the supermer pipeline exports. Renaming any of
+/// these is a breaking change for metric consumers — update DESIGN.md's
+/// observability section alongside this list.
+const SUPERMER_SERIES: &[&str] = &[
+    "alltoallv_wait_seconds_total",
+    "alltoallv_wire_seconds_total",
+    "compute_seconds_total",
+    "count_probe_steps",
+    "count_table_load_factor",
+    "device_peak_bytes",
+    "exchange_bytes_total",
+    "exchange_collectives_total",
+    "kernel_occupancy:build_supermers",
+    "kernel_occupancy:count_kmers",
+    "kmers_counted_total",
+    "supermer_compression_ratio",
+    "supermer_length_bases",
+    "supermers_built_total",
+];
+
+#[test]
+fn supermer_metrics_schema_is_stable() {
+    let report = run_with_metrics(Mode::GpuSupermer);
+    let snap = report.metrics.as_ref().expect("metrics requested");
+    let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+    for required in SUPERMER_SERIES {
+        assert!(names.contains(required), "missing series {required}");
+    }
+    assert!(
+        names
+            .iter()
+            .any(|n| n.starts_with("exchange_superstep_bytes:")),
+        "missing per-superstep byte series"
+    );
+    // Snapshot ordering is name-major: deterministic export order.
+    let mut sorted = snap.entries.clone();
+    sorted.sort_by(|a, b| (&a.name, a.rank).cmp(&(&b.name, b.rank)));
+    assert_eq!(snap.entries, sorted.as_slice());
+}
+
+#[test]
+fn metric_totals_are_consistent_with_the_report() {
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let report = run_with_metrics(mode);
+        let snap = report.metrics.as_ref().unwrap();
+
+        // Exchange accounting: the per-rank byte counters sum to the
+        // report's wire total, and the per-superstep series partition it.
+        assert_eq!(
+            snap.counter_total("exchange_bytes_total"),
+            report.exchange.bytes
+        );
+        let superstep_sum: u64 = snap
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with("exchange_superstep_bytes:"))
+            .map(|e| match e.value {
+                MetricValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(superstep_sum, report.exchange.bytes, "mode {mode:?}");
+
+        // Counting: each rank's counter equals its reported load.
+        assert_eq!(
+            snap.counter_total("kmers_counted_total"),
+            report.total_kmers
+        );
+        for (rank, &kmers) in report.load.kmers_per_rank.iter().enumerate() {
+            assert_eq!(
+                snap.get("kmers_counted_total", Some(rank)),
+                Some(&MetricValue::Counter(kmers)),
+                "mode {mode:?} rank {rank}"
+            );
+        }
+
+        // GPU modes carry the probe-step histogram; one observation per
+        // received k-mer, at least one probe each.
+        if mode != Mode::CpuBaseline {
+            for (rank, &kmers) in report.load.kmers_per_rank.iter().enumerate() {
+                match snap.get("count_probe_steps", Some(rank)) {
+                    Some(MetricValue::Histogram(h)) => {
+                        assert_eq!(h.count(), kmers);
+                        assert!(h.sum() >= kmers);
+                    }
+                    other => panic!("mode {mode:?} rank {rank}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn disabling_metrics_leaves_the_run_bit_identical() {
+    let reads = tiny_reads();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut rc = RunConfig::new(mode, 2);
+        rc.collect_metrics = false;
+        let off = run(&reads, &rc);
+        rc.collect_metrics = true;
+        let on = run(&reads, &rc);
+        assert!(off.metrics.is_none());
+        assert!(on.metrics.is_some());
+        assert_eq!(off.phases.parse, on.phases.parse, "mode {mode:?}");
+        assert_eq!(off.phases.exchange, on.phases.exchange, "mode {mode:?}");
+        assert_eq!(off.phases.count, on.phases.count, "mode {mode:?}");
+        assert_eq!(off.makespan, on.makespan, "mode {mode:?}");
+        assert_eq!(off.total_kmers, on.total_kmers);
+        assert_eq!(off.distinct_kmers, on.distinct_kmers);
+        assert_eq!(off.exchange.bytes, on.exchange.bytes);
+        assert_eq!(off.load.kmers_per_rank, on.load.kmers_per_rank);
+    }
+}
+
+// ── CLI golden checks ────────────────────────────────────────────────────
+
+fn dedukt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dedukt"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("dedukt-metrics-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn cli_metrics_exports_match_the_schema() {
+    let dir = tmpdir("cli");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+
+    // JSON export: every schema name present, envelope stable.
+    let json_path = dir.join("m.json");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--metrics"])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The phase/imbalance digest goes to stderr, like all diagnostics.
+    let diag = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        diag.contains("simulated phases:"),
+        "summary missing:\n{diag}"
+    );
+    assert!(diag.contains("imbalance"), "summary missing:\n{diag}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.trim_start().starts_with("{\n  \"metrics\": ["));
+    for required in SUPERMER_SERIES {
+        assert!(
+            json.contains(&format!("\"name\": \"{required}\"")),
+            "JSON export missing {required}"
+        );
+    }
+    assert!(json.contains("\"type\": \"histogram\""));
+    assert!(json.contains("\"buckets\": ["));
+    assert!(json.contains("\"rank\": 0,"));
+
+    // Prometheus export: typed series with rank labels and cumulative
+    // histogram buckets ending at +Inf.
+    let prom_path = dir.join("m.prom");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--metrics-format",
+            "prom",
+            "--metrics"
+        ])
+        .arg(&prom_path)
+        .status()
+        .unwrap()
+        .success());
+    let prom = std::fs::read_to_string(&prom_path).unwrap();
+    assert!(prom.contains("# TYPE exchange_bytes_total counter"));
+    assert!(prom.contains("# TYPE supermer_length_bases histogram"));
+    assert!(prom.contains("exchange_bytes_total{rank=\"0\"}"));
+    assert!(prom.contains("supermer_length_bases_bucket{rank=\"0\",le=\"+Inf\"}"));
+    assert!(prom.contains("supermer_length_bases_sum{rank=\"0\"}"));
+    // Every non-comment line is `name{labels} value`.
+    for line in prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let (_, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad line {line}"));
+        assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+    }
+}

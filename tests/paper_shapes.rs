@@ -5,7 +5,12 @@
 use dedukt::core::{pipeline, Mode, RunConfig};
 use dedukt::dna::{Dataset, DatasetId, ScalePreset};
 
-fn run_m(reads: &dedukt::dna::ReadSet, mode: Mode, nodes: usize, m: usize) -> dedukt::core::RunReport {
+fn run_m(
+    reads: &dedukt::dna::ReadSet,
+    mode: Mode,
+    nodes: usize,
+    m: usize,
+) -> dedukt::core::RunReport {
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
     pipeline::run(reads, &rc)
@@ -86,9 +91,18 @@ fn fig8_table2_shape_volume_reduction() {
     let sm9 = run_m(&reads, Mode::GpuSupermer, 2, 9);
     let red7 = kmer.exchange.bytes as f64 / sm7.exchange.bytes as f64;
     let red9 = kmer.exchange.bytes as f64 / sm9.exchange.bytes as f64;
-    assert!((2.0..5.0).contains(&red7), "m=7 reduction {red7} (paper ~3.4-3.8)");
-    assert!(red7 > red9, "m=7 must reduce more than m=9: {red7} vs {red9}");
-    assert!(sm9.exchange.units > sm7.exchange.units, "m=9 yields more, shorter supermers");
+    assert!(
+        (2.0..5.0).contains(&red7),
+        "m=7 reduction {red7} (paper ~3.4-3.8)"
+    );
+    assert!(
+        red7 > red9,
+        "m=7 must reduce more than m=9: {red7} vs {red9}"
+    );
+    assert!(
+        sm9.exchange.units > sm7.exchange.units,
+        "m=9 yields more, shorter supermers"
+    );
     // Alltoallv speedup in the paper's 1.5-4x band.
     let speedup = kmer.exchange.alltoallv_time / sm7.exchange.alltoallv_time;
     assert!((1.3..5.0).contains(&speedup), "alltoallv speedup {speedup}");

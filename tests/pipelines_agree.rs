@@ -6,7 +6,12 @@ use dedukt::core::verify::{check_against_reference, reference_counts, reference_
 use dedukt::core::{pipeline, Mode, RunConfig};
 use dedukt::dna::{Dataset, DatasetId, ScalePreset};
 
-fn run(mode: Mode, nodes: usize, reads: &dedukt::dna::ReadSet, m: usize) -> dedukt::core::RunReport {
+fn run(
+    mode: Mode,
+    nodes: usize,
+    reads: &dedukt::dna::ReadSet,
+    m: usize,
+) -> dedukt::core::RunReport {
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
     rc.collect_tables = true;

@@ -1,0 +1,194 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the slice of criterion's API its benches use:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `iter` /
+//! `iter_with_setup`, throughput annotation, and `black_box`. Timing is a
+//! simple mean over a fixed wall-clock budget — good enough for relative
+//! before/after comparisons, with none of criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget per benchmark (after one warm-up call).
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { throughput: None }
+    }
+}
+
+/// Throughput annotation attached to subsequent benchmarks in a group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup {
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.to_string(), &b);
+        self
+    }
+
+    /// Runs a benchmark closure against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.label, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, b: &Bencher) {
+        let mean = b.mean_iter_time();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!("  {label}: {:.3} us/iter{rate}", mean * 1e6);
+    }
+}
+
+/// Executes and times the benchmark routine.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        while start.elapsed() < MEASURE_BUDGET {
+            black_box(routine());
+            self.iters += 1;
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times repeated calls of `routine` on fresh input from `setup`;
+    /// setup time is excluded from the measurement.
+    pub fn iter_with_setup<S, R, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> R,
+    {
+        black_box(routine(setup())); // warm-up
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn mean_iter_time(&self) -> f64 {
+        if self.iters == 0 {
+            return 0.0;
+        }
+        self.total.as_secs_f64() / self.iters as f64
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.iters > 0);
+        assert!(b.mean_iter_time() > 0.0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("noop", |b| b.iter(|| black_box(0)));
+        g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,47 @@
+//! In-tree stand-in for the `crossbeam` crate.
+//!
+//! The workspace only uses `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` (one FIFO per rank pair in the threaded engine), which maps
+//! directly onto `std::sync::mpsc` — same unbounded FIFO semantics, same
+//! disconnect-on-drop errors.
+
+pub mod channel {
+    //! Unbounded FIFO channels, mirroring `crossbeam::channel`.
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cross_thread_send() {
+        let (tx, rx) = unbounded();
+        let t = std::thread::spawn(move || tx.send(42u64).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_errors_out() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

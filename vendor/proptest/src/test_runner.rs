@@ -1,0 +1,149 @@
+//! Deterministic test-case runner and RNG.
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: regenerate without counting the case.
+    Reject,
+    /// `prop_assert*!` failed: abort the test with this message.
+    Fail(String),
+}
+
+/// SplitMix64-backed deterministic RNG (seeded from the test name, so
+/// every test gets a stable but distinct stream).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string deterministically.
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xDEDu64;
+        for b in name.bytes() {
+            seed = mix64(seed ^ b as u64);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        mix64(self.state)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `body` until `config.cases` cases pass; panics on the first
+/// failing case (inputs are not shrunk — the panic message carries the
+/// assertion text).
+pub fn run<F>(config: &ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match body(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{name}: too many prop_assume! rejections ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: property failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("alpha");
+        let mut b = TestRng::from_name("alpha");
+        let mut c = TestRng::from_name("beta");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn runner_counts_only_passing_cases() {
+        let mut seen = 0u32;
+        let cfg = ProptestConfig::with_cases(10);
+        run(&cfg, "count", |rng| {
+            if rng.next_u64() % 3 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_panics_on_failure() {
+        run(&ProptestConfig::default(), "boom", |_| {
+            Err(TestCaseError::Fail("nope".into()))
+        });
+    }
+}

@@ -1,0 +1,188 @@
+//! In-tree stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! workspace vendors the small slice of rayon's API it actually uses:
+//! `into_par_iter()` on ranges and vectors, followed by `.map(...)` and
+//! either `.collect()` (order-preserving) or `.reduce(identity, op)`.
+//! Work is executed on scoped std threads, chunked by available
+//! parallelism, so simulated "thread blocks" still genuinely interleave —
+//! the determinism contract of the workspace (concurrent inserts may land
+//! in different slots run-to-run, user-visible results may not differ)
+//! continues to be exercised for real.
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::IntoParallelIterator;
+}
+
+fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    hw.min(items).max(1)
+}
+
+/// Runs `f` over `items` on scoped threads, preserving input order in the
+/// output.
+fn run_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for mut part in per_chunk {
+        out.append(&mut part);
+    }
+    out
+}
+
+/// Conversion into a parallel iterator (the only entry point the
+/// workspace uses).
+pub trait IntoParallelIterator {
+    /// Element type produced by the iterator.
+    type Item: Send;
+    /// Materialises the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range!(u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f`; execution is deferred until a
+    /// consuming adapter runs.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: items plus the mapping closure.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map in parallel and collects results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        run_parallel(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Executes the map in parallel and folds the results with `op`,
+    /// seeding each chunk with `identity()`.
+    pub fn reduce<R, ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        run_parallel(self.items, &self.f)
+            .into_iter()
+            .fold(identity(), &op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, s) in squares.iter().enumerate() {
+            assert_eq!(*s, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let total: u64 = (0u64..101)
+            .into_par_iter()
+            .map(|i| 2 * i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10100);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<u32> = (0u32..0).into_par_iter().map(|i| i + 1).collect();
+        assert!(v.is_empty());
+        let one: Vec<u32> = (5u32..6).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let doubled: Vec<i32> = vec![3, 1, 4, 1, 5]
+            .into_par_iter()
+            .map(|x: i32| x * 2)
+            .collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+}
