@@ -7,6 +7,8 @@
 //! * `--m N` — minimizer length override.
 //! * `--seed N` — dataset seed override.
 //! * `--gpu-direct` — enable GPUDirect staging.
+//! * `--round-limit BYTES` — memory-bounded exchange rounds (§III-A).
+//! * `--overlap-rounds` — overlap count kernels with the next round's wire.
 
 use dedukt_dna::ScalePreset;
 
@@ -23,6 +25,10 @@ pub struct ExperimentArgs {
     pub seed: Option<u64>,
     /// Use GPUDirect in the GPU pipelines.
     pub gpu_direct: bool,
+    /// Per-round send cap in bytes (memory-bounded rounds, §III-A).
+    pub round_limit: Option<u64>,
+    /// Overlap count kernels with the next round's exchange.
+    pub overlap_rounds: bool,
 }
 
 impl Default for ExperimentArgs {
@@ -33,6 +39,8 @@ impl Default for ExperimentArgs {
             m: None,
             seed: None,
             gpu_direct: false,
+            round_limit: None,
+            overlap_rounds: false,
         }
     }
 }
@@ -45,7 +53,8 @@ impl ExperimentArgs {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!(
-                    "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] [--gpu-direct]"
+                    "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] \
+                     [--gpu-direct] [--round-limit BYTES] [--overlap-rounds]"
                 );
                 std::process::exit(2);
             }
@@ -95,6 +104,15 @@ impl ExperimentArgs {
                     out.seed = Some(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
                 }
                 "--gpu-direct" => out.gpu_direct = true,
+                "--round-limit" => {
+                    let v = it.next().ok_or("--round-limit needs a value")?;
+                    let b: u64 = v.parse().map_err(|_| format!("bad round limit {v:?}"))?;
+                    if b == 0 {
+                        return Err("--round-limit must be positive".into());
+                    }
+                    out.round_limit = Some(b);
+                }
+                "--overlap-rounds" => out.overlap_rounds = true,
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -130,6 +148,9 @@ mod tests {
             "--seed",
             "7",
             "--gpu-direct",
+            "--round-limit",
+            "4096",
+            "--overlap-rounds",
         ])
         .unwrap();
         assert_eq!(a.scale, ScalePreset::Tiny);
@@ -137,6 +158,8 @@ mod tests {
         assert_eq!(a.m, Some(9));
         assert_eq!(a.seed, Some(7));
         assert!(a.gpu_direct);
+        assert_eq!(a.round_limit, Some(4096));
+        assert!(a.overlap_rounds);
     }
 
     #[test]
@@ -153,5 +176,8 @@ mod tests {
         assert!(parse(&["--nodes", "zero"]).is_err());
         assert!(parse(&["--nodes", "0"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--round-limit"]).is_err());
+        assert!(parse(&["--round-limit", "0"]).is_err());
+        assert!(parse(&["--round-limit", "lots"]).is_err());
     }
 }

@@ -35,7 +35,7 @@ fn main() {
         for algo in [ExchangeAlgo::Direct, ExchangeAlgo::NodeAggregated] {
             let mut rc = RunConfig::new(mode, nodes);
             rc.exchange_algo = algo;
-            let r = pipeline::run(&reads, &rc);
+            let r = pipeline::run(&reads, &rc).expect("valid config");
             let msgs = match algo {
                 ExchangeAlgo::Direct => r.nranks - 1,
                 ExchangeAlgo::NodeAggregated => nodes - 1,

@@ -29,7 +29,7 @@ fn main() {
     for device in [DeviceConfig::v100(), DeviceConfig::a100()] {
         let mut rc = RunConfig::new(Mode::GpuSupermer, nodes);
         rc.gpu_device = device.clone();
-        let r = pipeline::run(&reads, &rc);
+        let r = pipeline::run(&reads, &rc).expect("valid config");
         let total = r.total_time();
         let speedup = baseline_total
             .map(|b: dedukt_sim::SimTime| format!("{:.2}x", b / total))

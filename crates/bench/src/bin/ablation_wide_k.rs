@@ -36,10 +36,10 @@ fn main() {
     {
         let mut rc = RunConfig::new(Mode::GpuKmer, 1);
         rc.counting.k = 17;
-        let km = pipeline::run(&reads, &rc);
+        let km = pipeline::run(&reads, &rc).expect("valid config");
         let mut rcs = RunConfig::new(Mode::GpuSupermer, 1);
         rcs.counting.k = 17;
-        let sm = pipeline::run(&reads, &rcs);
+        let sm = pipeline::run(&reads, &rcs).expect("valid config");
         t.row([
             "17".to_string(),
             "u64".to_string(),

@@ -44,7 +44,7 @@ fn main() {
             let mut rc = dedukt_core::RunConfig::new(Mode::GpuSupermer, nodes);
             rc.counting.m = 7;
             rc.balanced_minimizers = true;
-            dedukt_core::pipeline::run(&reads, &rc)
+            dedukt_core::pipeline::run(&reads, &rc).expect("valid config")
         };
         let ks = kmer.load.stats();
         let ss = smer.load.stats();

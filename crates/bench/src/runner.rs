@@ -29,7 +29,9 @@ pub fn run_mode(reads: &ReadSet, mode: Mode, nodes: usize, args: &ExperimentArgs
         rc.counting.m = m;
     }
     rc.gpu_direct = args.gpu_direct;
-    dedukt_core::pipeline::run(reads, &rc)
+    rc.round_limit_bytes = args.round_limit;
+    rc.overlap_rounds = args.overlap_rounds;
+    dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config")
 }
 
 /// Like [`run_mode`] with an explicit minimizer length (for sweeps).
@@ -43,7 +45,9 @@ pub fn run_mode_with_m(
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
     rc.gpu_direct = args.gpu_direct;
-    dedukt_core::pipeline::run(reads, &rc)
+    rc.round_limit_bytes = args.round_limit;
+    rc.overlap_rounds = args.overlap_rounds;
+    dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config")
 }
 
 #[cfg(test)]

@@ -97,6 +97,40 @@ impl CountingConfig {
     }
 }
 
+/// A rejected [`RunConfig`], with the reason.
+///
+/// Returned by [`RunConfig::validate`] (and hence
+/// [`crate::pipeline::run`]) so callers can surface a clean diagnostic
+/// instead of a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The algorithmic parameters are inconsistent
+    /// ([`CountingConfig::validate`]'s message).
+    Counting(String),
+    /// Canonical counting requested together with the supermer pipeline.
+    CanonicalSupermer,
+    /// `nodes == 0` — there is no machine to simulate.
+    ZeroNodes,
+    /// `round_limit_bytes == Some(0)` — no round could carry anything.
+    ZeroRoundLimit,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Counting(msg) => f.write_str(msg),
+            ConfigError::CanonicalSupermer => f.write_str(
+                "canonical counting is incompatible with minimizer routing of raw supermers; \
+                 use the k-mer pipelines for canonical mode",
+            ),
+            ConfigError::ZeroNodes => f.write_str("node count must be positive"),
+            ConfigError::ZeroRoundLimit => f.write_str("round limit must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which of the three counters to run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Mode {
@@ -215,6 +249,13 @@ pub struct RunConfig {
     /// memory-bounded operation ("the computation and communication may
     /// proceed in multiple rounds", §III-A). `None` = single round.
     pub round_limit_bytes: Option<u64>,
+    /// Double-buffer the exchange rounds: while round *r* is on the wire,
+    /// round *r − 1*'s count kernel runs, so each rank pays
+    /// max(wire, count) per overlapped round instead of their sum.
+    /// Functional results are bit-identical either way; only the simulated
+    /// times change. Needs `round_limit_bytes` to produce ≥ 2 rounds to
+    /// have any effect.
+    pub overlap_rounds: bool,
     /// Build the merged k-mer spectrum in the report (costs memory).
     pub collect_spectrum: bool,
     /// Keep every rank's `(kmer, count)` table in the report (costs
@@ -246,6 +287,7 @@ impl RunConfig {
             balance_sample_fraction: 0.05,
             exchange_algo: dedukt_net::cost::ExchangeAlgo::Direct,
             round_limit_bytes: None,
+            overlap_rounds: false,
             collect_spectrum: false,
             collect_tables: false,
             collect_trace: false,
@@ -256,6 +298,23 @@ impl RunConfig {
     /// Total ranks for this run.
     pub fn nranks(&self) -> usize {
         self.nodes * self.mode.ranks_per_node()
+    }
+
+    /// Validates the full run description (algorithmic parameters plus
+    /// machine shape); [`crate::pipeline::run`] calls this before doing
+    /// any work.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.counting.validate().map_err(ConfigError::Counting)?;
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.counting.canonical && self.mode == Mode::GpuSupermer {
+            return Err(ConfigError::CanonicalSupermer);
+        }
+        if self.round_limit_bytes == Some(0) {
+            return Err(ConfigError::ZeroRoundLimit);
+        }
+        Ok(())
     }
 }
 
@@ -296,6 +355,34 @@ mod tests {
         for c in bad {
             assert!(c.validate().is_err());
         }
+    }
+
+    #[test]
+    fn run_config_validation_covers_machine_shape() {
+        assert!(RunConfig::new(Mode::GpuSupermer, 2).validate().is_ok());
+        let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
+        rc.counting.canonical = true;
+        assert_eq!(rc.validate(), Err(ConfigError::CanonicalSupermer));
+        rc.mode = Mode::GpuKmer; // canonical is fine on the k-mer paths
+        assert!(rc.validate().is_ok());
+        let mut rc = RunConfig::new(Mode::CpuBaseline, 0);
+        assert_eq!(rc.validate(), Err(ConfigError::ZeroNodes));
+        rc.nodes = 1;
+        rc.round_limit_bytes = Some(0);
+        assert_eq!(rc.validate(), Err(ConfigError::ZeroRoundLimit));
+        rc.round_limit_bytes = Some(1);
+        assert!(rc.validate().is_ok());
+        rc.counting.k = 64;
+        assert!(matches!(rc.validate(), Err(ConfigError::Counting(_))));
+    }
+
+    #[test]
+    fn config_errors_render_human_messages() {
+        assert!(ConfigError::CanonicalSupermer
+            .to_string()
+            .contains("canonical"));
+        assert!(ConfigError::ZeroRoundLimit.to_string().contains("round"));
+        assert_eq!(ConfigError::Counting("bad k".into()).to_string(), "bad k");
     }
 
     #[test]

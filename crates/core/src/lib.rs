@@ -38,7 +38,7 @@ pub mod table;
 pub mod verify;
 pub mod wide;
 
-pub use config::{CountingConfig, CpuCoreModel, GpuTuning, Mode, RunConfig};
+pub use config::{ConfigError, CountingConfig, CpuCoreModel, GpuTuning, Mode, RunConfig};
 pub use minimizer::{minimizer_of_kmer, MinimizerScheme, OrderingKind};
 pub use pipeline::{run, RunReport};
 pub use stats::PhaseBreakdown;

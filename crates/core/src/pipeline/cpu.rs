@@ -6,39 +6,48 @@
 //! k-mers in a host open-addressing table. Compute phases are charged with
 //! the calibrated per-core rates of [`crate::config::CpuCoreModel`]
 //! (functional results are exact regardless).
+//!
+//! The phase skeleton (bucket → exchange rounds → count) lives in the
+//! shared [`driver`](crate::pipeline::driver); this module only supplies
+//! the CPU-specific stages.
 
 use crate::config::RunConfig;
 use crate::partition::kmer_owner;
-use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
-use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::pipeline::driver::{
+    exchange_u64_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
+};
+use crate::pipeline::{RankCountResult, RunReport};
 use crate::table::HostCountTable;
 use dedukt_dna::kmer::{kmer_words, Kmer};
 use dedukt_dna::ReadSet;
-use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::{MetricsRegistry, SimTime};
-use std::sync::Arc;
+use dedukt_sim::SimTime;
 
-/// Runs the CPU baseline counter.
-pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    let cfg = rc.counting;
-    let nranks = rc.nranks();
-    let mut net = Network::summit_cpu(rc.nodes);
-    net.params.algo = rc.exchange_algo;
-    let mut world = BspWorld::new(net);
-    assert_eq!(world.nranks(), nranks);
-    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
-    if let Some(m) = &metrics {
-        world.enable_metrics(Arc::clone(m));
+/// Host counting state threaded through the exchange rounds.
+pub(crate) struct CpuCounter {
+    table: HostCountTable,
+    received: u64,
+}
+
+struct CpuStages;
+
+impl CounterStages for CpuStages {
+    type Item = u64;
+    type Counter = CpuCounter;
+
+    const ITEM_WIRE_BYTES: u64 = 8;
+    const BUCKET_PHASE: &'static str = "parse";
+
+    fn network(&self, rc: &RunConfig) -> Network {
+        Network::summit_cpu(rc.nodes)
     }
-    let parts = reads.partition_by_bases(nranks);
-    let hasher = Murmur3x64::new(cfg.hash_seed);
 
     // ── Phase 1: parse & process k-mers (Algorithm 1, PARSEKMER) ──────
-    let (buckets, parse_time) = world.compute_step_named("parse", |rank| {
-        let part = &parts[rank];
-        let mut out: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<u64> {
+        let cfg = &ctx.cfg;
+        let part = &ctx.parts[rank];
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); ctx.nranks];
         let mut bases = 0u64;
         for read in &part.reads {
             bases += read.codes.len() as u64;
@@ -48,92 +57,74 @@ pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 } else {
                     w
                 };
-                out[kmer_owner(&hasher, key, nranks)].push(key);
+                out[kmer_owner(&ctx.hasher, key, ctx.nranks)].push(key);
             }
         }
-        let dt = rc.cpu_model.parse_rate.time_for(bases as f64);
-        (out, dt)
-    });
-    let kmers_sent: u64 = buckets
-        .iter()
-        .flat_map(|row| row.iter().map(|v| v.len() as u64))
-        .sum();
-
-    // ── Phase 2: exchange (Algorithm 1, EXCHANGEKMER) ──────────────────
-    // Optionally in memory-bounded rounds (§III-A), like the GPU path.
-    let mut recv: Vec<Vec<u64>> = (0..nranks).map(|_| Vec::new()).collect();
-    let mut exchange_time = SimTime::ZERO;
-    for round in crate::pipeline::gpu_common::split_rounds(buckets, rc.round_limit_bytes) {
-        let outcome = world.alltoallv(round);
-        exchange_time += outcome.times.mean;
-        for (dst, per_src) in outcome.recv.into_iter().enumerate() {
-            for v in per_src {
-                recv[dst].extend(v);
-            }
+        BucketOut {
+            buckets: out,
+            compute: ctx.rc.cpu_model.parse_rate.time_for(bases as f64),
+            stage_out: SimTime::ZERO,
         }
     }
 
-    // ── Phase 3: count (Algorithm 1, COUNTKMER) ────────────────────────
-    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
-        let received = recv[rank].len() as u64;
-        let mut table: HostCountTable = HostCountTable::with_expected(
-            received as usize,
-            cfg.table_load_factor,
-            cfg.hash_seed ^ 0xC0C0,
-        );
-        for &k in &recv[rank] {
-            table.insert(k);
+    fn item_instances(&self, _ctx: &DriverCtx, _item: &u64) -> u64 {
+        1
+    }
+
+    // ── Phase 2: exchange (Algorithm 1, EXCHANGEKMER) ─────────────────
+    fn exchange_round(
+        &self,
+        world: &mut BspWorld,
+        round: Vec<Vec<Vec<u64>>>,
+        hidden: Option<&[SimTime]>,
+    ) -> RoundRecv<u64> {
+        exchange_u64_round(world, round, hidden)
+    }
+
+    // ── Phase 3: count (Algorithm 1, COUNTKMER) ───────────────────────
+    fn make_counter(&self, ctx: &DriverCtx, _rank: usize, expected_instances: u64) -> CpuCounter {
+        CpuCounter {
+            table: HostCountTable::with_expected(
+                expected_instances as usize,
+                ctx.cfg.table_load_factor,
+                ctx.cfg.hash_seed ^ 0xC0C0,
+            ),
+            received: 0,
         }
-        if let Some(m) = &metrics {
-            m.counter_add("kmers_counted_total", Some(rank), received);
-            m.counter_add("count_probe_steps_total", Some(rank), table.probe_steps());
+    }
+
+    fn count_round(&self, ctx: &DriverCtx, counter: &mut CpuCounter, items: Vec<u64>) -> SimTime {
+        counter.received += items.len() as u64;
+        for k in &items {
+            counter.table.insert(*k);
+        }
+        ctx.rc.cpu_model.count_rate.time_for(items.len() as f64)
+    }
+
+    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: CpuCounter) -> RankCountResult {
+        if let Some(m) = &ctx.metrics {
+            m.counter_add("kmers_counted_total", Some(rank), counter.received);
+            m.counter_add(
+                "count_probe_steps_total",
+                Some(rank),
+                counter.table.probe_steps(),
+            );
             m.gauge_set(
                 "count_table_load_factor",
                 Some(rank),
-                table.distinct() as f64 / table.capacity() as f64,
+                counter.table.distinct() as f64 / counter.table.capacity() as f64,
             );
         }
-        let dt = rc.cpu_model.count_rate.time_for(received as f64);
-        (
-            RankCountResult {
-                entries: table.iter().collect(),
-                instances: received,
-            },
-            dt,
-        )
-    });
-
-    let makespan = world.elapsed();
-    let trace = rc.collect_trace.then(|| world.take_trace());
-    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
-    let stats = world.stats();
-    let (load, total, distinct, spectrum, tables) =
-        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
-    RunReport {
-        mode: rc.mode,
-        nodes: rc.nodes,
-        nranks,
-        phases: PhaseBreakdown {
-            parse: parse_time.mean,
-            exchange: exchange_time,
-            count: count_time.mean,
-        },
-        makespan,
-        exchange: ExchangeSummary {
-            units: kmers_sent,
-            bytes: stats.total_bytes,
-            off_node_bytes: stats.off_node_bytes,
-            alltoallv_time: exchange_time,
-        },
-        load,
-        total_kmers: total,
-        distinct_kmers: distinct,
-        spectrum,
-        tables,
-        trace,
-        trace_counters,
-        metrics: metrics.map(|m| m.snapshot()),
+        RankCountResult {
+            entries: counter.table.iter().collect(),
+            instances: counter.received,
+        }
     }
+}
+
+/// Runs the CPU baseline counter.
+pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    run_staged(&mut CpuStages, reads, rc)
 }
 
 #[cfg(test)]
@@ -216,5 +207,7 @@ mod tests {
         assert_eq!(report.exchange.units, report.total_kmers);
         // Packed k-mers are 8 bytes each on the wire.
         assert_eq!(report.exchange.bytes, report.total_kmers * 8);
+        // Unlimited memory → a single exchange round.
+        assert_eq!(report.exchange.rounds, 1);
     }
 }

@@ -1,0 +1,331 @@
+//! The staged superstep driver shared by all three counters.
+//!
+//! Every pipeline in the paper has the same skeleton: a bucketing compute
+//! phase, an `MPI_Alltoallv` (optionally split into memory-bounded rounds,
+//! §III-A), and a counting phase. The driver owns that skeleton once —
+//! world setup, the balanced-minimizer pre-pass, round slicing, the round
+//! loop with optional compute/exchange overlap, phase accounting, and
+//! report assembly — while a [`CounterStages`] implementation supplies the
+//! counter-specific hooks (what to bucket, how items move on the wire,
+//! how received items are counted).
+//!
+//! ## Rounds and overlap
+//!
+//! With `round_limit_bytes` set, the outgoing buckets are sliced into
+//! rounds so no rank sends more than the cap per round
+//! ([`split_rounds_weighted`]); received rounds are counted into a table
+//! sized for the *total* expected load, so results are bit-identical to a
+//! single-round run regardless of the cap.
+//!
+//! With `overlap_rounds` additionally set, round `r`'s exchange is issued
+//! non-blocking while round `r-1`'s count kernel runs on the rank's
+//! device stream: the rank is charged `max(wire, count)` per round
+//! instead of their sum ([`BspWorld::alltoallv_overlapped`]), and only the
+//! final round's count remains exposed as the count phase. Payloads,
+//! counts, and volumes are unaffected — overlap changes *when* simulated
+//! work happens, never *what* is computed.
+
+use crate::config::{CountingConfig, RunConfig};
+use crate::pipeline::gpu_common::split_rounds_weighted;
+use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
+use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use dedukt_dna::ReadSet;
+use dedukt_hash::Murmur3x64;
+use dedukt_net::cost::Network;
+use dedukt_net::BspWorld;
+use dedukt_sim::{MetricsRegistry, SimTime};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Run-wide context handed to every [`CounterStages`] hook.
+pub(crate) struct DriverCtx<'a> {
+    /// The full run configuration.
+    pub rc: &'a RunConfig,
+    /// Shorthand for `rc.counting`.
+    pub cfg: CountingConfig,
+    /// Total ranks.
+    pub nranks: usize,
+    /// Per-rank read partitions.
+    pub parts: Vec<ReadSet>,
+    /// The run's routing hasher (seeded with `cfg.hash_seed`).
+    pub hasher: Murmur3x64,
+    /// Telemetry registry, when `rc.collect_metrics` is set.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+}
+
+/// What one rank's bucketing phase produced.
+pub(crate) struct BucketOut<I> {
+    /// `buckets[dst]` — items routed to each destination rank.
+    pub buckets: Vec<Vec<I>>,
+    /// Simulated duration of the bucketing compute itself.
+    pub compute: SimTime,
+    /// Device→host staging time for the outgoing buffers (zero on the
+    /// CPU pipeline and under GPUDirect).
+    pub stage_out: SimTime,
+}
+
+/// What one exchange round delivered.
+pub(crate) struct RoundRecv<I> {
+    /// `items[dst]` — everything rank `dst` received this round,
+    /// concatenated in source-rank order.
+    pub items: Vec<Vec<I>>,
+    /// Mean per-rank pure wire time of the round's collective(s).
+    pub wire_mean: SimTime,
+    /// Mean per-rank *charged* time: equals `wire_mean` for a blocking
+    /// round, `max(wire, hidden compute)` for an overlapped one.
+    pub charged_mean: SimTime,
+}
+
+/// The counter-specific hooks of one pipeline; everything else —
+/// world setup, round slicing, the superstep loop, phase accounting,
+/// report assembly — lives in [`run_staged`].
+pub(crate) trait CounterStages: Sync {
+    /// What moves on the wire (a packed k-mer, a supermer word+length).
+    type Item: Send;
+    /// Per-rank counting state threaded through the rounds.
+    type Counter: Send;
+
+    /// Serialized size of one item on the wire, in bytes. Used for the
+    /// round cap; may differ from the item's in-memory size.
+    const ITEM_WIRE_BYTES: u64;
+    /// Trace/phase name of the bucketing compute step.
+    const BUCKET_PHASE: &'static str;
+
+    /// The machine this counter runs on.
+    fn network(&self, rc: &RunConfig) -> Network;
+
+    /// Optional pre-pass before bucketing (the §VII balanced-minimizer
+    /// sampling). Returns its simulated duration, folded into the parse
+    /// phase.
+    fn prepass(&mut self, _ctx: &DriverCtx, _world: &mut BspWorld) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Bucket rank `rank`'s partition by destination.
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<Self::Item>;
+
+    /// How many k-mer instances counting `item` will insert (1 for a
+    /// k-mer, `len - k + 1` for a supermer). Sizes the count tables for
+    /// the *total* load so round splitting cannot change results.
+    fn item_instances(&self, ctx: &DriverCtx, item: &Self::Item) -> u64;
+
+    /// Move one round through the wire. `hidden`, when present, carries
+    /// per-rank compute times to overlap behind the collective (the
+    /// previous round's count kernels).
+    fn exchange_round(
+        &self,
+        world: &mut BspWorld,
+        round: Vec<Vec<Vec<Self::Item>>>,
+        hidden: Option<&[SimTime]>,
+    ) -> RoundRecv<Self::Item>;
+
+    /// Host→device staging time for everything a rank received (zero on
+    /// the CPU pipeline and under GPUDirect).
+    fn stage_in(&self, _ctx: &DriverCtx, _received_items: u64) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Create rank `rank`'s counter, sized for `expected_instances`
+    /// k-mer inserts across *all* rounds.
+    fn make_counter(&self, ctx: &DriverCtx, rank: usize, expected_instances: u64) -> Self::Counter;
+
+    /// Count one round's received items; returns the simulated kernel
+    /// time (charged either as hidden compute or in the count phase).
+    fn count_round(
+        &self,
+        ctx: &DriverCtx,
+        counter: &mut Self::Counter,
+        items: Vec<Self::Item>,
+    ) -> SimTime;
+
+    /// Drain the counter into the rank's result (and record its
+    /// counting telemetry).
+    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: Self::Counter) -> RankCountResult;
+}
+
+/// Runs one counter through the shared staged superstep skeleton.
+pub(crate) fn run_staged<S: CounterStages>(
+    stages: &mut S,
+    reads: &ReadSet,
+    rc: &RunConfig,
+) -> RunReport {
+    let nranks = rc.nranks();
+    let mut net = stages.network(rc);
+    net.params.algo = rc.exchange_algo;
+    let mut world = BspWorld::new(net);
+    assert_eq!(world.nranks(), nranks);
+    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
+    if let Some(m) = &metrics {
+        world.enable_metrics(Arc::clone(m));
+    }
+    let ctx = DriverCtx {
+        rc,
+        cfg: rc.counting,
+        nranks,
+        parts: reads.partition_by_bases(nranks),
+        hasher: Murmur3x64::new(rc.counting.hash_seed),
+        metrics: metrics.clone(),
+    };
+
+    // ── Pre-pass + bucketing (parse phase) ─────────────────────────────
+    let prepass_time = stages.prepass(&ctx, &mut world);
+    let stages = &*stages; // shared from here on; compute steps capture it
+    let (bucket_out, bucket_step) = world.compute_step_named(S::BUCKET_PHASE, |rank| {
+        let b = stages.bucket(&ctx, rank);
+        ((b.buckets, b.stage_out), b.compute)
+    });
+    let mut buckets = Vec::with_capacity(nranks);
+    let mut stage_out_times = Vec::with_capacity(nranks);
+    for (b, t) in bucket_out {
+        buckets.push(b);
+        stage_out_times.push(t);
+    }
+    let units: u64 = buckets
+        .iter()
+        .flat_map(|row| row.iter().map(|v| v.len() as u64))
+        .sum();
+    // Expected inserts per destination, over ALL rounds — count tables
+    // are sized for the full load up front, so slicing the exchange into
+    // rounds cannot change probe sequences or results.
+    let mut expected = vec![0u64; nranks];
+    for row in &buckets {
+        for (dst, payload) in row.iter().enumerate() {
+            for item in payload {
+                expected[dst] += stages.item_instances(&ctx, item);
+            }
+        }
+    }
+
+    // ── Exchange + count rounds ────────────────────────────────────────
+    let (_, stage_out_step) =
+        world.compute_step_named("stage-out", |rank| ((), stage_out_times[rank]));
+    let rounds = split_rounds_weighted(buckets, rc.round_limit_bytes, S::ITEM_WIRE_BYTES);
+    let nrounds = rounds.len();
+    let mut counters: Vec<S::Counter> = (0..nranks)
+        .into_par_iter()
+        .map(|rank| stages.make_counter(&ctx, rank, expected[rank]))
+        .collect();
+    let mut received_items = vec![0u64; nranks];
+    let mut count_totals = vec![SimTime::ZERO; nranks];
+    let mut last_round_times = vec![SimTime::ZERO; nranks];
+    let mut prev_round_times: Option<Vec<SimTime>> = None;
+    let mut wire_total = SimTime::ZERO;
+    let mut charged_total = SimTime::ZERO;
+    for round in rounds {
+        // Double-buffered overlap: while this round is on the wire, the
+        // previous round's count kernel runs on each rank's stream.
+        let hidden = if rc.overlap_rounds {
+            prev_round_times.take()
+        } else {
+            None
+        };
+        let rr = stages.exchange_round(&mut world, round, hidden.as_deref());
+        wire_total += rr.wire_mean;
+        charged_total += rr.charged_mean;
+        for (rank, items) in rr.items.iter().enumerate() {
+            received_items[rank] += items.len() as u64;
+        }
+        // Count this round (functionally now; its simulated time is
+        // charged either as the next round's hidden compute or in the
+        // final count step).
+        let paired: Vec<(S::Counter, Vec<S::Item>)> = counters.into_iter().zip(rr.items).collect();
+        let counted: Vec<(S::Counter, SimTime)> = paired
+            .into_par_iter()
+            .map(|(mut c, items)| {
+                let dt = stages.count_round(&ctx, &mut c, items);
+                (c, dt)
+            })
+            .collect();
+        let mut times = Vec::with_capacity(nranks);
+        counters = Vec::with_capacity(nranks);
+        for (c, t) in counted {
+            counters.push(c);
+            times.push(t);
+        }
+        for (rank, t) in times.iter().enumerate() {
+            count_totals[rank] += *t;
+        }
+        last_round_times.clone_from(&times);
+        prev_round_times = Some(times);
+    }
+    let (_, stage_in_step) = world.compute_step_named("stage-in", |rank| {
+        ((), stages.stage_in(&ctx, received_items[rank]))
+    });
+
+    // ── Count phase drain ──────────────────────────────────────────────
+    // Under overlap every round but the last was hidden behind a wire;
+    // only the final round's kernel remains exposed. (With one round the
+    // two are identical — there was nothing to hide behind.)
+    let drain = if rc.overlap_rounds {
+        last_round_times
+    } else {
+        count_totals
+    };
+    let (_, count_step) = world.compute_step_named("count", |rank| ((), drain[rank]));
+    let indexed: Vec<(usize, S::Counter)> = counters.into_iter().enumerate().collect();
+    let rank_results: Vec<RankCountResult> = indexed
+        .into_par_iter()
+        .map(|(rank, c)| stages.finish(&ctx, rank, c))
+        .collect();
+
+    // ── Report assembly ────────────────────────────────────────────────
+    let makespan = world.elapsed();
+    let trace = rc.collect_trace.then(|| world.take_trace());
+    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
+    let stats = world.stats();
+    let (load, total, distinct, spectrum, tables) =
+        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
+    RunReport {
+        mode: rc.mode,
+        nodes: rc.nodes,
+        nranks,
+        phases: PhaseBreakdown {
+            parse: prepass_time + bucket_step.mean,
+            exchange: stage_out_step.mean + charged_total + stage_in_step.mean,
+            count: count_step.mean,
+        },
+        makespan,
+        exchange: ExchangeSummary {
+            units,
+            bytes: stats.total_bytes,
+            off_node_bytes: stats.off_node_bytes,
+            alltoallv_time: wire_total,
+            rounds: nrounds as u64,
+        },
+        load,
+        total_kmers: total,
+        distinct_kmers: distinct,
+        spectrum,
+        tables,
+        trace,
+        trace_counters,
+        metrics: metrics.map(|m| m.snapshot()),
+    }
+}
+
+/// Shared exchange hook for the pipelines whose wire items are bare
+/// `u64` k-mers: one Alltoallv per round, overlapped when `hidden` is
+/// present.
+pub(crate) fn exchange_u64_round(
+    world: &mut BspWorld,
+    round: Vec<Vec<Vec<u64>>>,
+    hidden: Option<&[SimTime]>,
+) -> RoundRecv<u64> {
+    let outcome = match hidden {
+        Some(h) => world.alltoallv_overlapped(round, h),
+        None => world.alltoallv(round),
+    };
+    RoundRecv {
+        items: flatten_recv(outcome.recv),
+        wire_mean: outcome.wire.mean,
+        charged_mean: outcome.times.mean,
+    }
+}
+
+/// Concatenates `recv[dst][src]` payloads into one list per destination,
+/// preserving source-rank order.
+pub(crate) fn flatten_recv<I>(recv: Vec<Vec<Vec<I>>>) -> Vec<Vec<I>> {
+    recv.into_iter()
+        .map(|per_src| per_src.into_iter().flatten().collect())
+        .collect()
+}

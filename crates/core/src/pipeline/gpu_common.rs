@@ -100,6 +100,29 @@ pub fn count_kmers_on_device(
     let capacity = table_capacity(cfg, kmers.len());
     let table = DeviceCountTable::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
         .expect("count table exceeds device memory");
+    let (report, probe_steps, probe_hist) =
+        count_round_on_device(device, &table, kmers, cycles_per_kmer);
+    let entries = table.to_host();
+    let load_factor = entries.len() as f64 / table.capacity() as f64;
+    CountOutcome {
+        report,
+        entries,
+        probe_steps,
+        probe_hist,
+        load_factor,
+    }
+}
+
+/// One launch of the counting kernel inserting `kmers` into an existing
+/// device `table` — the round-granular form [`count_kmers_on_device`] and
+/// the staged driver's per-round counting are built on. Returns the
+/// launch report, total probe steps, and the per-insert probe histogram.
+pub fn count_round_on_device(
+    device: &Device,
+    table: &DeviceCountTable,
+    kmers: &[u64],
+    cycles_per_kmer: f64,
+) -> (KernelReport, u64, Histogram) {
     let launch = chunked_launch(kmers.len().max(1));
     let (report, block_stats) = device.launch_map("count_kmers", launch, |b| {
         let (lo, hi) = block_range(kmers.len(), b.cfg.grid_blocks, b.block);
@@ -123,20 +146,93 @@ pub fn count_kmers_on_device(
         b.atomic(2 * n, n - fresh);
         (probes, hist)
     });
-    let entries = table.to_host();
     let mut probe_hist = Histogram::new();
     let mut probe_steps = 0u64;
     for (p, h) in &block_stats {
         probe_steps += p;
         probe_hist.merge(h);
     }
-    let load_factor = entries.len() as f64 / table.capacity() as f64;
-    CountOutcome {
-        report,
-        entries,
-        probe_steps,
-        probe_hist,
-        load_factor,
+    (report, probe_steps, probe_hist)
+}
+
+/// Per-rank device-side counting state threaded through the staged
+/// driver's exchange rounds: one device, one count table sized for the
+/// whole run, and one stream recording the round-by-round count kernels
+/// (the kernels the overlapped exchange hides behind the wire).
+pub(crate) struct DeviceRoundCounter {
+    device: Device,
+    table: DeviceCountTable,
+    stream: dedukt_gpu::Stream,
+    probe_hist: Histogram,
+    probe_steps: u64,
+    instances: u64,
+    last_occupancy: f64,
+}
+
+impl DeviceRoundCounter {
+    /// A counter for a rank expecting `expected_instances` inserts in
+    /// total — the table is sized once for the full load so splitting
+    /// the exchange into rounds cannot change probe sequences.
+    pub(crate) fn new(rc: &RunConfig, cfg: &CountingConfig, expected_instances: u64) -> Self {
+        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
+        let capacity = table_capacity(cfg, expected_instances as usize);
+        let table = DeviceCountTable::new(&device, capacity, cfg.hash_seed ^ 0xC0C0)
+            .expect("count table exceeds device memory");
+        DeviceRoundCounter {
+            device,
+            table,
+            stream: dedukt_gpu::Stream::new(),
+            probe_hist: Histogram::new(),
+            probe_steps: 0,
+            instances: 0,
+            last_occupancy: 0.0,
+        }
+    }
+
+    /// Inserts one round's k-mers; returns the kernel's simulated time.
+    pub(crate) fn count(&mut self, kmers: &[u64], cycles_per_kmer: f64) -> SimTime {
+        let (report, probes, hist) =
+            count_round_on_device(&self.device, &self.table, kmers, cycles_per_kmer);
+        self.probe_steps += probes;
+        self.probe_hist.merge(&hist);
+        self.instances += kmers.len() as u64;
+        self.last_occupancy = report.occupancy;
+        let dt = report.time;
+        self.stream.record_kernel(report);
+        dt
+    }
+
+    /// Drains the table into the rank's result and records the counting
+    /// telemetry (same series as the single-launch pipelines).
+    pub(crate) fn finish(
+        self,
+        metrics: &Option<std::sync::Arc<dedukt_sim::MetricsRegistry>>,
+        rank: usize,
+    ) -> crate::pipeline::RankCountResult {
+        let entries = self.table.to_host();
+        if let Some(m) = metrics {
+            m.counter_add("kmers_counted_total", Some(rank), self.instances);
+            m.merge_histogram("count_probe_steps", Some(rank), &self.probe_hist);
+            m.gauge_set(
+                "count_table_load_factor",
+                Some(rank),
+                entries.len() as f64 / self.table.capacity() as f64,
+            );
+            m.gauge_set(
+                "kernel_occupancy:count_kmers",
+                Some(rank),
+                self.last_occupancy,
+            );
+            m.gauge_max(
+                "device_peak_bytes",
+                Some(rank),
+                self.device.peak_bytes() as f64,
+            );
+        }
+        crate::pipeline::RankCountResult {
+            entries,
+            instances: self.instances,
+        }
     }
 }
 
@@ -148,17 +244,37 @@ pub fn split_rounds<T>(
     buckets: Vec<Vec<Vec<T>>>,
     limit_bytes: Option<u64>,
 ) -> Vec<Vec<Vec<Vec<T>>>> {
-    let elem = std::mem::size_of::<T>() as u64;
+    let elem = (std::mem::size_of::<T>() as u64).max(1);
+    split_rounds_weighted(buckets, limit_bytes, elem)
+}
+
+/// [`split_rounds`] with an explicit per-item wire size in bytes, for
+/// items whose in-memory size differs from their serialized form (a
+/// supermer moves as 8 payload bytes + 1 length byte, not
+/// `size_of::<(u64, u8)>()`). The round count is clamped to the largest
+/// per-destination payload so caps smaller than one item still make
+/// progress (each round then carries at least one item per payload).
+pub fn split_rounds_weighted<T>(
+    buckets: Vec<Vec<Vec<T>>>,
+    limit_bytes: Option<u64>,
+    item_bytes: u64,
+) -> Vec<Vec<Vec<Vec<T>>>> {
+    assert!(item_bytes > 0, "item wire size must be positive");
     let nrounds = match limit_bytes {
         None => 1,
         Some(cap) => {
             assert!(cap > 0, "round limit must be positive");
             let max_out = buckets
                 .iter()
-                .map(|row| row.iter().map(|v| v.len() as u64 * elem).sum::<u64>())
+                .map(|row| row.iter().map(|v| v.len() as u64 * item_bytes).sum::<u64>())
                 .max()
                 .unwrap_or(0);
-            max_out.div_ceil(cap).max(1) as usize
+            let max_items = buckets
+                .iter()
+                .flat_map(|row| row.iter().map(|v| v.len() as u64))
+                .max()
+                .unwrap_or(0);
+            max_out.div_ceil(cap).clamp(1, max_items.max(1)) as usize
         }
     };
     if nrounds == 1 {

@@ -12,23 +12,26 @@
 //! 2. **Exchange** — stage outgoing buffers to the host (unless
 //!    GPUDirect), `MPI_Alltoallv`, stage received k-mers back in.
 //! 3. **Count** — the device CAS/linear-probing table kernel (§III-B3).
+//!
+//! The phase skeleton (bucket → exchange rounds → count) lives in the
+//! shared [`driver`](crate::pipeline::driver); this module only supplies
+//! the device-side stages.
 
 use crate::config::RunConfig;
 use crate::partition::kmer_owner;
-use crate::pipeline::gpu_common::{
-    block_range, chunked_launch, concat_rank_reads, count_kmers_on_device, reads_h2d_volume,
-    split_rounds, staging,
+use crate::pipeline::driver::{
+    exchange_u64_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
 };
-use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
-use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::pipeline::gpu_common::{
+    block_range, chunked_launch, concat_rank_reads, reads_h2d_volume, staging, DeviceRoundCounter,
+};
+use crate::pipeline::{RankCountResult, RunReport};
 use dedukt_dna::kmer::Kmer;
 use dedukt_dna::packed::ConcatReads;
 use dedukt_dna::ReadSet;
-use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::{DataVolume, MetricsRegistry, SimTime};
-use std::sync::Arc;
+use dedukt_sim::{DataVolume, SimTime};
 
 /// Calls `f` with every packed k-mer whose start position lies in
 /// `[lo, hi)` of the concatenated base array, honouring read boundaries.
@@ -70,27 +73,28 @@ pub(crate) fn for_kmers_in_range(
     (kmers, bases)
 }
 
-/// Runs the GPU k-mer counter.
-pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    let cfg = rc.counting;
-    let nranks = rc.nranks();
-    let mut net = Network::summit_gpu(rc.nodes);
-    net.params.algo = rc.exchange_algo;
-    let mut world = BspWorld::new(net);
-    assert_eq!(world.nranks(), nranks);
-    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
-    if let Some(m) = &metrics {
-        world.enable_metrics(Arc::clone(m));
-    }
-    let parts = reads.partition_by_bases(nranks);
-    let hasher = Murmur3x64::new(cfg.hash_seed);
-    let tuning = rc.gpu_tuning;
+struct GpuKmerStages;
 
-    // ── Phase 1: parse & process on the device ─────────────────────────
-    let (parse_out, parse_time) = world.compute_step_named("parse", |rank| {
+impl CounterStages for GpuKmerStages {
+    type Item = u64;
+    type Counter = DeviceRoundCounter;
+
+    const ITEM_WIRE_BYTES: u64 = 8;
+    const BUCKET_PHASE: &'static str = "parse";
+
+    fn network(&self, rc: &RunConfig) -> Network {
+        Network::summit_gpu(rc.nodes)
+    }
+
+    // ── Phase 1: parse & process on the device ────────────────────────
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<u64> {
+        let rc = ctx.rc;
+        let cfg = &ctx.cfg;
+        let nranks = ctx.nranks;
+        let tuning = rc.gpu_tuning;
         let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let part = &parts[rank];
-        let concat = concat_rank_reads(part, &cfg);
+        let part = &ctx.parts[rank];
+        let concat = concat_rank_reads(part, cfg);
         let h2d = staging(&device, rc, reads_h2d_volume(&concat));
 
         let nbases = concat.num_bases().max(1);
@@ -104,7 +108,7 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 } else {
                     w
                 };
-                local[kmer_owner(&hasher, key, nranks)].push(key);
+                local[kmer_owner(&ctx.hasher, key, nranks)].push(key);
             });
             // Calibrated compute plus real traffic: packed reads stream
             // in coalesced; bucket appends scatter 8-byte words and bump
@@ -126,103 +130,63 @@ pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
         }
         let out_bytes: u64 = out.iter().map(|v| v.len() as u64 * 8).sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
-        if let Some(m) = &metrics {
+        if let Some(m) = &ctx.metrics {
             m.gauge_set("kernel_occupancy:parse_kmers", Some(rank), report.occupancy);
             m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
         }
-        ((out, d2h), h2d + report.time)
-    });
-
-    let mut buckets = Vec::with_capacity(nranks);
-    let mut d2h_times = Vec::with_capacity(nranks);
-    for (b, t) in parse_out {
-        buckets.push(b);
-        d2h_times.push(t);
-    }
-    let kmers_sent: u64 = buckets
-        .iter()
-        .flat_map(|row| row.iter().map(|v| v.len() as u64))
-        .sum();
-
-    // ── Phase 2: exchange (stage out, Alltoallv, stage in) ─────────────
-    // Memory-bounded runs split the exchange into rounds (§III-A): the
-    // per-round payload obeys `round_limit_bytes` and the received rounds
-    // are concatenated (order preserved, so results are identical).
-    let (_, d2h_step) = world.compute_step_named("stage-out", |rank| ((), d2h_times[rank]));
-    let mut recv_flat: Vec<Vec<u64>> = (0..nranks).map(|_| Vec::new()).collect();
-    let mut wire_time = SimTime::ZERO;
-    for round in split_rounds(buckets, rc.round_limit_bytes) {
-        let outcome = world.alltoallv(round);
-        wire_time += outcome.times.mean;
-        for (dst, per_src) in outcome.recv.into_iter().enumerate() {
-            for v in per_src {
-                recv_flat[dst].extend(v);
-            }
+        BucketOut {
+            buckets: out,
+            compute: h2d + report.time,
+            stage_out: d2h,
         }
     }
-    let (_, h2d_step) = world.compute_step_named("stage-in", |rank| {
-        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let bytes = recv_flat[rank].len() as u64 * 8;
-        ((), staging(&device, rc, DataVolume::from_bytes(bytes)))
-    });
-    let exchange_time = d2h_step.mean + wire_time + h2d_step.mean;
 
-    // ── Phase 3: count on the device ───────────────────────────────────
-    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
-        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let kmers = &recv_flat[rank];
-        let out = count_kmers_on_device(&device, &cfg, kmers, tuning.count_cycles_per_kmer);
-        if let Some(m) = &metrics {
-            m.counter_add("kmers_counted_total", Some(rank), kmers.len() as u64);
-            m.merge_histogram("count_probe_steps", Some(rank), &out.probe_hist);
-            m.gauge_set("count_table_load_factor", Some(rank), out.load_factor);
-            m.gauge_set(
-                "kernel_occupancy:count_kmers",
-                Some(rank),
-                out.report.occupancy,
-            );
-            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
-        }
-        (
-            RankCountResult {
-                entries: out.entries,
-                instances: kmers.len() as u64,
-            },
-            out.report.time,
-        )
-    });
-
-    let makespan = world.elapsed();
-    let trace = rc.collect_trace.then(|| world.take_trace());
-    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
-    let stats = world.stats();
-    let (load, total, distinct, spectrum, tables) =
-        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
-    RunReport {
-        mode: rc.mode,
-        nodes: rc.nodes,
-        nranks,
-        phases: PhaseBreakdown {
-            parse: parse_time.mean,
-            exchange: exchange_time,
-            count: count_time.mean,
-        },
-        makespan,
-        exchange: ExchangeSummary {
-            units: kmers_sent,
-            bytes: stats.total_bytes,
-            off_node_bytes: stats.off_node_bytes,
-            alltoallv_time: wire_time,
-        },
-        load,
-        total_kmers: total,
-        distinct_kmers: distinct,
-        spectrum,
-        tables,
-        trace,
-        trace_counters,
-        metrics: metrics.map(|m| m.snapshot()),
+    fn item_instances(&self, _ctx: &DriverCtx, _item: &u64) -> u64 {
+        1
     }
+
+    // ── Phase 2: exchange (stage out, Alltoallv rounds, stage in) ─────
+    fn exchange_round(
+        &self,
+        world: &mut BspWorld,
+        round: Vec<Vec<Vec<u64>>>,
+        hidden: Option<&[SimTime]>,
+    ) -> RoundRecv<u64> {
+        exchange_u64_round(world, round, hidden)
+    }
+
+    fn stage_in(&self, ctx: &DriverCtx, received_items: u64) -> SimTime {
+        let device = dedukt_gpu::Device::new(ctx.rc.gpu_device.clone());
+        staging(&device, ctx.rc, DataVolume::from_bytes(received_items * 8))
+    }
+
+    // ── Phase 3: count on the device ──────────────────────────────────
+    fn make_counter(
+        &self,
+        ctx: &DriverCtx,
+        _rank: usize,
+        expected_instances: u64,
+    ) -> DeviceRoundCounter {
+        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
+    }
+
+    fn count_round(
+        &self,
+        ctx: &DriverCtx,
+        counter: &mut DeviceRoundCounter,
+        items: Vec<u64>,
+    ) -> SimTime {
+        counter.count(&items, ctx.rc.gpu_tuning.count_cycles_per_kmer)
+    }
+
+    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: DeviceRoundCounter) -> RankCountResult {
+        counter.finish(&ctx.metrics, rank)
+    }
+}
+
+/// Runs the GPU k-mer counter.
+pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    run_staged(&mut GpuKmerStages, reads, rc)
 }
 
 #[cfg(test)]

@@ -14,55 +14,68 @@
 //! * **Count** — received supermers are first re-parsed into k-mers
 //!   (charged as the paper's measured +23-27% counting overhead), then
 //!   counted by the same device table kernel.
+//!
+//! The phase skeleton (bucket → exchange rounds → count) lives in the
+//! shared [`driver`](crate::pipeline::driver); this module supplies the
+//! supermer-specific stages, including the two-collective exchange and
+//! the §VII balanced-minimizer pre-pass.
 
 use crate::config::RunConfig;
 use crate::partition::{minimizer_owner, BalancedAssignment};
-use crate::pipeline::gpu_common::{block_range, chunked_launch, count_kmers_on_device, staging};
-use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
-use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::pipeline::driver::{run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv};
+use crate::pipeline::gpu_common::{block_range, chunked_launch, staging, DeviceRoundCounter};
+use crate::pipeline::{RankCountResult, RunReport};
 use crate::supermer::build_supermers_reference;
 use crate::supermer::{num_windows, supermers_of_window, Supermer};
 use dedukt_dna::kmer::Kmer;
 use dedukt_dna::ReadSet;
-use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::{DataVolume, Histogram, MetricsRegistry};
+use dedukt_sim::{DataVolume, Histogram, SimTime};
 use std::collections::HashMap;
-use std::sync::Arc;
 
-/// Runs the GPU supermer counter.
-pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    let cfg = rc.counting;
-    assert!(
-        !cfg.canonical,
-        "canonical counting is incompatible with minimizer routing of raw supermers; \
-         use the k-mer pipelines for canonical mode"
-    );
-    let nranks = rc.nranks();
-    let mut net = Network::summit_gpu(rc.nodes);
-    net.params.algo = rc.exchange_algo;
-    let mut world = BspWorld::new(net);
-    let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
-    if let Some(m) = &metrics {
-        world.enable_metrics(Arc::clone(m));
+struct SupermerStages {
+    assignment: Option<BalancedAssignment>,
+}
+
+impl SupermerStages {
+    fn owner(&self, ctx: &DriverCtx, mz: u64) -> usize {
+        match &self.assignment {
+            Some(a) => a.owner(mz),
+            None => minimizer_owner(&ctx.hasher, mz, ctx.nranks),
+        }
     }
-    let parts = reads.partition_by_bases(nranks);
-    let hasher = Murmur3x64::new(cfg.hash_seed);
-    let tuning = rc.gpu_tuning;
-    let scheme = cfg.minimizer_scheme();
+}
 
-    // ── Optional pre-pass: frequency-aware balanced assignment (§VII) ──
+impl CounterStages for SupermerStages {
+    type Item = (u64, u8);
+    type Counter = DeviceRoundCounter;
+
+    const ITEM_WIRE_BYTES: u64 = Supermer::WIRE_BYTES;
+    const BUCKET_PHASE: &'static str = "build-supermers";
+
+    fn network(&self, rc: &RunConfig) -> Network {
+        Network::summit_gpu(rc.nodes)
+    }
+
+    // ── Optional pre-pass: frequency-aware balanced assignment (§VII) ─
     // Each rank samples a deterministic stride of its reads, weights are
     // merged (an Allgather in real MPI), and every rank derives the same
     // minimizer→rank map. Sampling time joins the parse phase.
-    let mut prepass_time = dedukt_sim::SimTime::ZERO;
-    let assignment: Option<BalancedAssignment> = if rc.balanced_minimizers {
+    fn prepass(&mut self, ctx: &DriverCtx, world: &mut BspWorld) -> SimTime {
+        let rc = ctx.rc;
+        if !rc.balanced_minimizers {
+            return SimTime::ZERO;
+        }
+        let cfg = &ctx.cfg;
+        let nranks = ctx.nranks;
+        let scheme = cfg.minimizer_scheme();
+        let tuning = rc.gpu_tuning;
         let stride = (1.0 / rc.balance_sample_fraction.clamp(0.001, 1.0)).round() as usize;
         let (rank_weights, sample_times) = world.compute_step_named("sample-minimizers", |rank| {
             let mut weights: HashMap<u64, u64> = HashMap::new();
             let mut sampled_kmers = 0u64;
-            for read in parts[rank].reads.iter().step_by(stride.max(1)) {
+            for read in ctx.parts[rank].reads.iter().step_by(stride.max(1)) {
                 for sm in build_supermers_reference(&read.codes, cfg.k, &scheme) {
                     let nk = sm.num_kmers(cfg.k) as u64;
                     *weights.entry(sm.minimizer).or_insert(0) += nk;
@@ -70,7 +83,7 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 }
             }
             let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-            let dt = dedukt_sim::SimTime::from_secs(
+            let dt = SimTime::from_secs(
                 sampled_kmers as f64 * tuning.supermer_parse_cycles_per_kmer
                     / device.config().peak_instr_rate().units_per_sec(),
             );
@@ -84,23 +97,22 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 *merged.entry(mz).or_insert(0) += n;
             }
         }
-        prepass_time = sample_times.mean
+        self.assignment = Some(BalancedAssignment::build(&merged, nranks, cfg.hash_seed));
+        sample_times.mean
             + world
                 .network()
-                .allreduce_time(weight_bytes / nranks.max(1) as u64);
-        Some(BalancedAssignment::build(&merged, nranks, cfg.hash_seed))
-    } else {
-        None
-    };
-    let owner = |mz: u64| match &assignment {
-        Some(a) => a.owner(mz),
-        None => minimizer_owner(&hasher, mz, nranks),
-    };
+                .allreduce_time(weight_bytes / nranks.max(1) as u64)
+    }
 
     // ── Phase 1: build supermers on the device (§IV-B) ────────────────
-    let (parse_out, parse_time) = world.compute_step_named("build-supermers", |rank| {
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<(u64, u8)> {
+        let rc = ctx.rc;
+        let cfg = &ctx.cfg;
+        let nranks = ctx.nranks;
+        let tuning = rc.gpu_tuning;
+        let scheme = cfg.minimizer_scheme();
         let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let part = &parts[rank];
+        let part = &ctx.parts[rank];
 
         // Window index: prefix sums of per-read window counts. The real
         // kernel computes this on the host while batching reads.
@@ -131,7 +143,7 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
                 smers.clear();
                 supermers_of_window(codes, wstart, cfg.k, cfg.window, &scheme, &mut smers);
                 for sm in &smers {
-                    let dst = owner(sm.minimizer);
+                    let dst = self.owner(ctx, sm.minimizer);
                     local[dst].0.push(sm.word);
                     local[dst].1.push(sm.len);
                     kmers_scanned += sm.num_kmers(cfg.k) as u64;
@@ -163,7 +175,7 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
             .map(|v| v.len() as u64 * Supermer::WIRE_BYTES)
             .sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
-        if let Some(m) = &metrics {
+        if let Some(m) = &ctx.metrics {
             // Supermer-length distribution and the wire-compression ratio
             // this rank achieved: 8 B per k-mer had they been sent raw vs
             // 9 B per supermer actually sent (Table II's saving).
@@ -190,120 +202,130 @@ pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
             );
             m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
         }
-        (((words, lens), d2h), h2d + report.time)
-    });
-
-    let mut word_buckets = Vec::with_capacity(nranks);
-    let mut len_buckets = Vec::with_capacity(nranks);
-    let mut d2h_times = Vec::with_capacity(nranks);
-    for (((w, l), t), _) in parse_out.into_iter().zip(0..) {
-        word_buckets.push(w);
-        len_buckets.push(l);
-        d2h_times.push(t);
+        let buckets = words
+            .into_iter()
+            .zip(lens)
+            .map(|(w, l)| w.into_iter().zip(l).collect())
+            .collect();
+        BucketOut {
+            buckets,
+            compute: h2d + report.time,
+            stage_out: d2h,
+        }
     }
-    let supermers_sent: u64 = word_buckets
-        .iter()
-        .flat_map(|row| row.iter().map(|v| v.len() as u64))
-        .sum();
 
-    // ── Phase 2: exchange supermers + lengths (Algorithm 2) ────────────
-    let (_, d2h_step) = world.compute_step_named("stage-out", |rank| ((), d2h_times[rank]));
-    let words_out = world.alltoallv(word_buckets);
-    let lens_out = world.alltoallv(len_buckets);
-    let wire_time = words_out.times.mean + lens_out.times.mean;
+    fn item_instances(&self, ctx: &DriverCtx, item: &(u64, u8)) -> u64 {
+        // Exactly the extraction formula below: a supermer of `len` bases
+        // yields `len - k + 1` k-mers (zero if shorter than k).
+        (item.1 as u64).saturating_sub(ctx.cfg.k as u64 - 1)
+    }
 
-    // Re-assemble per-rank received supermers.
-    let received: Vec<Vec<(u64, u8)>> = words_out
-        .recv
-        .into_iter()
-        .zip(lens_out.recv)
-        .map(|(ws, ls)| {
-            let mut flat = Vec::new();
-            for (w_src, l_src) in ws.into_iter().zip(ls) {
-                assert_eq!(w_src.len(), l_src.len(), "word/length streams must align");
-                flat.extend(w_src.into_iter().zip(l_src));
+    // ── Phase 2: exchange supermers + lengths (Algorithm 2) ───────────
+    // Two collectives per round: the packed words, then the length bytes
+    // (8 B + 1 B = the 9 wire bytes per supermer). Hidden compute, when
+    // present, overlaps the words collective — the bulk of the volume.
+    fn exchange_round(
+        &self,
+        world: &mut BspWorld,
+        round: Vec<Vec<Vec<(u64, u8)>>>,
+        hidden: Option<&[SimTime]>,
+    ) -> RoundRecv<(u64, u8)> {
+        let mut word_round: Vec<Vec<Vec<u64>>> = Vec::with_capacity(round.len());
+        let mut len_round: Vec<Vec<Vec<u8>>> = Vec::with_capacity(round.len());
+        for row in round {
+            let mut wrow = Vec::with_capacity(row.len());
+            let mut lrow = Vec::with_capacity(row.len());
+            for payload in row {
+                let (w, l): (Vec<u64>, Vec<u8>) = payload.into_iter().unzip();
+                wrow.push(w);
+                lrow.push(l);
             }
-            flat
-        })
-        .collect();
-    let (_, h2d_step) = world.compute_step_named("stage-in", |rank| {
-        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let bytes = received[rank].len() as u64 * Supermer::WIRE_BYTES;
-        ((), staging(&device, rc, DataVolume::from_bytes(bytes)))
-    });
-    let exchange_time = d2h_step.mean + wire_time + h2d_step.mean;
+            word_round.push(wrow);
+            len_round.push(lrow);
+        }
+        let words_out = match hidden {
+            Some(h) => world.alltoallv_overlapped(word_round, h),
+            None => world.alltoallv(word_round),
+        };
+        let lens_out = world.alltoallv(len_round);
+        // Re-assemble per-rank received supermers.
+        let items = words_out
+            .recv
+            .into_iter()
+            .zip(lens_out.recv)
+            .map(|(ws, ls)| {
+                let mut flat = Vec::new();
+                for (w_src, l_src) in ws.into_iter().zip(ls) {
+                    assert_eq!(w_src.len(), l_src.len(), "word/length streams must align");
+                    flat.extend(w_src.into_iter().zip(l_src));
+                }
+                flat
+            })
+            .collect();
+        RoundRecv {
+            items,
+            wire_mean: words_out.wire.mean + lens_out.wire.mean,
+            charged_mean: words_out.times.mean + lens_out.times.mean,
+        }
+    }
+
+    fn stage_in(&self, ctx: &DriverCtx, received_items: u64) -> SimTime {
+        let device = dedukt_gpu::Device::new(ctx.rc.gpu_device.clone());
+        staging(
+            &device,
+            ctx.rc,
+            DataVolume::from_bytes(received_items * Supermer::WIRE_BYTES),
+        )
+    }
 
     // ── Phase 3: extract k-mers from supermers and count (§IV-C) ──────
-    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
-        let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
+    fn make_counter(
+        &self,
+        ctx: &DriverCtx,
+        _rank: usize,
+        expected_instances: u64,
+    ) -> DeviceRoundCounter {
+        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
+    }
+
+    fn count_round(
+        &self,
+        ctx: &DriverCtx,
+        counter: &mut DeviceRoundCounter,
+        items: Vec<(u64, u8)>,
+    ) -> SimTime {
+        let cfg = &ctx.cfg;
         let mask = Kmer::mask(cfg.k);
         // Device-side extraction, represented functionally by this flatten;
         // its cost is the extract surcharge added to the count kernel.
         let mut kmers = Vec::new();
-        for &(word, len) in &received[rank] {
+        for &(word, len) in &items {
             let n = (len as usize).saturating_sub(cfg.k - 1);
             for i in 0..n {
                 let shift = 2 * (len as usize - cfg.k - i);
                 kmers.push((word >> shift) & mask);
             }
         }
-        let out = count_kmers_on_device(
-            &device,
-            &cfg,
+        let tuning = ctx.rc.gpu_tuning;
+        counter.count(
             &kmers,
             tuning.count_cycles_per_kmer + tuning.extract_cycles_per_kmer,
-        );
-        if let Some(m) = &metrics {
-            m.counter_add("kmers_counted_total", Some(rank), kmers.len() as u64);
-            m.merge_histogram("count_probe_steps", Some(rank), &out.probe_hist);
-            m.gauge_set("count_table_load_factor", Some(rank), out.load_factor);
-            m.gauge_set(
-                "kernel_occupancy:count_kmers",
-                Some(rank),
-                out.report.occupancy,
-            );
-            m.gauge_max("device_peak_bytes", Some(rank), device.peak_bytes() as f64);
-        }
-        (
-            RankCountResult {
-                entries: out.entries,
-                instances: kmers.len() as u64,
-            },
-            out.report.time,
         )
-    });
-
-    let makespan = world.elapsed();
-    let trace = rc.collect_trace.then(|| world.take_trace());
-    let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
-    let stats = world.stats();
-    let (load, total, distinct, spectrum, tables) =
-        assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
-    RunReport {
-        mode: rc.mode,
-        nodes: rc.nodes,
-        nranks,
-        phases: PhaseBreakdown {
-            parse: prepass_time + parse_time.mean,
-            exchange: exchange_time,
-            count: count_time.mean,
-        },
-        makespan,
-        exchange: ExchangeSummary {
-            units: supermers_sent,
-            bytes: stats.total_bytes,
-            off_node_bytes: stats.off_node_bytes,
-            alltoallv_time: wire_time,
-        },
-        load,
-        total_kmers: total,
-        distinct_kmers: distinct,
-        spectrum,
-        tables,
-        trace,
-        trace_counters,
-        metrics: metrics.map(|m| m.snapshot()),
     }
+
+    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: DeviceRoundCounter) -> RankCountResult {
+        counter.finish(&ctx.metrics, rank)
+    }
+}
+
+/// Runs the GPU supermer counter.
+pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    assert!(
+        !rc.counting.canonical,
+        "canonical counting is incompatible with minimizer routing of raw supermers; \
+         use the k-mer pipelines for canonical mode"
+    );
+    run_staged(&mut SupermerStages { assignment: None }, reads, rc)
 }
 
 #[cfg(test)]

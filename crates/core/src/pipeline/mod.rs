@@ -6,11 +6,12 @@
 //! volumes, loads) are exact; *times* are simulated (see DESIGN.md §4).
 
 pub mod cpu;
+pub(crate) mod driver;
 pub mod gpu_common;
 pub mod gpu_kmer;
 pub mod gpu_supermer;
 
-use crate::config::{Mode, RunConfig};
+use crate::config::{ConfigError, Mode, RunConfig};
 use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
 use dedukt_dna::spectrum::Spectrum;
 use dedukt_dna::ReadSet;
@@ -75,13 +76,19 @@ impl RunReport {
 }
 
 /// Runs the pipeline selected by `rc.mode`.
-pub fn run(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    rc.counting.validate().expect("invalid counting config");
-    match rc.mode {
+///
+/// Validates the whole run configuration first and returns a
+/// [`ConfigError`] instead of panicking on a bad one — CLI and library
+/// callers can surface the message cleanly. The per-mode `run_*`
+/// functions remain panicking entry points for callers that have already
+/// validated.
+pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, ConfigError> {
+    rc.validate()?;
+    Ok(match rc.mode {
         Mode::CpuBaseline => cpu::run_cpu(reads, rc),
         Mode::GpuKmer => gpu_kmer::run_gpu_kmer(reads, rc),
         Mode::GpuSupermer => gpu_supermer::run_gpu_supermer(reads, rc),
-    }
+    })
 }
 
 /// Shared post-processing: assemble the report pieces every pipeline

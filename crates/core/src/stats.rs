@@ -45,8 +45,12 @@ pub struct ExchangeSummary {
     /// Bytes that crossed node boundaries.
     pub off_node_bytes: u64,
     /// Simulated time of the Alltoallv itself (excl. staging) — Fig. 8's
-    /// quantity.
+    /// quantity. Always the pure wire time, even when compute was
+    /// overlapped behind it.
     pub alltoallv_time: SimTime,
+    /// How many memory-bounded rounds the exchange was split into
+    /// (§III-A); 1 when `round_limit_bytes` is unset.
+    pub rounds: u64,
 }
 
 impl ExchangeSummary {
@@ -123,6 +127,7 @@ mod tests {
             bytes: 1 << 20,
             off_node_bytes: 1 << 19,
             alltoallv_time: SimTime::from_millis(3.0),
+            rounds: 1,
         };
         assert_eq!(format!("{}", e.volume()), "1.00 MiB");
     }

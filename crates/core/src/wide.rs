@@ -365,6 +365,7 @@ pub fn run_cpu_wide(
             bytes: stats.total_bytes,
             off_node_bytes: stats.off_node_bytes,
             alltoallv_time: exchange_time,
+            rounds: 1,
         },
         load: LoadSummary {
             kmers_per_rank: loads,

@@ -82,6 +82,16 @@ impl Stream {
             .sum()
     }
 
+    /// Per-kernel durations in launch order — the round-by-round count
+    /// kernel times the overlapped exchange hides behind the wire.
+    pub fn kernel_times(&self) -> Vec<SimTime> {
+        self.trace
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Kernel(_)))
+            .map(StreamEvent::time)
+            .collect()
+    }
+
     /// Sum of transfer durations in the trace.
     pub fn transfer_time(&self) -> SimTime {
         self.trace
@@ -118,6 +128,7 @@ mod tests {
         assert_eq!(s.trace().len(), 2);
         assert_eq!(s.kernel_time(), t_kernel);
         assert_eq!(s.transfer_time(), SimTime::from_millis(2.0));
+        assert_eq!(s.kernel_times(), vec![t_kernel]);
     }
 
     #[test]

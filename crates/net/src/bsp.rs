@@ -52,13 +52,18 @@ impl StepTimes {
 pub struct ExchangeOutcome<T> {
     /// `recv[dst][src]` — the payload rank `src` sent to rank `dst`.
     pub recv: Vec<Vec<Vec<T>>>,
-    /// Per-rank wire time for this collective, measured from the
+    /// Per-rank *charged* time for this collective, measured from the
     /// synchronized start (straggler waits are reflected in the clocks,
     /// not here — phases are reported barrier-to-barrier, as the paper's
-    /// breakdowns are).
+    /// breakdowns are). Equals the wire time for a blocking
+    /// [`BspWorld::alltoallv`]; for
+    /// [`BspWorld::alltoallv_overlapped`] it is max(wire, hidden compute).
     pub elapsed: Vec<SimTime>,
-    /// Aggregated wire times.
+    /// Aggregated charged times.
     pub times: StepTimes,
+    /// Aggregated *pure wire* times, overlap excluded (`== times` for a
+    /// blocking exchange). Volume accounting (Fig. 8) reads these.
+    pub wire: StepTimes,
 }
 
 /// A bulk-synchronous world of simulated ranks.
@@ -187,6 +192,34 @@ impl BspWorld {
     /// to `dst`. Payloads move (no copies); the cost model charges each
     /// rank its simulated exchange time.
     pub fn alltoallv<T: Send>(&mut self, send: Vec<Vec<Vec<T>>>) -> ExchangeOutcome<T> {
+        self.exchange(send, None)
+    }
+
+    /// Non-blocking-style Alltoallv for the double-buffered round
+    /// pipeline: rank `r` starts the collective and keeps computing
+    /// `hidden[r]` worth of work (typically the previous round's count
+    /// kernel on its own stream) while the wire is busy. The rank is
+    /// charged `max(wire, hidden)` — whichever finishes last gates the
+    /// superstep — instead of their sum. Volumes, statistics, and payload
+    /// routing are identical to [`BspWorld::alltoallv`].
+    pub fn alltoallv_overlapped<T: Send>(
+        &mut self,
+        send: Vec<Vec<Vec<T>>>,
+        hidden: &[SimTime],
+    ) -> ExchangeOutcome<T> {
+        assert_eq!(
+            hidden.len(),
+            self.nranks(),
+            "need one hidden-compute time per rank"
+        );
+        self.exchange(send, Some(hidden))
+    }
+
+    fn exchange<T: Send>(
+        &mut self,
+        send: Vec<Vec<Vec<T>>>,
+        hidden: Option<&[SimTime]>,
+    ) -> ExchangeOutcome<T> {
         let p = self.nranks();
         assert_eq!(send.len(), p, "need one send vector per rank");
         for row in &send {
@@ -200,6 +233,9 @@ impl BspWorld {
         let topo = self.net.topology;
         self.stats
             .record_alltoallv(&send_bytes, |r| topo.node_of(r));
+        if hidden.is_some() {
+            self.stats.overlapped_collectives += 1;
+        }
         let wire_times = self.net.alltoallv_times(&send_bytes);
         let sent_per_rank: Vec<u64> = send_bytes.iter().map(|row| row.iter().sum()).collect();
 
@@ -217,13 +253,26 @@ impl BspWorld {
             );
         }
         let mut elapsed = Vec::with_capacity(p);
+        let mut wire = Vec::with_capacity(p);
         for (rank, wt) in wire_times.iter().enumerate() {
+            let hid = hidden.map_or(SimTime::ZERO, |h| h[rank]);
+            let charged = SimTime::max(*wt, hid);
             self.trace.push(TraceEvent {
                 name: "alltoallv".to_string(),
                 rank,
                 start,
                 duration: *wt,
             });
+            if !hid.is_zero() {
+                // The hidden count kernel runs on the rank's device stream
+                // while the wire is busy; it shares the collective's start.
+                self.trace.push(TraceEvent {
+                    name: "count(overlap)".to_string(),
+                    rank,
+                    start,
+                    duration: hid,
+                });
+            }
             if let Some(m) = &metrics {
                 // How long this rank idled at the barrier waiting for the
                 // slowest participant (SimTime subtraction floors at zero).
@@ -231,18 +280,29 @@ impl BspWorld {
                 m.counter_add("exchange_bytes_total", Some(rank), sent_per_rank[rank]);
                 m.gauge_add("alltoallv_wire_seconds_total", Some(rank), wt.as_secs());
                 m.gauge_add("alltoallv_wait_seconds_total", Some(rank), wait.as_secs());
+                if hidden.is_some() {
+                    // Compute seconds this rank did not pay for serially:
+                    // the portion of the hidden work the wire absorbed.
+                    m.gauge_add(
+                        "overlap_hidden_seconds_total",
+                        Some(rank),
+                        SimTime::min(*wt, hid).as_secs(),
+                    );
+                }
             }
-            self.clocks[rank].sync_to(start + *wt);
+            self.clocks[rank].sync_to(start + charged);
             self.sent_bytes_cum[rank] += sent_per_rank[rank];
             self.counters.push(TraceCounter {
                 name: "alltoallv bytes".to_string(),
                 rank,
-                ts: start + *wt,
+                ts: start + charged,
                 value: self.sent_bytes_cum[rank] as f64,
             });
-            elapsed.push(*wt);
+            elapsed.push(charged);
+            wire.push(*wt);
         }
         let times = StepTimes::from_times(&elapsed);
+        let wire = StepTimes::from_times(&wire);
 
         // Transpose payloads: recv[dst][src] = send[src][dst].
         let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -256,6 +316,7 @@ impl BspWorld {
             recv,
             elapsed,
             times,
+            wire,
         }
     }
 
@@ -390,6 +451,80 @@ mod tests {
         }
         // Draining empties the trace.
         assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn overlapped_exchange_charges_max_of_wire_and_hidden() {
+        let send = |p: usize| -> Vec<Vec<Vec<u64>>> { vec![vec![vec![7u64; 50]; p]; p] };
+        // Reference: the blocking wire time for this matrix.
+        let mut plain = world(1);
+        let p = plain.nranks();
+        let out = plain.alltoallv(send(p));
+        let wire = out.times.max;
+        assert!(wire > SimTime::ZERO);
+        assert_eq!(out.wire.mean, out.times.mean); // blocking: wire == charged
+
+        // Hidden compute much longer than the wire: charged = hidden.
+        let mut w = world(1);
+        let big = SimTime::from_secs(wire.as_secs() * 10.0);
+        let out = w.alltoallv_overlapped(send(p), &vec![big; p]);
+        assert_eq!(out.times.max, big);
+        assert_eq!(out.wire.max, wire); // pure wire unchanged
+        assert_eq!(w.elapsed(), big);
+
+        // Hidden compute shorter than the wire: fully absorbed, charged =
+        // wire — identical clocks to the blocking exchange.
+        let mut w = world(1);
+        let small = SimTime::from_secs(wire.as_secs() * 0.1);
+        let out = w.alltoallv_overlapped(send(p), &vec![small; p]);
+        assert_eq!(out.times.max, wire);
+        assert_eq!(w.elapsed(), plain.elapsed());
+
+        // Payload routing and byte accounting are those of a blocking
+        // exchange; only the overlap counter differs.
+        for dst in 0..p {
+            for src in 0..p {
+                assert_eq!(out.recv[dst][src], vec![7u64; 50]);
+            }
+        }
+        assert_eq!(w.stats().total_bytes, plain.stats().total_bytes);
+        assert_eq!(w.stats().overlapped_collectives, 1);
+        assert_eq!(plain.stats().overlapped_collectives, 0);
+        // The hidden kernel shows up as its own trace span.
+        let trace = w.take_trace();
+        assert_eq!(
+            trace.iter().filter(|e| e.name == "count(overlap)").count(),
+            p
+        );
+    }
+
+    #[test]
+    fn metrics_record_overlap_savings() {
+        use dedukt_sim::MetricValue;
+        let mut w = world(1);
+        let reg = Arc::new(MetricsRegistry::new());
+        w.enable_metrics(Arc::clone(&reg));
+        let p = w.nranks();
+        let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![1u64; 40]; p]; p];
+        let hidden = vec![SimTime::from_secs(100.0); p]; // dwarfs the wire
+        let out = w.alltoallv_overlapped(send, &hidden);
+        let snap = reg.snapshot();
+        // The absorbed portion is the wire time (hidden > wire here).
+        match snap.get("overlap_hidden_seconds_total", Some(0)) {
+            Some(MetricValue::Gauge(v)) => {
+                assert!((v - out.wire.max.as_secs()).abs() < 1e-12, "saved {v}");
+            }
+            other => panic!("missing overlap gauge: {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden-compute time per rank")]
+    fn overlapped_exchange_rejects_wrong_hidden_shape() {
+        let mut w = world(1);
+        let p = w.nranks();
+        let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![1u64]; p]; p];
+        w.alltoallv_overlapped(send, &[SimTime::ZERO]);
     }
 
     #[test]

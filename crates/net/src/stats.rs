@@ -8,6 +8,9 @@ use dedukt_sim::{DataVolume, DistStats};
 pub struct CommStats {
     /// Number of collective operations performed.
     pub collectives: u64,
+    /// How many of those collectives ran in overlapped (non-blocking)
+    /// mode, hiding compute behind the wire.
+    pub overlapped_collectives: u64,
     /// Total payload bytes moved (sum over all rank pairs, both on- and
     /// off-node).
     pub total_bytes: u64,
@@ -60,6 +63,7 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         assert_eq!(self.sent_by_rank.len(), other.sent_by_rank.len());
         self.collectives += other.collectives;
+        self.overlapped_collectives += other.overlapped_collectives;
         self.total_bytes += other.total_bytes;
         self.off_node_bytes += other.off_node_bytes;
         self.messages += other.messages;

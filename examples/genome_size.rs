@@ -48,7 +48,7 @@ fn main() {
     let mut rc = RunConfig::new(Mode::GpuKmer, 2);
     rc.counting.canonical = true;
     rc.collect_spectrum = true;
-    let report = pipeline::run(&reads, &rc);
+    let report = pipeline::run(&reads, &rc).expect("valid config");
     println!(
         "counted {} k-mer instances, {} distinct, in {} (simulated)",
         report.total_kmers,

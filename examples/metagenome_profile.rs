@@ -85,7 +85,7 @@ fn main() {
     let mut rc = RunConfig::new(Mode::GpuKmer, 2);
     rc.counting.canonical = true;
     rc.collect_tables = true;
-    let report = pipeline::run(&sample, &rc);
+    let report = pipeline::run(&sample, &rc).expect("valid config");
     println!(
         "\ncounted {} k-mer instances, {} distinct, on {} ranks in {} (simulated)",
         report.total_kmers,

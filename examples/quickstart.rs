@@ -27,7 +27,7 @@ fn main() {
     config.collect_spectrum = true;
 
     // 3. Run the distributed pipeline (parse → exchange → count).
-    let report = pipeline::run(&reads, &config);
+    let report = pipeline::run(&reads, &config).expect("valid config");
     println!(
         "\ncounted {} k-mer instances ({} distinct) on {} ranks",
         report.total_kmers, report.distinct_kmers, report.nranks
@@ -39,7 +39,8 @@ fn main() {
     println!("  total           : {}", report.total_time());
 
     // 4. Compare the exchange volume against the k-mer pipeline.
-    let kmer_report = pipeline::run(&reads, &RunConfig::new(Mode::GpuKmer, 4));
+    let kmer_report =
+        pipeline::run(&reads, &RunConfig::new(Mode::GpuKmer, 4)).expect("valid config");
     println!(
         "\nexchange: {} supermers ({} B) vs {} k-mers ({} B) — {:.2}x fewer bytes",
         report.exchange.units,

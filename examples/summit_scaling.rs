@@ -25,9 +25,12 @@ fn main() {
 
     for nodes in [4usize, 16, 64] {
         println!("\n===== {nodes} nodes =====");
-        let cpu = pipeline::run(&reads, &RunConfig::new(Mode::CpuBaseline, nodes));
-        let kmer = pipeline::run(&reads, &RunConfig::new(Mode::GpuKmer, nodes));
-        let smer = pipeline::run(&reads, &RunConfig::new(Mode::GpuSupermer, nodes));
+        let cpu =
+            pipeline::run(&reads, &RunConfig::new(Mode::CpuBaseline, nodes)).expect("valid config");
+        let kmer =
+            pipeline::run(&reads, &RunConfig::new(Mode::GpuKmer, nodes)).expect("valid config");
+        let smer =
+            pipeline::run(&reads, &RunConfig::new(Mode::GpuSupermer, nodes)).expect("valid config");
 
         println!(
             "{:<22} {:>12} {:>12} {:>12} {:>12} {:>9}",

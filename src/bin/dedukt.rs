@@ -5,10 +5,14 @@
 //! * `simulate <dataset> [--scale S] [--out FILE]` — generate a synthetic
 //!   Table-I dataset as FASTQ.
 //! * `count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K]
-//!   [--m M] [--canonical] [--out dump.tsv] [--spectrum spec.tsv]
-//!   [--trace trace.json] [--metrics m.json [--metrics-format json|prom]]`
+//!   [--m M] [--canonical] [--round-limit BYTES] [--overlap-rounds]
+//!   [--out dump.tsv] [--spectrum spec.tsv] [--trace trace.json]
+//!   [--metrics m.json [--metrics-format json|prom]]`
 //!   — run a distributed counter on a FASTQ file and export results,
 //!   optionally with a Chrome trace and a run-wide metrics snapshot.
+//!   `--round-limit` bounds per-rank exchange memory (§III-A);
+//!   `--overlap-rounds` additionally overlaps each round's count kernel
+//!   with the next round's wire time.
 //! * `info` — print the simulated hardware presets.
 //!
 //! Examples:
@@ -53,7 +57,8 @@ fn print_usage() {
         "usage:\n  dedukt simulate <ecoli|paeruginosa|vvulnificus|abaumannii|celegans|hsapiens>\n\
          \x20        [--scale tiny|bench|xF] [--seed N] [--out FILE]\n\
          \x20 dedukt count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K] [--m M]\n\
-         \x20        [--canonical] [--gpu-direct] [--min-qual Q] [--out dump.tsv]\n\
+         \x20        [--canonical] [--gpu-direct] [--min-qual Q] [--round-limit BYTES]\n\
+         \x20        [--overlap-rounds] [--out dump.tsv]\n\
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
          \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
@@ -256,6 +261,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             "--m" => rc.counting.m = take_value(&mut it, "--m")?.parse().map_err(|_| "bad m")?,
             "--canonical" => rc.counting.canonical = true,
             "--gpu-direct" => rc.gpu_direct = true,
+            "--round-limit" => {
+                rc.round_limit_bytes = Some(
+                    take_value(&mut it, "--round-limit")?
+                        .parse()
+                        .map_err(|_| "bad round limit")?,
+                )
+            }
+            "--overlap-rounds" => rc.overlap_rounds = true,
             "--min-qual" => {
                 min_qual = Some(
                     take_value(&mut it, "--min-qual")?
@@ -286,7 +299,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     }
     // Keep the supermer word-packing constraint satisfied for custom k.
     rc.counting.window = rc.counting.window.min(33 - rc.counting.k.min(31));
-    rc.counting.validate()?;
+    rc.validate().map_err(|e| e.to_string())?;
     rc.collect_tables = true;
     rc.collect_spectrum = spectrum_path.is_some();
     rc.collect_trace = trace_path.is_some();
@@ -308,7 +321,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let report = pipeline::run(&reads, &rc);
+    let report = pipeline::run(&reads, &rc).map_err(|e| e.to_string())?;
     eprintln!(
         "mode {:?}: {} k-mer instances, {} distinct, on {} ranks",
         rc.mode, report.total_kmers, report.distinct_kmers, report.nranks

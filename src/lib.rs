@@ -15,7 +15,7 @@
 //! // The paper's best configuration: GPU supermer counter, k=17, m=7,
 //! // window=15, on a simulated 2-node Summit slice (12 V100s).
 //! let config = RunConfig::new(Mode::GpuSupermer, 2);
-//! let report = pipeline::run(&reads, &config);
+//! let report = pipeline::run(&reads, &config).expect("valid config");
 //!
 //! assert_eq!(report.total_kmers, reads.total_kmers(17) as u64);
 //! assert!(report.phases.exchange > dedukt::sim::SimTime::ZERO);

@@ -37,8 +37,8 @@ fn pipeline_results_are_stable_across_runs() {
         let mut rc = RunConfig::new(mode, 2);
         rc.collect_tables = true;
         rc.collect_spectrum = true;
-        let a = pipeline::run(&reads, &rc);
-        let b = pipeline::run(&reads, &rc);
+        let a = pipeline::run(&reads, &rc).expect("valid config");
+        let b = pipeline::run(&reads, &rc).expect("valid config");
         assert_eq!(a.total_kmers, b.total_kmers, "{mode:?}");
         assert_eq!(a.distinct_kmers, b.distinct_kmers, "{mode:?}");
         assert_eq!(a.exchange.units, b.exchange.units, "{mode:?}");
@@ -66,8 +66,8 @@ fn cpu_pipeline_times_are_fully_deterministic() {
     // simulated phase times must be bit-identical.
     let reads = Dataset::new(DatasetId::ABaumannii30x, ScalePreset::Tiny).generate();
     let rc = RunConfig::new(Mode::CpuBaseline, 1);
-    let a = pipeline::run(&reads, &rc);
-    let b = pipeline::run(&reads, &rc);
+    let a = pipeline::run(&reads, &rc).expect("valid config");
+    let b = pipeline::run(&reads, &rc).expect("valid config");
     assert_eq!(a.phases.parse.as_secs(), b.phases.parse.as_secs());
     assert_eq!(a.phases.exchange.as_secs(), b.phases.exchange.as_secs());
     assert_eq!(a.phases.count.as_secs(), b.phases.count.as_secs());

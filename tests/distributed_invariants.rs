@@ -41,7 +41,7 @@ proptest! {
         rc.counting.m = m;
         rc.counting.window = (33 - k).min(15);
         rc.collect_tables = true;
-        let report = pipeline::run(&reads, &rc);
+        let report = pipeline::run(&reads, &rc).expect("valid config");
         prop_assert_eq!(report.total_kmers, verify::reference_total(&reads, k));
         let check = verify::check_against_reference(&reads, &rc.counting, report.tables.as_ref().unwrap());
         prop_assert!(check.is_ok(), "{:?}", check);
@@ -94,11 +94,11 @@ proptest! {
         reads in readset_strategy(),
     ) {
         let rc = RunConfig::new(Mode::GpuKmer, 1);
-        let small = pipeline::run(&reads, &rc);
+        let small = pipeline::run(&reads, &rc).expect("valid config");
         let mut doubled = reads.clone();
         let extra: Vec<Read> = reads.reads.iter().cloned().map(|mut r| { r.id.push('b'); r }).collect();
         doubled.reads.extend(extra);
-        let big = pipeline::run(&doubled, &rc);
+        let big = pipeline::run(&doubled, &rc).expect("valid config");
         prop_assert!(big.phases.exchange >= small.phases.exchange);
         prop_assert!(big.phases.parse >= small.phases.parse * 0.6,
             "parse collapsed: {} -> {}", small.phases.parse, big.phases.parse);

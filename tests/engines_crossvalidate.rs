@@ -78,7 +78,7 @@ fn threaded_engine_matches_bsp_pipeline() {
     let reads = Dataset::new(DatasetId::ABaumannii30x, ScalePreset::Tiny).generate();
     let mut rc = RunConfig::new(Mode::GpuKmer, 1);
     rc.collect_tables = true;
-    let bsp = pipeline::run(&reads, &rc);
+    let bsp = pipeline::run(&reads, &rc).expect("valid config");
     let threaded = threaded_count(&reads, 5, rc.counting.k);
 
     assert_eq!(bsp.distinct_kmers as usize, threaded.len());

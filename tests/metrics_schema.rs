@@ -18,7 +18,7 @@ fn run_with_metrics(mode: Mode) -> RunReport {
     let reads = tiny_reads();
     let mut rc = RunConfig::new(mode, 2);
     rc.collect_metrics = true;
-    run(&reads, &rc)
+    run(&reads, &rc).expect("valid config")
 }
 
 /// Every series name the supermer pipeline exports. Renaming any of
@@ -119,9 +119,9 @@ fn disabling_metrics_leaves_the_run_bit_identical() {
     for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
         let mut rc = RunConfig::new(mode, 2);
         rc.collect_metrics = false;
-        let off = run(&reads, &rc);
+        let off = run(&reads, &rc).expect("valid config");
         rc.collect_metrics = true;
-        let on = run(&reads, &rc);
+        let on = run(&reads, &rc).expect("valid config");
         assert!(off.metrics.is_none());
         assert!(on.metrics.is_some());
         assert_eq!(off.phases.parse, on.phases.parse, "mode {mode:?}");

@@ -13,7 +13,7 @@ fn run_m(
 ) -> dedukt::core::RunReport {
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
-    pipeline::run(reads, &rc)
+    pipeline::run(reads, &rc).expect("valid config")
 }
 
 /// Shape tests need enough data to saturate the simulated devices (the

@@ -15,7 +15,7 @@ fn run(
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
     rc.collect_tables = true;
-    pipeline::run(reads, &rc)
+    pipeline::run(reads, &rc).expect("valid config")
 }
 
 #[test]
@@ -67,9 +67,9 @@ fn gpu_direct_changes_time_not_results() {
     let reads = Dataset::new(DatasetId::VVulnificus30x, ScalePreset::Tiny).generate();
     let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
     rc.collect_tables = true;
-    let staged = pipeline::run(&reads, &rc);
+    let staged = pipeline::run(&reads, &rc).expect("valid config");
     rc.gpu_direct = true;
-    let direct = pipeline::run(&reads, &rc);
+    let direct = pipeline::run(&reads, &rc).expect("valid config");
     assert_eq!(staged.total_kmers, direct.total_kmers);
     assert_eq!(staged.tables, direct.tables);
     assert!(direct.phases.exchange < staged.phases.exchange);
@@ -101,9 +101,9 @@ fn multi_round_exchange_changes_time_not_results() {
     for mode in [Mode::CpuBaseline, Mode::GpuKmer] {
         let mut rc = RunConfig::new(mode, 1);
         rc.collect_tables = true;
-        let single = pipeline::run(&reads, &rc);
+        let single = pipeline::run(&reads, &rc).expect("valid config");
         rc.round_limit_bytes = Some(4096); // force many small rounds
-        let rounds = pipeline::run(&reads, &rc);
+        let rounds = pipeline::run(&reads, &rc).expect("valid config");
         assert_eq!(single.total_kmers, rounds.total_kmers, "{mode:?}");
         // Probing layout (hence iteration order) depends on insertion
         // order, so compare the table *contents* per rank.
@@ -133,7 +133,7 @@ fn spectrum_totals_match_report() {
     let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
     let mut rc = RunConfig::new(Mode::GpuKmer, 2);
     rc.collect_spectrum = true;
-    let report = pipeline::run(&reads, &rc);
+    let report = pipeline::run(&reads, &rc).expect("valid config");
     let spectrum = report.spectrum.unwrap();
     assert_eq!(spectrum.total(), report.total_kmers);
     assert_eq!(spectrum.distinct(), report.distinct_kmers);
