@@ -1,30 +1,79 @@
 //! Ablation: k-mer length, narrow (u64) vs wide (u128) packing.
 //!
-//! The paper fixes k = 17; this extension sweeps k into the wide regime
-//! (k ≤ 63, one `u128` per k-mer) on the CPU pipelines and reports how
-//! the supermer advantage evolves: longer k-mers mean fewer k-mers per
-//! read but *larger* per-k-mer payloads, and supermers amortize ever
-//! better (each extra supermer base carries a whole extra k-mer).
+//! The paper fixes k = 17; this extension sweeps k across the packing
+//! boundary (k ≤ 63) through the one width-generic driver: every k runs
+//! all three engines — CPU baseline, GPU k-mer, GPU supermer — and the
+//! engines must agree exactly. Wire bytes are exact per width (8-byte
+//! keys narrow, 16 wide; +1 length byte per supermer), and the supermer
+//! advantage grows with k because each extra supermer base amortizes a
+//! whole extra k-mer payload.
 //!
 //! Usage: `cargo run --release -p dedukt-bench --bin ablation_wide_k
 //!         [--scale ...]`
 
 use dedukt_bench::{generate, print_header, ExperimentArgs, Table};
-use dedukt_core::wide::{run_cpu_wide, WideConfig, WideMode};
-use dedukt_core::{pipeline, CpuCoreModel, Mode, RunConfig};
-use dedukt_dna::DatasetId;
+use dedukt_core::{pipeline, Mode, PackedKmer, RunConfig};
+use dedukt_dna::{DatasetId, ReadSet};
+
+struct SweepRow {
+    kmers: u64,
+    kmer_bytes: u64,
+    supermers: u64,
+    supermer_bytes: u64,
+}
+
+/// Runs all three engines at key width `K` and returns the exchange
+/// volumes (k-mer engines vs supermer engine). Panics if the engines
+/// disagree on any count.
+fn sweep<K: PackedKmer>(reads: &ReadSet, k: usize, m: usize, window: usize) -> SweepRow {
+    let mut rc = RunConfig::new(Mode::CpuBaseline, 1);
+    rc.counting.k = k;
+    rc.counting.m = m;
+    rc.counting.window = window;
+    let cpu = pipeline::run_typed::<K>(reads, &rc).expect("valid config");
+    rc.mode = Mode::GpuKmer;
+    let km = pipeline::run_typed::<K>(reads, &rc).expect("valid config");
+    rc.mode = Mode::GpuSupermer;
+    let sm = pipeline::run_typed::<K>(reads, &rc).expect("valid config");
+    assert_eq!(
+        cpu.total_kmers, km.total_kmers,
+        "engines must agree at k={k}"
+    );
+    assert_eq!(
+        km.total_kmers, sm.total_kmers,
+        "engines must agree at k={k}"
+    );
+    assert_eq!(
+        cpu.distinct_kmers, sm.distinct_kmers,
+        "engines must agree at k={k}"
+    );
+    // Wire accounting must be width-honest to the byte.
+    assert_eq!(km.exchange.bytes, km.exchange.units * K::KMER_WIRE_BYTES);
+    assert_eq!(
+        sm.exchange.bytes,
+        sm.exchange.units * K::SUPERMER_WIRE_BYTES
+    );
+    SweepRow {
+        kmers: km.exchange.units,
+        kmer_bytes: km.exchange.bytes,
+        supermers: sm.exchange.units,
+        supermer_bytes: sm.exchange.bytes,
+    }
+}
 
 fn main() {
     let args = ExperimentArgs::parse();
     let reads = generate(DatasetId::EColi30x, &args);
     print_header(
         "Ablation — k-mer length across the narrow/wide packing boundary",
-        "E. coli 30X, 1 node, CPU pipelines; wire bytes are exact",
+        "E. coli 30X, 1 node, all three engines per k; wire bytes are exact",
     );
 
     let mut t = Table::new([
         "k",
         "packing",
+        "key B",
+        "smer B",
         "kmers",
         "kmer bytes",
         "supermers",
@@ -32,57 +81,51 @@ fn main() {
         "reduction",
     ]);
 
-    // Narrow reference point: the paper's k = 17 (u64 packing).
-    {
-        let mut rc = RunConfig::new(Mode::GpuKmer, 1);
-        rc.counting.k = 17;
-        let km = pipeline::run(&reads, &rc).expect("valid config");
-        let mut rcs = RunConfig::new(Mode::GpuSupermer, 1);
-        rcs.counting.k = 17;
-        let sm = pipeline::run(&reads, &rcs).expect("valid config");
-        t.row([
-            "17".to_string(),
-            "u64".to_string(),
-            format!("{}", km.exchange.units),
-            format!("{}", km.exchange.bytes),
-            format!("{}", sm.exchange.units),
-            format!("{}", sm.exchange.bytes),
-            format!(
-                "{:.2}x",
-                km.exchange.bytes as f64 / sm.exchange.bytes as f64
-            ),
-        ]);
-    }
-
-    let cpu = CpuCoreModel::default();
-    for (k, m) in [(33usize, 9usize), (41, 11), (55, 13), (63, 15)] {
-        let cfg = WideConfig {
-            k,
-            m,
-            window: 65 - k,
-            ..WideConfig::default()
+    for (k, m) in [
+        (17usize, 7usize),
+        (31, 7),
+        (33, 9),
+        (41, 11),
+        (55, 13),
+        (63, 15),
+    ] {
+        let wide = k > 31;
+        let window = if wide {
+            65 - k
+        } else {
+            RunConfig::new(Mode::GpuSupermer, 1)
+                .counting
+                .window
+                .min(33 - k)
         };
-        let km = run_cpu_wide(&reads, &cfg, WideMode::Kmer, 1, &cpu);
-        let sm = run_cpu_wide(&reads, &cfg, WideMode::Supermer, 1, &cpu);
-        assert_eq!(km.total_kmers, sm.total_kmers, "pipelines must agree");
+        let row = if wide {
+            sweep::<u128>(&reads, k, m, window)
+        } else {
+            sweep::<u64>(&reads, k, m, window)
+        };
+        let (key_b, smer_b) = if wide {
+            (u128::KMER_WIRE_BYTES, u128::SUPERMER_WIRE_BYTES)
+        } else {
+            (u64::KMER_WIRE_BYTES, u64::SUPERMER_WIRE_BYTES)
+        };
         t.row([
             format!("{k}"),
-            "u128".to_string(),
-            format!("{}", km.exchange.units),
-            format!("{}", km.exchange.bytes),
-            format!("{}", sm.exchange.units),
-            format!("{}", sm.exchange.bytes),
-            format!(
-                "{:.2}x",
-                km.exchange.bytes as f64 / sm.exchange.bytes as f64
-            ),
+            if wide { "u128" } else { "u64" }.to_string(),
+            format!("{key_b}"),
+            format!("{smer_b}"),
+            format!("{}", row.kmers),
+            format!("{}", row.kmer_bytes),
+            format!("{}", row.supermers),
+            format!("{}", row.supermer_bytes),
+            format!("{:.2}x", row.kmer_bytes as f64 / row.supermer_bytes as f64),
         ]);
     }
     t.print();
     println!();
     println!(
-        "note: the wide window shrinks as k grows (window = 65 − k), capping supermer\n\
-         length at one u128; the reduction factor still grows with k because each\n\
-         supermer base amortizes a full 16-byte k-mer."
+        "note: the window shrinks as k approaches the packing bound (33 − k narrow,\n\
+         65 − k wide), capping supermer length at one packed word; the reduction\n\
+         factor still grows with k because each supermer base amortizes a full\n\
+         key-width k-mer payload."
     );
 }

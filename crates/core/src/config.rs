@@ -47,12 +47,29 @@ impl Default for CountingConfig {
 }
 
 impl CountingConfig {
-    /// Validates internal consistency; call before running a pipeline.
+    /// Validates internal consistency at the narrow (`u64`) key width;
+    /// call before running a pipeline. Equivalent to
+    /// [`CountingConfig::validate_for_width`]`(31, 32)`.
     pub fn validate(&self) -> Result<(), String> {
-        if self.k < 2 || self.k > 31 {
-            // k ≤ 31 keeps a packed word strictly below the table's
-            // u64::MAX empty sentinel.
-            return Err(format!("k = {} outside supported range 2..=31", self.k));
+        self.validate_for_width(31, 32)
+    }
+
+    /// Validates internal consistency against an explicit key width:
+    /// `max_counting_k` is the width's largest countable k (31 for `u64`
+    /// keys, 63 for `u128` — one below the packing bound so no packed
+    /// k-mer collides with the all-ones empty-table sentinel), and
+    /// `max_supermer_bases` is the largest supermer one packed word can
+    /// hold (32 or 64), bounding `window + k - 1`.
+    pub fn validate_for_width(
+        &self,
+        max_counting_k: usize,
+        max_supermer_bases: usize,
+    ) -> Result<(), String> {
+        if self.k < 2 || self.k > max_counting_k {
+            return Err(format!(
+                "k = {} outside supported range 2..={max_counting_k}",
+                self.k
+            ));
         }
         if self.m == 0 || self.m >= self.k {
             return Err(format!(
@@ -60,17 +77,25 @@ impl CountingConfig {
                 self.m, self.k
             ));
         }
+        if self.m > 31 {
+            // Minimizer words are u64 at every key width.
+            return Err(format!(
+                "m = {} exceeds 31 (minimizers stay 64-bit)",
+                self.m
+            ));
+        }
         if self.window == 0 {
             return Err("window must be positive".into());
         }
         // A supermer spans at most window + k - 1 bases and must pack into
-        // a single u64 (the paper's design constraint, §IV-C).
-        if self.window + self.k - 1 > 32 {
+        // a single word (the paper's design constraint, §IV-C).
+        if self.window + self.k - 1 > max_supermer_bases {
             return Err(format!(
-                "window {} + k {} - 1 = {} bases exceed one 64-bit word",
+                "window {} + k {} - 1 = {} bases exceed one {}-base packed word",
                 self.window,
                 self.k,
-                self.window + self.k - 1
+                self.window + self.k - 1,
+                max_supermer_bases
             ));
         }
         if !(0.1..=0.95).contains(&self.table_load_factor) {
@@ -301,10 +326,24 @@ impl RunConfig {
     }
 
     /// Validates the full run description (algorithmic parameters plus
-    /// machine shape); [`crate::pipeline::run`] calls this before doing
-    /// any work.
+    /// machine shape) at the narrow key width; [`crate::pipeline::run`]
+    /// calls this before doing any work.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.counting.validate().map_err(ConfigError::Counting)?;
+        self.validate_for_width(31, 32)
+    }
+
+    /// [`RunConfig::validate`] against an explicit key width (see
+    /// [`CountingConfig::validate_for_width`]);
+    /// [`crate::pipeline::run_typed`] calls this with the bounds of its
+    /// key type.
+    pub fn validate_for_width(
+        &self,
+        max_counting_k: usize,
+        max_supermer_bases: usize,
+    ) -> Result<(), ConfigError> {
+        self.counting
+            .validate_for_width(max_counting_k, max_supermer_bases)
+            .map_err(ConfigError::Counting)?;
         if self.nodes == 0 {
             return Err(ConfigError::ZeroNodes);
         }
@@ -374,6 +413,29 @@ mod tests {
         assert!(rc.validate().is_ok());
         rc.counting.k = 64;
         assert!(matches!(rc.validate(), Err(ConfigError::Counting(_))));
+    }
+
+    #[test]
+    fn wide_width_bounds_validate() {
+        let mut c = CountingConfig {
+            k: 41,
+            m: 11,
+            window: 24,
+            ..Default::default()
+        };
+        // Narrow validation rejects wide k; the wide bounds accept it.
+        assert!(c.validate().is_err());
+        assert!(c.validate_for_width(63, 64).is_ok());
+        // m ≥ 32 must be rejected even at the wide width (minimizer
+        // words stay u64) — no silent clamping anywhere.
+        c.m = 32;
+        assert!(c.validate_for_width(63, 64).is_err());
+        c.m = 11;
+        c.window = 25; // 25 + 41 - 1 = 65 > 64
+        assert!(c.validate_for_width(63, 64).is_err());
+        c.window = 24;
+        c.k = 64; // all-ones sentinel collision
+        assert!(c.validate_for_width(63, 64).is_err());
     }
 
     #[test]

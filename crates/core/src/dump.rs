@@ -6,14 +6,15 @@
 //! spectra, and heavy-hitter lists. This module implements those over the
 //! pipelines' per-rank tables.
 
-use dedukt_dna::kmer::Kmer;
+use dedukt_dna::base::Base;
+use dedukt_dna::kmer::KmerWord;
 use dedukt_dna::spectrum::Spectrum;
 use dedukt_dna::Encoding;
 use std::io::{self, BufRead, Write};
 
 /// Merges per-rank `(kmer, count)` tables (disjoint key spaces) into one
-/// sorted list.
-pub fn merge_tables(per_rank: &[Vec<(u64, u32)>]) -> Vec<(u64, u32)> {
+/// sorted list, at either key width.
+pub fn merge_tables<K: Ord + Copy>(per_rank: &[Vec<(K, u32)>]) -> Vec<(K, u32)> {
     let total: usize = per_rank.iter().map(Vec::len).sum();
     let mut all = Vec::with_capacity(total);
     for t in per_rank {
@@ -23,27 +24,36 @@ pub fn merge_tables(per_rank: &[Vec<(u64, u32)>]) -> Vec<(u64, u32)> {
     all
 }
 
+/// Renders a packed k-mer word (either width) as an ASCII sequence.
+pub fn kmer_ascii<K: KmerWord>(kmer: K, k: usize, encoding: Encoding) -> String {
+    kmer.word_codes(k, encoding)
+        .into_iter()
+        .map(|c| Base::from_code(c).to_ascii() as char)
+        .collect()
+}
+
 /// Writes a KMC-style dump: one `SEQUENCE\tCOUNT` line per distinct
-/// k-mer, sorted by packed word.
-pub fn write_dump<W: Write>(
+/// k-mer, sorted by packed word. Width-generic: k up to `K::MAX_K`.
+pub fn write_dump<W: Write, K: KmerWord>(
     w: &mut W,
-    entries: &[(u64, u32)],
+    entries: &[(K, u32)],
     k: usize,
     encoding: Encoding,
 ) -> io::Result<()> {
     for &(kmer, count) in entries {
-        writeln!(
-            w,
-            "{}\t{}",
-            Kmer::from_word(kmer, k).to_ascii(encoding),
-            count
-        )?;
+        writeln!(w, "{}\t{}", kmer_ascii(kmer, k, encoding), count)?;
     }
     Ok(())
 }
 
-/// Parses a KMC-style dump back into `(kmer, count)` pairs.
+/// Parses a KMC-style dump back into `(kmer, count)` pairs (narrow,
+/// k ≤ 32).
 pub fn read_dump<R: BufRead>(r: R, encoding: Encoding) -> io::Result<Vec<(u64, u32)>> {
+    read_dump_w::<R, u64>(r, encoding)
+}
+
+/// Width-generic dump parser: sequences up to `K::MAX_K` bases.
+pub fn read_dump_w<R: BufRead, K: KmerWord>(r: R, encoding: Encoding) -> io::Result<Vec<(K, u32)>> {
     let mut out = Vec::new();
     for (lineno, line) in r.lines().enumerate() {
         let line = line?;
@@ -57,15 +67,22 @@ pub fn read_dump<R: BufRead>(r: R, encoding: Encoding) -> io::Result<Vec<(u64, u
             )
         };
         let (seq, count) = line.split_once('\t').ok_or_else(bad)?;
-        let kmer = Kmer::from_ascii(seq.as_bytes(), encoding).ok_or_else(bad)?;
+        if seq.is_empty() || seq.len() > K::MAX_K {
+            return Err(bad());
+        }
+        let codes = seq
+            .bytes()
+            .map(|b| Base::from_ascii(b).map(|base| base.code()))
+            .collect::<Option<Vec<u8>>>()
+            .ok_or_else(bad)?;
         let count: u32 = count.parse().map_err(|_| bad())?;
-        out.push((kmer.word(), count));
+        out.push((K::pack_codes(&codes, encoding), count));
     }
     Ok(out)
 }
 
 /// The `n` most frequent k-mers, descending by count (ties by word).
-pub fn heavy_hitters(entries: &[(u64, u32)], n: usize) -> Vec<(u64, u32)> {
+pub fn heavy_hitters<K: Ord + Copy>(entries: &[(K, u32)], n: usize) -> Vec<(K, u32)> {
     let mut v = entries.to_vec();
     v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     v.truncate(n);
@@ -73,7 +90,7 @@ pub fn heavy_hitters(entries: &[(u64, u32)], n: usize) -> Vec<(u64, u32)> {
 }
 
 /// Builds the spectrum of a merged table.
-pub fn spectrum_of(entries: &[(u64, u32)]) -> Spectrum {
+pub fn spectrum_of<K>(entries: &[(K, u32)]) -> Spectrum {
     Spectrum::from_counts(entries.iter().map(|&(_, c)| c))
 }
 

@@ -37,10 +37,12 @@ pub mod supermer;
 pub mod table;
 pub mod verify;
 pub mod wide;
+pub mod width;
 
 pub use config::{ConfigError, CountingConfig, CpuCoreModel, GpuTuning, Mode, RunConfig};
 pub use minimizer::{minimizer_of_kmer, MinimizerScheme, OrderingKind};
-pub use pipeline::{run, RunReport};
+pub use pipeline::{run, run_typed, RunReport};
 pub use stats::PhaseBreakdown;
 pub use supermer::Supermer;
 pub use table::{DeviceCountTable, HostCountTable};
+pub use width::PackedKmer;

@@ -18,7 +18,8 @@
 //! symbols*, the ordering is selected by the `(encoding, ordering)` pair in
 //! [`MinimizerScheme`].
 
-use dedukt_dna::{kmer::Kmer, Encoding};
+use dedukt_dna::kmer::KmerWord;
+use dedukt_dna::Encoding;
 
 /// How m-mer rank keys are derived from packed words.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -85,15 +86,22 @@ impl MinimizerScheme {
     /// Scans all `k - m + 1` windows of a packed k-mer and returns the
     /// minimizer (leftmost on ties — the conventional tie-break).
     pub fn minimizer_of(&self, kmer_word: u64, k: usize) -> MinimizerAt {
-        debug_assert!(self.m < k && k <= 32);
-        let kmer = Kmer::from_word(kmer_word, k);
+        self.minimizer_of_w(kmer_word, k)
+    }
+
+    /// Width-generic minimizer scan: same algorithm as
+    /// [`MinimizerScheme::minimizer_of`] over a `u64` or `u128` packed
+    /// k-mer word. The minimizer word itself is always a `u64` (m ≤ 31 at
+    /// either width), so routing is width-independent.
+    pub fn minimizer_of_w<W: KmerWord>(&self, kmer_word: W, k: usize) -> MinimizerAt {
+        debug_assert!(self.m < k && k <= W::MAX_K);
         let mut best = MinimizerAt {
             pos: 0,
-            word: kmer.submer(0, self.m),
+            word: kmer_word.submer_of(k, 0, self.m),
         };
         let mut best_key = self.rank_key(best.word);
         for pos in 1..=(k - self.m) {
-            let w = kmer.submer(pos, self.m);
+            let w = kmer_word.submer_of(k, pos, self.m);
             let key = self.rank_key(w);
             if key < best_key {
                 best_key = key;

@@ -9,6 +9,7 @@
 //! algorithm that maintains the locality and at the same time partitions
 //! data evenly", §VII).
 
+use crate::table::TableKey;
 use dedukt_hash::{owner_rank_mult_shift, Murmur3x64};
 use std::collections::HashMap;
 
@@ -16,6 +17,13 @@ use std::collections::HashMap;
 #[inline]
 pub fn kmer_owner(hasher: &Murmur3x64, kmer_word: u64, nranks: usize) -> usize {
     owner_rank_mult_shift(hasher.hash_u64(kmer_word), nranks)
+}
+
+/// Owner rank of a packed k-mer key at either width — identical to
+/// [`kmer_owner`] for `u64` keys, MurmurHash3-128-derived for `u128`.
+#[inline]
+pub fn key_owner<K: TableKey>(hasher: &Murmur3x64, key: K, nranks: usize) -> usize {
+    owner_rank_mult_shift(key.hash_with(hasher), nranks)
 }
 
 /// Owner rank of a minimizer word (Algorithm 2, lines 7/15).

@@ -12,31 +12,34 @@
 //! the CPU-specific stages.
 
 use crate::config::RunConfig;
-use crate::partition::kmer_owner;
+use crate::partition::key_owner;
 use crate::pipeline::driver::{
-    exchange_u64_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
+    exchange_items_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
 };
 use crate::pipeline::{RankCountResult, RunReport};
 use crate::table::HostCountTable;
-use dedukt_dna::kmer::{kmer_words, Kmer};
+use crate::width::PackedKmer;
+use dedukt_dna::kmer::kmer_words_w;
 use dedukt_dna::ReadSet;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
 use dedukt_sim::SimTime;
+use std::marker::PhantomData;
 
 /// Host counting state threaded through the exchange rounds.
-pub(crate) struct CpuCounter {
-    table: HostCountTable,
+pub(crate) struct CpuCounter<K: PackedKmer> {
+    table: HostCountTable<K>,
     received: u64,
 }
 
-struct CpuStages;
+struct CpuStages<K: PackedKmer>(PhantomData<K>);
 
-impl CounterStages for CpuStages {
-    type Item = u64;
-    type Counter = CpuCounter;
+impl<K: PackedKmer> CounterStages for CpuStages<K> {
+    type Key = K;
+    type Item = K;
+    type Counter = CpuCounter<K>;
 
-    const ITEM_WIRE_BYTES: u64 = 8;
+    const ITEM_WIRE_BYTES: u64 = K::KMER_WIRE_BYTES;
     const BUCKET_PHASE: &'static str = "parse";
 
     fn network(&self, rc: &RunConfig) -> Network {
@@ -44,20 +47,20 @@ impl CounterStages for CpuStages {
     }
 
     // ── Phase 1: parse & process k-mers (Algorithm 1, PARSEKMER) ──────
-    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<u64> {
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<K> {
         let cfg = &ctx.cfg;
         let part = &ctx.parts[rank];
-        let mut out: Vec<Vec<u64>> = vec![Vec::new(); ctx.nranks];
+        let mut out: Vec<Vec<K>> = vec![Vec::new(); ctx.nranks];
         let mut bases = 0u64;
         for read in &part.reads {
             bases += read.codes.len() as u64;
-            for w in kmer_words(&read.codes, cfg.k, cfg.encoding) {
+            for w in kmer_words_w::<K>(&read.codes, cfg.k, cfg.encoding) {
                 let key = if cfg.canonical {
-                    Kmer::from_word(w, cfg.k).canonical().word()
+                    w.canonical_word(cfg.k)
                 } else {
                     w
                 };
-                out[kmer_owner(&ctx.hasher, key, ctx.nranks)].push(key);
+                out[key_owner(&ctx.hasher, key, ctx.nranks)].push(key);
             }
         }
         BucketOut {
@@ -67,7 +70,7 @@ impl CounterStages for CpuStages {
         }
     }
 
-    fn item_instances(&self, _ctx: &DriverCtx, _item: &u64) -> u64 {
+    fn item_instances(&self, _ctx: &DriverCtx, _item: &K) -> u64 {
         1
     }
 
@@ -75,14 +78,19 @@ impl CounterStages for CpuStages {
     fn exchange_round(
         &self,
         world: &mut BspWorld,
-        round: Vec<Vec<Vec<u64>>>,
+        round: Vec<Vec<Vec<K>>>,
         hidden: Option<&[SimTime]>,
-    ) -> RoundRecv<u64> {
-        exchange_u64_round(world, round, hidden)
+    ) -> RoundRecv<K> {
+        exchange_items_round(world, round, hidden)
     }
 
     // ── Phase 3: count (Algorithm 1, COUNTKMER) ───────────────────────
-    fn make_counter(&self, ctx: &DriverCtx, _rank: usize, expected_instances: u64) -> CpuCounter {
+    fn make_counter(
+        &self,
+        ctx: &DriverCtx,
+        _rank: usize,
+        expected_instances: u64,
+    ) -> CpuCounter<K> {
         CpuCounter {
             table: HostCountTable::with_expected(
                 expected_instances as usize,
@@ -93,7 +101,7 @@ impl CounterStages for CpuStages {
         }
     }
 
-    fn count_round(&self, ctx: &DriverCtx, counter: &mut CpuCounter, items: Vec<u64>) -> SimTime {
+    fn count_round(&self, ctx: &DriverCtx, counter: &mut CpuCounter<K>, items: Vec<K>) -> SimTime {
         counter.received += items.len() as u64;
         for k in &items {
             counter.table.insert(*k);
@@ -101,7 +109,7 @@ impl CounterStages for CpuStages {
         ctx.rc.cpu_model.count_rate.time_for(items.len() as f64)
     }
 
-    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: CpuCounter) -> RankCountResult {
+    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: CpuCounter<K>) -> RankCountResult<K> {
         if let Some(m) = &ctx.metrics {
             m.counter_add("kmers_counted_total", Some(rank), counter.received);
             m.counter_add(
@@ -122,9 +130,14 @@ impl CounterStages for CpuStages {
     }
 }
 
-/// Runs the CPU baseline counter.
+/// Runs the CPU baseline counter at the narrow (`u64`) key width.
 pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    run_staged(&mut CpuStages, reads, rc)
+    run_cpu_typed::<u64>(reads, rc)
+}
+
+/// Runs the CPU baseline counter at an explicit key width.
+pub fn run_cpu_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
+    run_staged(&mut CpuStages::<K>(PhantomData), reads, rc)
 }
 
 #[cfg(test)]

@@ -29,6 +29,7 @@ use crate::config::{CountingConfig, RunConfig};
 use crate::pipeline::gpu_common::split_rounds_weighted;
 use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
 use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::width::PackedKmer;
 use dedukt_dna::ReadSet;
 use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
@@ -80,6 +81,11 @@ pub(crate) struct RoundRecv<I> {
 /// world setup, round slicing, the superstep loop, phase accounting,
 /// report assembly — lives in [`run_staged`].
 pub(crate) trait CounterStages: Sync {
+    /// The packed key width this counter runs at: `u64` for the paper's
+    /// narrow regime (k ≤ 31), `u128` for wide k (≤ 63). Everything
+    /// width-dependent — wire bytes, table slots, packing bounds — is
+    /// derived from this one type.
+    type Key: PackedKmer;
     /// What moves on the wire (a packed k-mer, a supermer word+length).
     type Item: Send;
     /// Per-rank counting state threaded through the rounds.
@@ -140,7 +146,12 @@ pub(crate) trait CounterStages: Sync {
 
     /// Drain the counter into the rank's result (and record its
     /// counting telemetry).
-    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: Self::Counter) -> RankCountResult;
+    fn finish(
+        &self,
+        ctx: &DriverCtx,
+        rank: usize,
+        counter: Self::Counter,
+    ) -> RankCountResult<Self::Key>;
 }
 
 /// Runs one counter through the shared staged superstep skeleton.
@@ -148,7 +159,7 @@ pub(crate) fn run_staged<S: CounterStages>(
     stages: &mut S,
     reads: &ReadSet,
     rc: &RunConfig,
-) -> RunReport {
+) -> RunReport<S::Key> {
     let nranks = rc.nranks();
     let mut net = stages.network(rc);
     net.params.algo = rc.exchange_algo;
@@ -263,7 +274,7 @@ pub(crate) fn run_staged<S: CounterStages>(
     };
     let (_, count_step) = world.compute_step_named("count", |rank| ((), drain[rank]));
     let indexed: Vec<(usize, S::Counter)> = counters.into_iter().enumerate().collect();
-    let rank_results: Vec<RankCountResult> = indexed
+    let rank_results: Vec<RankCountResult<S::Key>> = indexed
         .into_par_iter()
         .map(|(rank, c)| stages.finish(&ctx, rank, c))
         .collect();
@@ -304,13 +315,13 @@ pub(crate) fn run_staged<S: CounterStages>(
 }
 
 /// Shared exchange hook for the pipelines whose wire items are bare
-/// `u64` k-mers: one Alltoallv per round, overlapped when `hidden` is
-/// present.
-pub(crate) fn exchange_u64_round(
+/// packed k-mers (at either width): one Alltoallv per round, overlapped
+/// when `hidden` is present.
+pub(crate) fn exchange_items_round<I: Send>(
     world: &mut BspWorld,
-    round: Vec<Vec<Vec<u64>>>,
+    round: Vec<Vec<Vec<I>>>,
     hidden: Option<&[SimTime]>,
-) -> RoundRecv<u64> {
+) -> RoundRecv<I> {
     let outcome = match hidden {
         Some(h) => world.alltoallv_overlapped(round, h),
         None => world.alltoallv(round),

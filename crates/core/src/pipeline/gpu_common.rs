@@ -2,6 +2,7 @@
 
 use crate::config::{CountingConfig, RunConfig};
 use crate::table::{table_capacity, DeviceCountTable};
+use crate::width::PackedKmer;
 use dedukt_dna::packed::ConcatReads;
 use dedukt_dna::ReadSet;
 use dedukt_gpu::transfer::staging_time;
@@ -70,12 +71,12 @@ pub fn staging(device: &Device, rc: &RunConfig, volume: DataVolume) -> SimTime {
     }
 }
 
-/// Outcome of the shared counting kernel.
-pub struct CountOutcome {
+/// Outcome of the shared counting kernel, at either key width.
+pub struct CountOutcome<K: PackedKmer = u64> {
     /// Kernel launch report (simulated time, tallies).
     pub report: KernelReport,
     /// `(kmer, count)` entries of the rank's table.
-    pub entries: Vec<(u64, u32)>,
+    pub entries: Vec<(K, u32)>,
     /// Total probe steps across all inserts.
     pub probe_steps: u64,
     /// Per-insert probe-step distribution (1 = direct hit), accumulated
@@ -91,14 +92,14 @@ pub struct CountOutcome {
 ///
 /// `cycles_per_kmer` carries the calibrated effective cost (plus the
 /// supermer pipelines' extraction surcharge).
-pub fn count_kmers_on_device(
+pub fn count_kmers_on_device<K: PackedKmer>(
     device: &Device,
     cfg: &CountingConfig,
-    kmers: &[u64],
+    kmers: &[K],
     cycles_per_kmer: f64,
-) -> CountOutcome {
+) -> CountOutcome<K> {
     let capacity = table_capacity(cfg, kmers.len());
-    let table = DeviceCountTable::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
+    let table = DeviceCountTable::<K>::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
         .expect("count table exceeds device memory");
     let (report, probe_steps, probe_hist) =
         count_round_on_device(device, &table, kmers, cycles_per_kmer);
@@ -117,10 +118,10 @@ pub fn count_kmers_on_device(
 /// device `table` — the round-granular form [`count_kmers_on_device`] and
 /// the staged driver's per-round counting are built on. Returns the
 /// launch report, total probe steps, and the per-insert probe histogram.
-pub fn count_round_on_device(
+pub fn count_round_on_device<K: PackedKmer>(
     device: &Device,
-    table: &DeviceCountTable,
-    kmers: &[u64],
+    table: &DeviceCountTable<K>,
+    kmers: &[K],
     cycles_per_kmer: f64,
 ) -> (KernelReport, u64, Histogram) {
     let launch = chunked_launch(kmers.len().max(1));
@@ -137,12 +138,13 @@ pub fn count_round_on_device(
         }
         let n = (hi - lo) as u64;
         // Effective compute (calibrated) + real memory/atomic traffic:
-        // each probe touches a 8B key + the hit updates a 4B count, all
-        // effectively random; CAS + atomicAdd per insert, where repeat
-        // occurrences of hot k-mers collide on their slot.
+        // each probe touches a key-width-sized key (8 B narrow, 16 B
+        // wide) + the hit updates a 4B count, all effectively random;
+        // CAS + atomicAdd per insert, where repeat occurrences of hot
+        // k-mers collide on their slot.
         b.instr((n as f64 * cycles_per_kmer) as u64);
-        b.gmem_coalesced(n * 8); // streaming the received k-mers
-        b.gmem_random(probes * 8 + n * 4);
+        b.gmem_coalesced(n * K::KMER_WIRE_BYTES); // streaming the received k-mers
+        b.gmem_random(probes * K::KMER_WIRE_BYTES + n * 4);
         b.atomic(2 * n, n - fresh);
         (probes, hist)
     });
@@ -159,9 +161,9 @@ pub fn count_round_on_device(
 /// driver's exchange rounds: one device, one count table sized for the
 /// whole run, and one stream recording the round-by-round count kernels
 /// (the kernels the overlapped exchange hides behind the wire).
-pub(crate) struct DeviceRoundCounter {
+pub(crate) struct DeviceRoundCounter<K: PackedKmer = u64> {
     device: Device,
-    table: DeviceCountTable,
+    table: DeviceCountTable<K>,
     stream: dedukt_gpu::Stream,
     probe_hist: Histogram,
     probe_steps: u64,
@@ -169,14 +171,14 @@ pub(crate) struct DeviceRoundCounter {
     last_occupancy: f64,
 }
 
-impl DeviceRoundCounter {
+impl<K: PackedKmer> DeviceRoundCounter<K> {
     /// A counter for a rank expecting `expected_instances` inserts in
     /// total — the table is sized once for the full load so splitting
     /// the exchange into rounds cannot change probe sequences.
     pub(crate) fn new(rc: &RunConfig, cfg: &CountingConfig, expected_instances: u64) -> Self {
         let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
         let capacity = table_capacity(cfg, expected_instances as usize);
-        let table = DeviceCountTable::new(&device, capacity, cfg.hash_seed ^ 0xC0C0)
+        let table = DeviceCountTable::<K>::new(&device, capacity, cfg.hash_seed ^ 0xC0C0)
             .expect("count table exceeds device memory");
         DeviceRoundCounter {
             device,
@@ -190,7 +192,7 @@ impl DeviceRoundCounter {
     }
 
     /// Inserts one round's k-mers; returns the kernel's simulated time.
-    pub(crate) fn count(&mut self, kmers: &[u64], cycles_per_kmer: f64) -> SimTime {
+    pub(crate) fn count(&mut self, kmers: &[K], cycles_per_kmer: f64) -> SimTime {
         let (report, probes, hist) =
             count_round_on_device(&self.device, &self.table, kmers, cycles_per_kmer);
         self.probe_steps += probes;
@@ -208,7 +210,7 @@ impl DeviceRoundCounter {
         self,
         metrics: &Option<std::sync::Arc<dedukt_sim::MetricsRegistry>>,
         rank: usize,
-    ) -> crate::pipeline::RankCountResult {
+    ) -> crate::pipeline::RankCountResult<K> {
         let entries = self.table.to_host();
         if let Some(m) = metrics {
             m.counter_add("kmers_counted_total", Some(rank), self.instances);
@@ -437,7 +439,26 @@ mod tests {
     fn empty_input_yields_empty_table() {
         let device = Device::v100();
         let cfg = CountingConfig::default();
-        let out = count_kmers_on_device(&device, &cfg, &[], 1000.0);
+        let out = count_kmers_on_device::<u64>(&device, &cfg, &[], 1000.0);
         assert!(out.entries.is_empty());
+    }
+
+    #[test]
+    fn wide_device_kernel_counts_exactly() {
+        let device = Device::v100();
+        let cfg = CountingConfig::default();
+        // Keys above the u64 range so the wide table path is exercised.
+        let mut kmers: Vec<u128> = Vec::new();
+        for key in 0..50u128 {
+            for _ in 0..=key % 5 {
+                kmers.push((key << 64) | key);
+            }
+        }
+        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0);
+        assert_eq!(out.entries.len(), 50);
+        let total: u64 = out.entries.iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, kmers.len() as u64);
+        assert!(out.report.time > SimTime::ZERO);
+        assert_eq!(out.probe_hist.count(), kmers.len() as u64);
     }
 }

@@ -18,32 +18,35 @@
 //! the device-side stages.
 
 use crate::config::RunConfig;
-use crate::partition::kmer_owner;
+use crate::partition::key_owner;
 use crate::pipeline::driver::{
-    exchange_u64_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
+    exchange_items_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
 };
 use crate::pipeline::gpu_common::{
     block_range, chunked_launch, concat_rank_reads, reads_h2d_volume, staging, DeviceRoundCounter,
 };
 use crate::pipeline::{RankCountResult, RunReport};
-use dedukt_dna::kmer::Kmer;
+use crate::width::PackedKmer;
+use dedukt_dna::kmer::KmerWord;
 use dedukt_dna::packed::ConcatReads;
 use dedukt_dna::ReadSet;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
 use dedukt_sim::{DataVolume, SimTime};
+use std::marker::PhantomData;
 
 /// Calls `f` with every packed k-mer whose start position lies in
 /// `[lo, hi)` of the concatenated base array, honouring read boundaries.
 /// Returns the number of k-mers visited and the number of bases read.
-pub(crate) fn for_kmers_in_range(
+/// Width-generic: the rolling window packs into any [`KmerWord`].
+pub(crate) fn for_kmers_in_range<W: KmerWord>(
     concat: &ConcatReads,
     lo: usize,
     hi: usize,
     k: usize,
-    mut f: impl FnMut(u64),
+    mut f: impl FnMut(W),
 ) -> (u64, u64) {
-    let mask = Kmer::mask(k);
+    let mask = W::kmer_mask(k);
     let mut kmers = 0u64;
     let mut bases = 0u64;
     let mut ri = concat.ends.partition_point(|&e| e <= lo);
@@ -56,13 +59,15 @@ pub(crate) fn for_kmers_in_range(
         // A k-mer starting at p stays within its read iff p + k <= re.
         let last_excl = (re + 1).saturating_sub(k).min(hi);
         if first < last_excl {
-            let mut w = concat.bases.kmer_word(first, k);
+            let mut w = W::ZERO;
+            for p in first..first + k {
+                w = w.roll_sym(concat.bases.symbol(p), mask);
+            }
             f(w);
             kmers += 1;
             bases += k as u64;
             for p in first + 1..last_excl {
-                let sym = concat.bases.symbol(p + k - 1) as u64;
-                w = ((w << 2) | sym) & mask;
+                w = w.roll_sym(concat.bases.symbol(p + k - 1), mask);
                 f(w);
                 kmers += 1;
                 bases += 1;
@@ -73,13 +78,14 @@ pub(crate) fn for_kmers_in_range(
     (kmers, bases)
 }
 
-struct GpuKmerStages;
+struct GpuKmerStages<K: PackedKmer>(PhantomData<K>);
 
-impl CounterStages for GpuKmerStages {
-    type Item = u64;
-    type Counter = DeviceRoundCounter;
+impl<K: PackedKmer> CounterStages for GpuKmerStages<K> {
+    type Key = K;
+    type Item = K;
+    type Counter = DeviceRoundCounter<K>;
 
-    const ITEM_WIRE_BYTES: u64 = 8;
+    const ITEM_WIRE_BYTES: u64 = K::KMER_WIRE_BYTES;
     const BUCKET_PHASE: &'static str = "parse";
 
     fn network(&self, rc: &RunConfig) -> Network {
@@ -87,7 +93,7 @@ impl CounterStages for GpuKmerStages {
     }
 
     // ── Phase 1: parse & process on the device ────────────────────────
-    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<u64> {
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<K> {
         let rc = ctx.rc;
         let cfg = &ctx.cfg;
         let nranks = ctx.nranks;
@@ -101,34 +107,37 @@ impl CounterStages for GpuKmerStages {
         let launch = chunked_launch(nbases);
         let (report, block_buckets) = device.launch_map("parse_kmers", launch, |b| {
             let (lo, hi) = block_range(nbases.min(concat.num_bases()), b.cfg.grid_blocks, b.block);
-            let mut local: Vec<Vec<u64>> = vec![Vec::new(); nranks];
-            let (nk, nb) = for_kmers_in_range(&concat, lo, hi, cfg.k, |w| {
+            let mut local: Vec<Vec<K>> = vec![Vec::new(); nranks];
+            let (nk, nb) = for_kmers_in_range::<K>(&concat, lo, hi, cfg.k, |w| {
                 let key = if cfg.canonical {
-                    Kmer::from_word(w, cfg.k).canonical().word()
+                    w.canonical_word(cfg.k)
                 } else {
                     w
                 };
-                local[kmer_owner(&ctx.hasher, key, nranks)].push(key);
+                local[key_owner(&ctx.hasher, key, nranks)].push(key);
             });
             // Calibrated compute plus real traffic: packed reads stream
-            // in coalesced; bucket appends scatter 8-byte words and bump
-            // per-destination offsets atomically (warp-aggregated).
+            // in coalesced; bucket appends scatter key-width words and
+            // bump per-destination offsets atomically (warp-aggregated).
             b.instr((nk as f64 * tuning.parse_cycles_per_kmer) as u64);
             b.gmem_coalesced(nb / 4);
-            b.gmem_random(nk * 8);
+            b.gmem_random(nk * K::KMER_WIRE_BYTES);
             let atomics = nk / 32 + 1;
             b.atomic(atomics, atomics / (nranks as u64).max(32));
             local
         });
 
         // Merge per-block buckets (device-side compaction; charged above).
-        let mut out: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+        let mut out: Vec<Vec<K>> = vec![Vec::new(); nranks];
         for blocks in block_buckets {
             for (dst, v) in blocks.into_iter().enumerate() {
                 out[dst].extend(v);
             }
         }
-        let out_bytes: u64 = out.iter().map(|v| v.len() as u64 * 8).sum();
+        let out_bytes: u64 = out
+            .iter()
+            .map(|v| v.len() as u64 * K::KMER_WIRE_BYTES)
+            .sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
         if let Some(m) = &ctx.metrics {
             m.gauge_set("kernel_occupancy:parse_kmers", Some(rank), report.occupancy);
@@ -141,7 +150,7 @@ impl CounterStages for GpuKmerStages {
         }
     }
 
-    fn item_instances(&self, _ctx: &DriverCtx, _item: &u64) -> u64 {
+    fn item_instances(&self, _ctx: &DriverCtx, _item: &K) -> u64 {
         1
     }
 
@@ -149,15 +158,19 @@ impl CounterStages for GpuKmerStages {
     fn exchange_round(
         &self,
         world: &mut BspWorld,
-        round: Vec<Vec<Vec<u64>>>,
+        round: Vec<Vec<Vec<K>>>,
         hidden: Option<&[SimTime]>,
-    ) -> RoundRecv<u64> {
-        exchange_u64_round(world, round, hidden)
+    ) -> RoundRecv<K> {
+        exchange_items_round(world, round, hidden)
     }
 
     fn stage_in(&self, ctx: &DriverCtx, received_items: u64) -> SimTime {
         let device = dedukt_gpu::Device::new(ctx.rc.gpu_device.clone());
-        staging(&device, ctx.rc, DataVolume::from_bytes(received_items * 8))
+        staging(
+            &device,
+            ctx.rc,
+            DataVolume::from_bytes(received_items * K::KMER_WIRE_BYTES),
+        )
     }
 
     // ── Phase 3: count on the device ──────────────────────────────────
@@ -166,27 +179,37 @@ impl CounterStages for GpuKmerStages {
         ctx: &DriverCtx,
         _rank: usize,
         expected_instances: u64,
-    ) -> DeviceRoundCounter {
+    ) -> DeviceRoundCounter<K> {
         DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
     }
 
     fn count_round(
         &self,
         ctx: &DriverCtx,
-        counter: &mut DeviceRoundCounter,
-        items: Vec<u64>,
+        counter: &mut DeviceRoundCounter<K>,
+        items: Vec<K>,
     ) -> SimTime {
         counter.count(&items, ctx.rc.gpu_tuning.count_cycles_per_kmer)
     }
 
-    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: DeviceRoundCounter) -> RankCountResult {
+    fn finish(
+        &self,
+        ctx: &DriverCtx,
+        rank: usize,
+        counter: DeviceRoundCounter<K>,
+    ) -> RankCountResult<K> {
         counter.finish(&ctx.metrics, rank)
     }
 }
 
-/// Runs the GPU k-mer counter.
+/// Runs the GPU k-mer counter at the narrow (`u64`) key width.
 pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    run_staged(&mut GpuKmerStages, reads, rc)
+    run_gpu_kmer_typed::<u64>(reads, rc)
+}
+
+/// Runs the GPU k-mer counter at an explicit key width.
+pub fn run_gpu_kmer_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
+    run_staged(&mut GpuKmerStages::<K>(PhantomData), reads, rc)
 }
 
 #[cfg(test)]
@@ -217,20 +240,25 @@ mod tests {
             .collect();
         let concat = ConcatReads::from_reads([&r1[..], &r2[..]], Encoding::Alphabetical);
         let k = 3;
-        let mut seen = Vec::new();
+        let mut seen: Vec<u64> = Vec::new();
         let (nk, _) = for_kmers_in_range(&concat, 0, concat.num_bases(), k, |w| seen.push(w));
         // r1 has 5 k-mers, r2 has 2; none spanning the boundary.
         assert_eq!(nk, 7);
         assert_eq!(seen.len(), 7);
         // Splitting the range must visit exactly the same k-mers.
         for split in 1..concat.num_bases() {
-            let mut split_seen = Vec::new();
+            let mut split_seen: Vec<u64> = Vec::new();
             for_kmers_in_range(&concat, 0, split, k, |w| split_seen.push(w));
             for_kmers_in_range(&concat, split, concat.num_bases(), k, |w| {
                 split_seen.push(w)
             });
             assert_eq!(split_seen, seen, "split at {split}");
         }
+        // The wide instantiation visits the identical k-mers (values fit
+        // narrow words at k=3, so the two widths must agree bit-for-bit).
+        let mut wide: Vec<u128> = Vec::new();
+        for_kmers_in_range(&concat, 0, concat.num_bases(), k, |w| wide.push(w));
+        assert_eq!(wide, seen.iter().map(|&w| w as u128).collect::<Vec<_>>());
     }
 
     #[test]

@@ -25,20 +25,22 @@ use crate::partition::{minimizer_owner, BalancedAssignment};
 use crate::pipeline::driver::{run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv};
 use crate::pipeline::gpu_common::{block_range, chunked_launch, staging, DeviceRoundCounter};
 use crate::pipeline::{RankCountResult, RunReport};
-use crate::supermer::build_supermers_reference;
-use crate::supermer::{num_windows, supermers_of_window, Supermer};
-use dedukt_dna::kmer::Kmer;
+use crate::supermer::build_supermers_reference_w;
+use crate::supermer::{num_windows, supermers_of_window_w, SupermerW};
+use crate::width::PackedKmer;
 use dedukt_dna::ReadSet;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
 use dedukt_sim::{DataVolume, Histogram, SimTime};
 use std::collections::HashMap;
+use std::marker::PhantomData;
 
-struct SupermerStages {
+struct SupermerStages<K: PackedKmer> {
     assignment: Option<BalancedAssignment>,
+    _key: PhantomData<K>,
 }
 
-impl SupermerStages {
+impl<K: PackedKmer> SupermerStages<K> {
     fn owner(&self, ctx: &DriverCtx, mz: u64) -> usize {
         match &self.assignment {
             Some(a) => a.owner(mz),
@@ -47,11 +49,12 @@ impl SupermerStages {
     }
 }
 
-impl CounterStages for SupermerStages {
-    type Item = (u64, u8);
-    type Counter = DeviceRoundCounter;
+impl<K: PackedKmer> CounterStages for SupermerStages<K> {
+    type Key = K;
+    type Item = (K, u8);
+    type Counter = DeviceRoundCounter<K>;
 
-    const ITEM_WIRE_BYTES: u64 = Supermer::WIRE_BYTES;
+    const ITEM_WIRE_BYTES: u64 = K::SUPERMER_WIRE_BYTES;
     const BUCKET_PHASE: &'static str = "build-supermers";
 
     fn network(&self, rc: &RunConfig) -> Network {
@@ -76,7 +79,7 @@ impl CounterStages for SupermerStages {
             let mut weights: HashMap<u64, u64> = HashMap::new();
             let mut sampled_kmers = 0u64;
             for read in ctx.parts[rank].reads.iter().step_by(stride.max(1)) {
-                for sm in build_supermers_reference(&read.codes, cfg.k, &scheme) {
+                for sm in build_supermers_reference_w::<K>(&read.codes, cfg.k, &scheme) {
                     let nk = sm.num_kmers(cfg.k) as u64;
                     *weights.entry(sm.minimizer).or_insert(0) += nk;
                     sampled_kmers += nk;
@@ -105,7 +108,7 @@ impl CounterStages for SupermerStages {
     }
 
     // ── Phase 1: build supermers on the device (§IV-B) ────────────────
-    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<(u64, u8)> {
+    fn bucket(&self, ctx: &DriverCtx, rank: usize) -> BucketOut<(K, u8)> {
         let rc = ctx.rc;
         let cfg = &ctx.cfg;
         let nranks = ctx.nranks;
@@ -131,8 +134,8 @@ impl CounterStages for SupermerStages {
         let launch = chunked_launch(total_windows.max(1));
         let (report, block_buckets) = device.launch_map("build_supermers", launch, |b| {
             let (lo, hi) = block_range(total_windows, b.cfg.grid_blocks, b.block);
-            let mut local: Vec<(Vec<u64>, Vec<u8>)> = vec![(Vec::new(), Vec::new()); nranks];
-            let mut smers: Vec<Supermer> = Vec::new();
+            let mut local: Vec<(Vec<K>, Vec<u8>)> = vec![(Vec::new(), Vec::new()); nranks];
+            let mut smers: Vec<SupermerW<K>> = Vec::new();
             let mut kmers_scanned = 0u64;
             let mut smers_built = 0u64;
             for wi in lo..hi {
@@ -141,7 +144,7 @@ impl CounterStages for SupermerStages {
                 let wstart = (wi - win_offsets[ri]) * cfg.window;
                 let codes = &part.reads[ri].codes;
                 smers.clear();
-                supermers_of_window(codes, wstart, cfg.k, cfg.window, &scheme, &mut smers);
+                supermers_of_window_w(codes, wstart, cfg.k, cfg.window, &scheme, &mut smers);
                 for sm in &smers {
                     let dst = self.owner(ctx, sm.minimizer);
                     local[dst].0.push(sm.word);
@@ -152,17 +155,18 @@ impl CounterStages for SupermerStages {
             }
             // Calibrated compute per k-mer scanned (includes the rolling
             // minimizer search — the paper's +27-33% parse overhead), plus
-            // real traffic: packed reads in, 9 B per supermer out, one
-            // warp-aggregated append per supermer.
+            // real traffic: packed reads in, word + length byte per
+            // supermer out (9 B narrow, 17 B wide), one warp-aggregated
+            // append per supermer.
             b.instr((kmers_scanned as f64 * tuning.supermer_parse_cycles_per_kmer) as u64);
             b.gmem_coalesced(kmers_scanned / 4 + cfg.k as u64);
-            b.gmem_random(smers_built * Supermer::WIRE_BYTES);
+            b.gmem_random(smers_built * K::SUPERMER_WIRE_BYTES);
             let atomics = smers_built / 32 + 1;
             b.atomic(atomics, atomics / (nranks as u64).max(32));
             local
         });
 
-        let mut words: Vec<Vec<u64>> = vec![Vec::new(); nranks];
+        let mut words: Vec<Vec<K>> = vec![Vec::new(); nranks];
         let mut lens: Vec<Vec<u8>> = vec![Vec::new(); nranks];
         for blocks in block_buckets {
             for (dst, (w, l)) in blocks.into_iter().enumerate() {
@@ -172,13 +176,14 @@ impl CounterStages for SupermerStages {
         }
         let out_bytes: u64 = words
             .iter()
-            .map(|v| v.len() as u64 * Supermer::WIRE_BYTES)
+            .map(|v| v.len() as u64 * K::SUPERMER_WIRE_BYTES)
             .sum();
         let d2h = staging(&device, rc, DataVolume::from_bytes(out_bytes));
         if let Some(m) = &ctx.metrics {
             // Supermer-length distribution and the wire-compression ratio
-            // this rank achieved: 8 B per k-mer had they been sent raw vs
-            // 9 B per supermer actually sent (Table II's saving).
+            // this rank achieved: one k-mer word each (8/16 B) had they
+            // been sent raw vs one word + length byte (9/17 B) per
+            // supermer actually sent (Table II's saving).
             let mut length_hist = Histogram::new();
             let mut kmer_count = 0u64;
             for l in lens.iter().flatten() {
@@ -192,7 +197,8 @@ impl CounterStages for SupermerStages {
                 m.gauge_set(
                     "supermer_compression_ratio",
                     Some(rank),
-                    (kmer_count * 8) as f64 / (supermer_count * Supermer::WIRE_BYTES) as f64,
+                    (kmer_count * K::KMER_WIRE_BYTES) as f64
+                        / (supermer_count * K::SUPERMER_WIRE_BYTES) as f64,
                 );
             }
             m.gauge_set(
@@ -214,7 +220,7 @@ impl CounterStages for SupermerStages {
         }
     }
 
-    fn item_instances(&self, ctx: &DriverCtx, item: &(u64, u8)) -> u64 {
+    fn item_instances(&self, ctx: &DriverCtx, item: &(K, u8)) -> u64 {
         // Exactly the extraction formula below: a supermer of `len` bases
         // yields `len - k + 1` k-mers (zero if shorter than k).
         (item.1 as u64).saturating_sub(ctx.cfg.k as u64 - 1)
@@ -222,21 +228,22 @@ impl CounterStages for SupermerStages {
 
     // ── Phase 2: exchange supermers + lengths (Algorithm 2) ───────────
     // Two collectives per round: the packed words, then the length bytes
-    // (8 B + 1 B = the 9 wire bytes per supermer). Hidden compute, when
-    // present, overlaps the words collective — the bulk of the volume.
+    // (word + 1 B = the 9 or 17 wire bytes per supermer). Hidden compute,
+    // when present, overlaps the words collective — the bulk of the
+    // volume.
     fn exchange_round(
         &self,
         world: &mut BspWorld,
-        round: Vec<Vec<Vec<(u64, u8)>>>,
+        round: Vec<Vec<Vec<(K, u8)>>>,
         hidden: Option<&[SimTime]>,
-    ) -> RoundRecv<(u64, u8)> {
-        let mut word_round: Vec<Vec<Vec<u64>>> = Vec::with_capacity(round.len());
+    ) -> RoundRecv<(K, u8)> {
+        let mut word_round: Vec<Vec<Vec<K>>> = Vec::with_capacity(round.len());
         let mut len_round: Vec<Vec<Vec<u8>>> = Vec::with_capacity(round.len());
         for row in round {
             let mut wrow = Vec::with_capacity(row.len());
             let mut lrow = Vec::with_capacity(row.len());
             for payload in row {
-                let (w, l): (Vec<u64>, Vec<u8>) = payload.into_iter().unzip();
+                let (w, l): (Vec<K>, Vec<u8>) = payload.into_iter().unzip();
                 wrow.push(w);
                 lrow.push(l);
             }
@@ -274,7 +281,7 @@ impl CounterStages for SupermerStages {
         staging(
             &device,
             ctx.rc,
-            DataVolume::from_bytes(received_items * Supermer::WIRE_BYTES),
+            DataVolume::from_bytes(received_items * K::SUPERMER_WIRE_BYTES),
         )
     }
 
@@ -284,26 +291,24 @@ impl CounterStages for SupermerStages {
         ctx: &DriverCtx,
         _rank: usize,
         expected_instances: u64,
-    ) -> DeviceRoundCounter {
+    ) -> DeviceRoundCounter<K> {
         DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
     }
 
     fn count_round(
         &self,
         ctx: &DriverCtx,
-        counter: &mut DeviceRoundCounter,
-        items: Vec<(u64, u8)>,
+        counter: &mut DeviceRoundCounter<K>,
+        items: Vec<(K, u8)>,
     ) -> SimTime {
         let cfg = &ctx.cfg;
-        let mask = Kmer::mask(cfg.k);
         // Device-side extraction, represented functionally by this flatten;
         // its cost is the extract surcharge added to the count kernel.
         let mut kmers = Vec::new();
         for &(word, len) in &items {
             let n = (len as usize).saturating_sub(cfg.k - 1);
             for i in 0..n {
-                let shift = 2 * (len as usize - cfg.k - i);
-                kmers.push((word >> shift) & mask);
+                kmers.push(word.subword(len as usize, i, cfg.k));
             }
         }
         let tuning = ctx.rc.gpu_tuning;
@@ -313,19 +318,36 @@ impl CounterStages for SupermerStages {
         )
     }
 
-    fn finish(&self, ctx: &DriverCtx, rank: usize, counter: DeviceRoundCounter) -> RankCountResult {
+    fn finish(
+        &self,
+        ctx: &DriverCtx,
+        rank: usize,
+        counter: DeviceRoundCounter<K>,
+    ) -> RankCountResult<K> {
         counter.finish(&ctx.metrics, rank)
     }
 }
 
-/// Runs the GPU supermer counter.
+/// Runs the GPU supermer counter at the narrow (`u64`) key width.
 pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
+    run_gpu_supermer_typed::<u64>(reads, rc)
+}
+
+/// Runs the GPU supermer counter at an explicit key width.
+pub fn run_gpu_supermer_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
     assert!(
         !rc.counting.canonical,
         "canonical counting is incompatible with minimizer routing of raw supermers; \
          use the k-mer pipelines for canonical mode"
     );
-    run_staged(&mut SupermerStages { assignment: None }, reads, rc)
+    run_staged(
+        &mut SupermerStages::<K> {
+            assignment: None,
+            _key: PhantomData,
+        },
+        reads,
+        rc,
+    )
 }
 
 #[cfg(test)]

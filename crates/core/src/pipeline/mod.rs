@@ -13,13 +13,17 @@ pub mod gpu_supermer;
 
 use crate::config::{ConfigError, Mode, RunConfig};
 use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
+use crate::table::TableKey;
+use crate::width::PackedKmer;
 use dedukt_dna::spectrum::Spectrum;
 use dedukt_dna::ReadSet;
 use dedukt_sim::{Rate, SimTime};
 
-/// Everything a pipeline run reports.
+/// Everything a pipeline run reports, generic over the packed key width
+/// (`u64` for the paper's k ≤ 31 regime, `u128` for wide k ≤ 63 — only
+/// the optional per-rank tables carry the key type).
 #[derive(Clone, Debug)]
-pub struct RunReport {
+pub struct RunReport<K: TableKey = u64> {
     /// Which counter ran.
     pub mode: Mode,
     /// Nodes simulated.
@@ -44,7 +48,7 @@ pub struct RunReport {
     /// Merged k-mer spectrum, if requested.
     pub spectrum: Option<Spectrum>,
     /// Per-rank `(kmer, count)` tables, if requested (verification).
-    pub tables: Option<Vec<Vec<(u64, u32)>>>,
+    pub tables: Option<Vec<Vec<(K, u32)>>>,
     /// Per-rank phase timeline, if requested (Chrome trace-event ready).
     pub trace: Option<Vec<dedukt_sim::TraceEvent>>,
     /// Cumulative per-rank exchange-byte samples, if a trace was
@@ -56,15 +60,16 @@ pub struct RunReport {
     pub metrics: Option<dedukt_sim::MetricsSnapshot>,
 }
 
-impl RunReport {
+impl<K: TableKey> RunReport<K> {
     /// End-to-end simulated time (excl. I/O): the sum of the phase bars,
     /// matching how the paper's stacked breakdowns read.
     pub fn total_time(&self) -> SimTime {
         self.phases.total()
     }
 
-    /// Overall speedup of this run relative to `baseline`.
-    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+    /// Overall speedup of this run relative to `baseline` (which may have
+    /// run at a different key width).
+    pub fn speedup_over<K2: TableKey>(&self, baseline: &RunReport<K2>) -> f64 {
         baseline.total_time() / self.total_time()
     }
 
@@ -83,38 +88,50 @@ impl RunReport {
 /// functions remain panicking entry points for callers that have already
 /// validated.
 pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, ConfigError> {
-    rc.validate()?;
+    run_typed::<u64>(reads, rc)
+}
+
+/// [`run`] at an explicit packed key width: `u64` serves k ≤ 31 (and is
+/// exactly [`run`]), `u128` serves wide k ≤ 63. All three modes, round
+/// splitting, overlap, metrics, and tracing behave identically at either
+/// width; only the wire bytes per item (and hence exchange volumes and
+/// simulated times) differ.
+pub fn run_typed<K: PackedKmer>(
+    reads: &ReadSet,
+    rc: &RunConfig,
+) -> Result<RunReport<K>, ConfigError> {
+    rc.validate_for_width(K::MAX_COUNTING_K, K::MAX_SUPERMER_BASES)?;
     Ok(match rc.mode {
-        Mode::CpuBaseline => cpu::run_cpu(reads, rc),
-        Mode::GpuKmer => gpu_kmer::run_gpu_kmer(reads, rc),
-        Mode::GpuSupermer => gpu_supermer::run_gpu_supermer(reads, rc),
+        Mode::CpuBaseline => cpu::run_cpu_typed::<K>(reads, rc),
+        Mode::GpuKmer => gpu_kmer::run_gpu_kmer_typed::<K>(reads, rc),
+        Mode::GpuSupermer => gpu_supermer::run_gpu_supermer_typed::<K>(reads, rc),
     })
 }
 
 /// Shared post-processing: assemble the report pieces every pipeline
 /// produces the same way.
-pub(crate) struct RankCountResult {
+pub(crate) struct RankCountResult<K: TableKey = u64> {
     /// `(kmer, count)` pairs of this rank's table.
-    pub entries: Vec<(u64, u32)>,
+    pub entries: Vec<(K, u32)>,
     /// k-mer instances this rank counted.
     pub instances: u64,
 }
 
 /// `(load, total, distinct, spectrum, tables)` — the report pieces in
 /// the order [`RunReport`] consumes them.
-pub(crate) type AssembledCounts = (
+pub(crate) type AssembledCounts<K> = (
     LoadSummary,
     u64,
     u64,
     Option<Spectrum>,
-    Option<Vec<Vec<(u64, u32)>>>,
+    Option<Vec<Vec<(K, u32)>>>,
 );
 
-pub(crate) fn assemble_counts(
-    rank_results: Vec<RankCountResult>,
+pub(crate) fn assemble_counts<K: TableKey>(
+    rank_results: Vec<RankCountResult<K>>,
     collect_spectrum: bool,
     collect_tables: bool,
-) -> AssembledCounts {
+) -> AssembledCounts<K> {
     let kmers_per_rank: Vec<u64> = rank_results.iter().map(|r| r.instances).collect();
     let total: u64 = kmers_per_rank.iter().sum();
     let distinct: u64 = rank_results.iter().map(|r| r.entries.len() as u64).sum();

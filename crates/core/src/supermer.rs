@@ -18,30 +18,37 @@
 //! the supermer's minimizer.
 
 use crate::minimizer::MinimizerScheme;
-use dedukt_dna::kmer::Kmer;
+use dedukt_dna::kmer::KmerWord;
 use dedukt_dna::Encoding;
 
-/// A packed supermer: at most 32 bases in one 64-bit word (MSB-first, like
-/// [`Kmer`]) plus its base length and the shared minimizer.
+/// A packed supermer, generic over its word width: at most
+/// [`KmerWord::MAX_K`] bases in one word (MSB-first, like
+/// [`dedukt_dna::kmer::Kmer`]) plus its base length and the shared
+/// minimizer.
 ///
-/// On the wire a supermer costs `8 + 1` bytes: the packed word and one
+/// On the wire a supermer costs `WORD_BYTES + 1` bytes — 9 for the
+/// narrow `u64` width, 17 for wide `u128` — the packed word and one
 /// length byte ("this approach requires an extra byte of communication to
 /// identify the length of each supermer", §V-D). The minimizer is *not*
 /// transmitted — the receiver only needs the bases.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Supermer {
+pub struct SupermerW<W: KmerWord> {
     /// Packed bases, MSB-first, right-aligned.
-    pub word: u64,
-    /// Number of bases (k ..= window + k − 1 ≤ 32).
+    pub word: W,
+    /// Number of bases (k ..= window + k − 1 ≤ `W::MAX_K`).
     pub len: u8,
-    /// The packed m-mer word every constituent k-mer minimizes to.
+    /// The packed m-mer word every constituent k-mer minimizes to
+    /// (always a `u64`: m ≤ 31 at either width).
     pub minimizer: u64,
 }
 
-impl Supermer {
+/// The narrow (k ≤ 31) supermer the paper's pipelines exchange.
+pub type Supermer = SupermerW<u64>;
+
+impl<W: KmerWord> SupermerW<W> {
     /// Bytes this supermer occupies on the wire (packed word + length
-    /// byte).
-    pub const WIRE_BYTES: u64 = 9;
+    /// byte): 9 narrow, 17 wide.
+    pub const WIRE_BYTES: u64 = W::WORD_BYTES as u64 + 1;
 
     /// Number of k-mers packed inside, for k-mer length `k`.
     #[inline]
@@ -51,26 +58,19 @@ impl Supermer {
 
     /// Extracts the `i`-th constituent k-mer word (0-based from the left).
     #[inline]
-    pub fn kmer_at(&self, i: usize, k: usize) -> u64 {
+    pub fn kmer_at(&self, i: usize, k: usize) -> W {
         debug_assert!(i + k <= self.len as usize);
-        let shift = 2 * (self.len as usize - k - i);
-        (self.word >> shift) & Kmer::mask(k)
+        self.word.subword(self.len as usize, i, k)
     }
 
     /// Iterates all constituent k-mer words.
-    pub fn kmers(&self, k: usize) -> impl Iterator<Item = u64> + '_ {
+    pub fn kmers(&self, k: usize) -> impl Iterator<Item = W> + '_ {
         (0..self.num_kmers(k)).map(move |i| self.kmer_at(i, k))
     }
 
     /// Decodes the bases back to codes under `encoding`.
     pub fn codes(&self, encoding: Encoding) -> Vec<u8> {
-        let n = self.len as usize;
-        (0..n)
-            .map(|i| {
-                let shift = 2 * (n - 1 - i);
-                encoding.decode(((self.word >> shift) & 3) as u8)
-            })
-            .collect()
+        self.word.word_codes(self.len as usize, encoding)
     }
 }
 
@@ -91,28 +91,35 @@ impl RefSupermer {
     }
 }
 
-/// Packs `codes[start..start+len]` into a u64 word under `encoding`
-/// (MSB-first). `len` must be ≤ 32.
+/// Packs `codes[start..start+len]` into a word under `encoding`
+/// (MSB-first). `len` must be ≤ `W::MAX_K`.
 #[inline]
-fn pack_span(codes: &[u8], start: usize, len: usize, encoding: Encoding) -> u64 {
-    debug_assert!(len <= 32);
-    let mut w = 0u64;
-    for &c in &codes[start..start + len] {
-        w = (w << 2) | encoding.encode(c) as u64;
-    }
-    w
+fn pack_span<W: KmerWord>(codes: &[u8], start: usize, len: usize, encoding: Encoding) -> W {
+    W::pack_codes(&codes[start..start + len], encoding)
 }
 
 /// Reference builder: one sequential scan, unbounded supermer length.
 ///
 /// Returns the supermers in read order. Yields nothing for reads shorter
-/// than k.
+/// than k. Narrow (k ≤ 32) shorthand for [`build_supermers_reference_w`].
 pub fn build_supermers_reference(
     codes: &[u8],
     k: usize,
     scheme: &MinimizerScheme,
 ) -> Vec<RefSupermer> {
-    assert!(scheme.m < k && k <= 32);
+    build_supermers_reference_w::<u64>(codes, k, scheme)
+}
+
+/// Width-generic reference builder: the same sequential scan with
+/// minimizers computed over `W`-packed k-mer words, so it serves k up to
+/// `W::MAX_K`. [`RefSupermer`] itself is width-independent (it carries
+/// codes, not a packed word).
+pub fn build_supermers_reference_w<W: KmerWord>(
+    codes: &[u8],
+    k: usize,
+    scheme: &MinimizerScheme,
+) -> Vec<RefSupermer> {
+    assert!(scheme.m < k && k <= W::MAX_K);
     if codes.len() < k {
         return Vec::new();
     }
@@ -120,10 +127,12 @@ pub fn build_supermers_reference(
     let nkmers = codes.len() - k + 1;
     let mut out = Vec::new();
     let mut smer_start = 0usize;
-    let mut prev_min = scheme.minimizer_of(pack_span(codes, 0, k, enc), k).word;
+    let mut prev_min = scheme
+        .minimizer_of_w(pack_span::<W>(codes, 0, k, enc), k)
+        .word;
     for pos in 1..nkmers {
-        let kw = pack_span(codes, pos, k, enc);
-        let mz = scheme.minimizer_of(kw, k).word;
+        let kw = pack_span::<W>(codes, pos, k, enc);
+        let mz = scheme.minimizer_of_w(kw, k).word;
         if mz != prev_min {
             out.push(RefSupermer {
                 codes: codes[smer_start..pos + k - 1].to_vec(),
@@ -151,7 +160,8 @@ pub fn num_windows(len: usize, k: usize, window: usize) -> usize {
 
 /// Algorithm 2, one window: builds the supermers of k-mer positions
 /// `[wstart, min(wstart + window, nkmers))` of the read. This is exactly
-/// the work of one GPU thread in the windowed kernel (§IV-B).
+/// the work of one GPU thread in the windowed kernel (§IV-B). Narrow
+/// shorthand for [`supermers_of_window_w`].
 pub fn supermers_of_window(
     codes: &[u8],
     wstart: usize,
@@ -160,16 +170,32 @@ pub fn supermers_of_window(
     scheme: &MinimizerScheme,
     out: &mut Vec<Supermer>,
 ) {
-    debug_assert!(scheme.m < k && k <= 32);
-    debug_assert!(window + k - 1 <= 32, "supermer must fit one u64");
+    supermers_of_window_w::<u64>(codes, wstart, k, window, scheme, out)
+}
+
+/// Width-generic Algorithm 2 window builder: identical control flow at
+/// either word width; supermers are bounded by `window + k - 1 ≤
+/// W::MAX_K` bases so each packs into one `W` word.
+pub fn supermers_of_window_w<W: KmerWord>(
+    codes: &[u8],
+    wstart: usize,
+    k: usize,
+    window: usize,
+    scheme: &MinimizerScheme,
+    out: &mut Vec<SupermerW<W>>,
+) {
+    debug_assert!(scheme.m < k && k <= W::MAX_K);
+    debug_assert!(window + k - 1 <= W::MAX_K, "supermer must fit one word");
     let enc = scheme.encoding;
+    let kmask = W::kmer_mask(k);
+    let full = W::kmer_mask(W::MAX_K);
     let nkmers = codes.len().saturating_sub(k - 1);
     debug_assert!(wstart < nkmers);
     let wend = (wstart + window).min(nkmers);
 
     // First k-mer of the window starts a fresh supermer (Line 4-10).
-    let mut kw = pack_span(codes, wstart, k, enc);
-    let mut prev = scheme.minimizer_of(kw, k).word;
+    let mut kw = pack_span::<W>(codes, wstart, k, enc);
+    let mut prev = scheme.minimizer_of_w(kw, k).word;
     let mut smer_word = kw;
     let mut smer_len = k;
     let mut smer_min = prev;
@@ -177,11 +203,11 @@ pub fn supermers_of_window(
     // Remaining k-mers extend or flush (Line 11-22).
     for pos in wstart + 1..wend {
         // Roll the k-mer window by one base.
-        let next_code = codes[pos + k - 1];
-        kw = ((kw << 2) | enc.encode(next_code) as u64) & Kmer::mask(k);
-        let mz = scheme.minimizer_of(kw, k).word;
+        let next_sym = enc.encode(codes[pos + k - 1]);
+        kw = kw.roll_sym(next_sym, kmask);
+        let mz = scheme.minimizer_of_w(kw, k).word;
         if mz != prev {
-            out.push(Supermer {
+            out.push(SupermerW {
                 word: smer_word,
                 len: smer_len as u8,
                 minimizer: smer_min,
@@ -191,30 +217,42 @@ pub fn supermers_of_window(
             smer_min = mz;
         } else {
             // ADDCHAR: append the new base to the supermer (Line 20-21).
-            smer_word = (smer_word << 2) | enc.encode(next_code) as u64;
+            // The full-width mask never clips: len ≤ window + k - 1.
+            smer_word = smer_word.roll_sym(next_sym, full);
             smer_len += 1;
         }
         prev = mz;
     }
-    out.push(Supermer {
+    out.push(SupermerW {
         word: smer_word,
         len: smer_len as u8,
         minimizer: smer_min,
     });
 }
 
-/// Algorithm 2 over a whole read: all windows in order.
+/// Algorithm 2 over a whole read: all windows in order. Narrow shorthand
+/// for [`build_supermers_windowed_w`].
 pub fn build_supermers_windowed(
     codes: &[u8],
     k: usize,
     window: usize,
     scheme: &MinimizerScheme,
 ) -> Vec<Supermer> {
+    build_supermers_windowed_w::<u64>(codes, k, window, scheme)
+}
+
+/// Width-generic Algorithm 2 over a whole read.
+pub fn build_supermers_windowed_w<W: KmerWord>(
+    codes: &[u8],
+    k: usize,
+    window: usize,
+    scheme: &MinimizerScheme,
+) -> Vec<SupermerW<W>> {
     let mut out = Vec::new();
     let nkmers = codes.len().saturating_sub(k - 1);
     let mut w = 0;
     while w < nkmers {
-        supermers_of_window(codes, w, k, window, scheme, &mut out);
+        supermers_of_window_w(codes, w, k, window, scheme, &mut out);
         w += window;
     }
     out
@@ -384,7 +422,45 @@ mod tests {
 
     #[test]
     fn wire_bytes_constant_matches_paper() {
-        // 8-byte packed word + 1 length byte (§V-D).
+        // 8-byte packed word + 1 length byte (§V-D); 16 + 1 wide.
         assert_eq!(Supermer::WIRE_BYTES, 9);
+        assert_eq!(SupermerW::<u128>::WIRE_BYTES, 17);
+    }
+
+    #[test]
+    fn wide_windowed_kmers_roundtrip() {
+        // k = 41 > 32 forces the u128 path end to end.
+        let read: Vec<u8> = (0..170).map(|i| ((i * 7 + i / 5) % 4) as u8).collect();
+        let k = 41;
+        let window = 24; // window + k - 1 = 64 bases, exactly one u128
+        let s = MinimizerScheme {
+            encoding: Encoding::PaperRandom,
+            ordering: OrderingKind::EncodedLexicographic,
+            m: 11,
+        };
+        let smers = build_supermers_windowed_w::<u128>(&read, k, window, &s);
+        let mut got: Vec<u128> = Vec::new();
+        for sm in &smers {
+            assert!((k..=window + k - 1).contains(&(sm.len as usize)));
+            got.extend(sm.kmers(k));
+            // Every constituent k-mer shares the supermer's minimizer.
+            for kw in sm.kmers(k) {
+                assert_eq!(s.minimizer_of_w(kw, k).word, sm.minimizer);
+            }
+        }
+        got.sort_unstable();
+        let mut expect: Vec<u128> = dedukt_dna::kmer::kmer_words128(&read, k, s.encoding).collect();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn wide_reference_builder_matches_narrow_at_small_k() {
+        // At k ≤ 32 the width parameter must be invisible.
+        let read = codes(b"GTCATCGCACTTACTGATGCCAGTTGCAACGGTA");
+        let s = lex_scheme(4);
+        let narrow = build_supermers_reference(&read, 8, &s);
+        let wide = build_supermers_reference_w::<u128>(&read, 8, &s);
+        assert_eq!(narrow, wide);
     }
 }

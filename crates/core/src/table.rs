@@ -14,8 +14,9 @@
 //!   concurrently executing thread blocks.
 
 use crate::config::CountingConfig;
+use crate::width::PackedKmer;
 use dedukt_dna::spectrum::Spectrum;
-use dedukt_gpu::{AtomicBuffer, AtomicBuffer32, Device, OomError};
+use dedukt_gpu::{AtomicBuffer32, Device, OomError};
 use dedukt_hash::Murmur3x64;
 
 /// The empty-slot sentinel. k ≤ 31 keeps every real packed k-mer below it.
@@ -198,41 +199,40 @@ pub struct InsertResult {
 
 /// A fixed-capacity count table over device atomics, safe for concurrent
 /// insertion from many thread blocks — the GPU counting kernel's data
-/// structure (§III-B3).
+/// structure (§III-B3). Generic over the packed key width (`u64` by
+/// default; `u128` for wide k).
 #[derive(Debug)]
-pub struct DeviceCountTable {
-    keys: AtomicBuffer,
+pub struct DeviceCountTable<K: PackedKmer = u64> {
+    keys: K::DeviceSlots,
     counts: AtomicBuffer32,
     mask: usize,
+    capacity: usize,
     hasher: Murmur3x64,
 }
 
-impl DeviceCountTable {
+impl<K: PackedKmer> DeviceCountTable<K> {
     /// Allocates a table with `capacity` slots (rounded up to a power of
-    /// two) on `device`.
+    /// two) on `device`, keys initialised to the empty sentinel.
     pub fn new(
         device: &Device,
         capacity: usize,
         hash_seed: u64,
-    ) -> Result<DeviceCountTable, OomError> {
+    ) -> Result<DeviceCountTable<K>, OomError> {
         let cap = capacity.next_power_of_two().max(16);
-        let keys = device.alloc_atomic(cap)?;
+        let keys = K::alloc_device_slots(device, cap)?;
         let counts = device.alloc_atomic32(cap)?;
-        // Initialise keys to the empty sentinel.
-        for i in 0..cap {
-            keys.store(i, EMPTY_KEY);
-        }
         Ok(DeviceCountTable {
             keys,
             counts,
             mask: cap - 1,
+            capacity: cap,
             hasher: Murmur3x64::new(hash_seed),
         })
     }
 
     /// Slot capacity.
     pub fn capacity(&self) -> usize {
-        self.keys.len()
+        self.capacity
     }
 
     /// Inserts one k-mer instance from any thread. Returns the probe-step
@@ -243,23 +243,23 @@ impl DeviceCountTable {
     /// `atomicAdd` on the count; linear probing on collision. Panics if
     /// the table is full (the pipelines size tables from the exact
     /// received counts, so this indicates a bug, not data).
-    pub fn insert(&self, kmer: u64) -> InsertResult {
-        debug_assert_ne!(kmer, EMPTY_KEY, "k-mer collides with empty sentinel");
-        let mut slot = (self.hasher.hash_u64(kmer) as usize) & self.mask;
+    pub fn insert(&self, kmer: K) -> InsertResult {
+        debug_assert_ne!(kmer, K::EMPTY, "k-mer collides with empty sentinel");
+        let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
         let mut steps = 1u32;
         loop {
-            let existing = self.keys.load(slot);
+            let existing = K::slot_load(&self.keys, slot);
             if existing == kmer {
                 self.counts.fetch_add(slot, 1);
                 return InsertResult { steps, new: false };
             }
-            if existing == EMPTY_KEY {
-                let prev = self.keys.compare_and_swap(slot, EMPTY_KEY, kmer);
-                if prev == EMPTY_KEY || prev == kmer {
+            if existing == K::EMPTY {
+                let prev = K::slot_cas(&self.keys, slot, K::EMPTY, kmer);
+                if prev == K::EMPTY || prev == kmer {
                     self.counts.fetch_add(slot, 1);
                     return InsertResult {
                         steps,
-                        new: prev == EMPTY_KEY,
+                        new: prev == K::EMPTY,
                     };
                 }
                 // Another thread claimed the slot for a different k-mer;
@@ -276,15 +276,15 @@ impl DeviceCountTable {
     }
 
     /// The count of `kmer`, or `None` (quiescent reads only).
-    pub fn get(&self, kmer: u64) -> Option<u32> {
-        let mut slot = (self.hasher.hash_u64(kmer) as usize) & self.mask;
+    pub fn get(&self, kmer: K) -> Option<u32> {
+        let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
         let mut steps = 0usize;
         loop {
-            let k = self.keys.load(slot);
+            let k = K::slot_load(&self.keys, slot);
             if k == kmer {
                 return Some(self.counts.load(slot));
             }
-            if k == EMPTY_KEY || steps >= self.capacity() {
+            if k == K::EMPTY || steps >= self.capacity() {
                 return None;
             }
             slot = (slot + 1) & self.mask;
@@ -294,21 +294,20 @@ impl DeviceCountTable {
 
     /// Copies the table to the host as `(kmer, count)` pairs
     /// (quiescent reads only).
-    pub fn to_host(&self) -> Vec<(u64, u32)> {
-        let keys = self.keys.snapshot();
+    pub fn to_host(&self) -> Vec<(K, u32)> {
+        let keys = K::slots_snapshot(&self.keys);
         let counts = self.counts.snapshot();
         keys.into_iter()
             .zip(counts)
-            .filter(|&(k, _)| k != EMPTY_KEY)
+            .filter(|&(k, _)| k != K::EMPTY)
             .collect()
     }
 
     /// Number of distinct keys (quiescent reads only).
     pub fn distinct(&self) -> usize {
-        self.keys
-            .snapshot()
+        K::slots_snapshot(&self.keys)
             .iter()
-            .filter(|&&k| k != EMPTY_KEY)
+            .filter(|&&k| k != K::EMPTY)
             .count()
     }
 }
@@ -431,6 +430,29 @@ mod tests {
     }
 
     #[test]
+    fn wide_device_table_counts_like_wide_host_table() {
+        let device = Device::v100();
+        let t: DeviceCountTable<u128> = DeviceCountTable::new(&device, 256, 7).unwrap();
+        let mut h: HostCountTable<u128> = HostCountTable::with_expected(128, 0.7, 7);
+        for i in 0..128u128 {
+            // Keys above the u64 range so the wide hash path is exercised.
+            let key = (i << 64) | (i * 3);
+            let reps = i % 7 + 1;
+            for _ in 0..reps {
+                t.insert(key);
+                h.insert(key);
+            }
+        }
+        for i in 0..128u128 {
+            let key = (i << 64) | (i * 3);
+            assert_eq!(t.get(key), h.get(key), "key {i}");
+        }
+        assert_eq!(t.distinct(), h.distinct());
+        let total: u64 = t.to_host().iter().map(|&(_, c)| c as u64).sum();
+        assert_eq!(total, h.total());
+    }
+
+    #[test]
     #[should_panic(expected = "full")]
     fn device_table_full_panics() {
         let device = Device::v100();
@@ -443,7 +465,7 @@ mod tests {
     #[test]
     fn device_probe_steps_and_newness_reported() {
         let device = Device::v100();
-        let t = DeviceCountTable::new(&device, 64, 13).unwrap();
+        let t = DeviceCountTable::<u64>::new(&device, 64, 13).unwrap();
         let first = t.insert(5);
         assert_eq!(
             first,

@@ -7,23 +7,30 @@
 //! functional half trustworthy.
 
 use crate::config::CountingConfig;
-use dedukt_dna::kmer::{kmer_words, Kmer};
+use crate::width::PackedKmer;
+use dedukt_dna::kmer::kmer_words_w;
 use dedukt_dna::{Read, ReadSet};
 use std::collections::HashMap;
 
-/// Counts all k-mers of `reads` under `cfg` in one map.
+/// Counts all k-mers of `reads` under `cfg` in one map (narrow, k ≤ 31).
 pub fn reference_counts(reads: &ReadSet, cfg: &CountingConfig) -> HashMap<u64, u64> {
-    let mut map: HashMap<u64, u64> = HashMap::new();
+    reference_counts_w::<u64>(reads, cfg)
+}
+
+/// Width-generic oracle: counts all k-mers at the `K` key width, serving
+/// k up to `K::MAX_COUNTING_K`.
+pub fn reference_counts_w<K: PackedKmer>(reads: &ReadSet, cfg: &CountingConfig) -> HashMap<K, u64> {
+    let mut map: HashMap<K, u64> = HashMap::new();
     for read in &reads.reads {
         count_read(read, cfg, &mut map);
     }
     map
 }
 
-fn count_read(read: &Read, cfg: &CountingConfig, map: &mut HashMap<u64, u64>) {
-    for w in kmer_words(&read.codes, cfg.k, cfg.encoding) {
+fn count_read<K: PackedKmer>(read: &Read, cfg: &CountingConfig, map: &mut HashMap<K, u64>) {
+    for w in kmer_words_w::<K>(&read.codes, cfg.k, cfg.encoding) {
         let key = if cfg.canonical {
-            Kmer::from_word(w, cfg.k).canonical().word()
+            w.canonical_word(cfg.k)
         } else {
             w
         };
@@ -37,20 +44,20 @@ pub fn reference_total(reads: &ReadSet, k: usize) -> u64 {
 }
 
 /// Compares a distributed result (per-rank `(kmer, count)` lists over
-/// disjoint key spaces) against the oracle. Returns `Ok(())` or a
-/// description of the first mismatch.
-pub fn check_against_reference(
+/// disjoint key spaces) against the oracle, at either key width. Returns
+/// `Ok(())` or a description of the first mismatch.
+pub fn check_against_reference<K: PackedKmer>(
     reads: &ReadSet,
     cfg: &CountingConfig,
-    per_rank: &[Vec<(u64, u32)>],
+    per_rank: &[Vec<(K, u32)>],
 ) -> Result<(), String> {
-    let oracle = reference_counts(reads, cfg);
-    let mut seen: HashMap<u64, u64> = HashMap::new();
+    let oracle = reference_counts_w::<K>(reads, cfg);
+    let mut seen: HashMap<K, u64> = HashMap::new();
     for (rank, entries) in per_rank.iter().enumerate() {
         for &(kmer, count) in entries {
             if let Some(prev) = seen.insert(kmer, count as u64) {
                 return Err(format!(
-                    "k-mer {kmer:#x} counted on two ranks (rank {rank}; prev count {prev})"
+                    "k-mer {kmer:?} counted on two ranks (rank {rank}; prev count {prev})"
                 ));
             }
         }
@@ -67,10 +74,10 @@ pub fn check_against_reference(
             Some(&got) if got == expect => {}
             Some(&got) => {
                 return Err(format!(
-                    "count mismatch for {kmer:#x}: got {got}, oracle {expect}"
+                    "count mismatch for {kmer:?}: got {got}, oracle {expect}"
                 ))
             }
-            None => return Err(format!("k-mer {kmer:#x} missing from distributed result")),
+            None => return Err(format!("k-mer {kmer:?} missing from distributed result")),
         }
     }
     Ok(())

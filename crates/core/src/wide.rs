@@ -1,504 +1,84 @@
-//! Wide k-mers: k up to 63 (extension).
+//! The wide-k oracle: k up to 63 (extension).
 //!
 //! The paper fixes k = 17, but third-generation workflows routinely use
-//! larger k; and §IV-A notes that supermer partitioning "is independent of
-//! the GPU implementation and can be used in other distributed-memory
-//! k-mer counters". This module demonstrates both: `u128`-packed k-mers
-//! (k ≤ 63, keeping the all-ones empty sentinel free), a wide windowed
-//! supermer builder (supermers pack into one `u128`, so
-//! `window + k − 1 ≤ 64`), and two CPU distributed pipelines — plain
-//! k-mer exchange and supermer exchange — built on the same BSP engine
-//! and verified against a wide oracle.
+//! larger k. Wide counting itself is no longer special-cased: all three
+//! pipelines run at the `u128` key width through
+//! [`crate::pipeline::run_typed`], with the packing bounds enforced by
+//! [`crate::config::RunConfig::validate_for_width`]. What remains here is
+//! a deliberately independent single-threaded reference counter over
+//! `u128`-packed k-mers, used to cross-check the generic pipelines (and
+//! the generic oracle in [`crate::verify`]) at the wide width.
 
-use crate::config::{CountingConfig, CpuCoreModel};
-use crate::minimizer::MinimizerScheme;
-use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
-use crate::table::HostCountTable;
+use crate::config::CountingConfig;
 use dedukt_dna::kmer::{kmer_words128, Kmer128};
-use dedukt_dna::{Encoding, ReadSet};
-use dedukt_hash::{owner_rank_mult_shift, Murmur3x64};
-use dedukt_net::cost::Network;
-use dedukt_net::BspWorld;
+use dedukt_dna::ReadSet;
 use std::collections::HashMap;
 
-/// Parameters for wide counting. Mirrors [`CountingConfig`] with the wide
-/// packing constraints.
-#[derive(Clone, Copy, Debug)]
-pub struct WideConfig {
-    /// k-mer length, 32..=63.
-    pub k: usize,
-    /// Minimizer length, < 32 (minimizer words stay `u64`).
-    pub m: usize,
-    /// Supermer window in k-mer positions; `window + k − 1 ≤ 64`.
-    pub window: usize,
-    /// Base encoding.
-    pub encoding: Encoding,
-    /// Routing hash seed.
-    pub hash_seed: u64,
-    /// Table load factor.
-    pub table_load_factor: f64,
-}
-
-impl Default for WideConfig {
-    /// k = 41 (a common long-read choice), m = 11, window = 24
-    /// (24 + 40 = 64 bases: exactly one `u128` per supermer).
-    fn default() -> Self {
-        WideConfig {
-            k: 41,
-            m: 11,
-            window: 24,
-            encoding: Encoding::PaperRandom,
-            hash_seed: 0x7769_6465, // "wide"
-            table_load_factor: 0.7,
-        }
-    }
-}
-
-impl WideConfig {
-    /// Validates the wide packing constraints.
-    pub fn validate(&self) -> Result<(), String> {
-        if !(32..=63).contains(&self.k) {
-            return Err(format!("wide k = {} outside 32..=63", self.k));
-        }
-        if self.m == 0 || self.m >= 32 || self.m >= self.k {
-            return Err(format!(
-                "wide m = {} must satisfy 0 < m < min(k, 32)",
-                self.m
-            ));
-        }
-        if self.window == 0 || self.window + self.k - 1 > 64 {
-            return Err(format!(
-                "window {} + k {} - 1 exceeds one u128 (64 bases)",
-                self.window, self.k
-            ));
-        }
-        if !(0.1..=0.95).contains(&self.table_load_factor) {
-            return Err("load factor unreasonable".into());
-        }
-        Ok(())
-    }
-
-    fn scheme(&self) -> MinimizerScheme {
-        MinimizerScheme {
-            encoding: self.encoding,
-            ordering: crate::minimizer::OrderingKind::EncodedLexicographic,
-            m: self.m,
-        }
-    }
-}
-
-/// The minimizer word of a wide packed k-mer: minimum rank key over all
-/// `k − m + 1` windows (leftmost tie-break), exactly as in the narrow
-/// scan.
-pub fn minimizer_of_wide(scheme: &MinimizerScheme, kmer_word: u128, k: usize) -> u64 {
-    debug_assert!(scheme.m < k && k <= 64);
-    let kmer = Kmer128::from_word(kmer_word, k);
-    let mut best = kmer.submer(0, scheme.m);
-    let mut best_key = scheme.rank_key(best);
-    for pos in 1..=(k - scheme.m) {
-        let w = kmer.submer(pos, scheme.m);
-        let key = scheme.rank_key(w);
-        if key < best_key {
-            best_key = key;
-            best = w;
-        }
-    }
-    best
-}
-
-/// A wide supermer: up to 64 bases in one `u128`, plus length and
-/// minimizer. Wire cost: 16 bytes + 1 length byte.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Supermer128 {
-    /// Packed bases, MSB-first, right-aligned.
-    pub word: u128,
-    /// Number of bases.
-    pub len: u8,
-    /// The shared minimizer word.
-    pub minimizer: u64,
-}
-
-impl Supermer128 {
-    /// Bytes on the wire (packed word + length byte).
-    pub const WIRE_BYTES: u64 = 17;
-
-    /// Number of constituent k-mers.
-    pub fn num_kmers(&self, k: usize) -> usize {
-        (self.len as usize).saturating_sub(k - 1)
-    }
-
-    /// Iterates the constituent wide k-mer words.
-    pub fn kmers(&self, k: usize) -> impl Iterator<Item = u128> + '_ {
-        let len = self.len as usize;
-        let mask = Kmer128::mask(k);
-        (0..self.num_kmers(k)).map(move |i| (self.word >> (2 * (len - k - i))) & mask)
-    }
-}
-
-/// Algorithm 2, one window, wide: the same register-resident extension
-/// loop over `u128` words.
-pub fn wide_supermers_of_window(
-    codes: &[u8],
-    wstart: usize,
-    cfg: &WideConfig,
-    out: &mut Vec<Supermer128>,
-) {
-    let scheme = cfg.scheme();
-    let (k, window, enc) = (cfg.k, cfg.window, cfg.encoding);
-    let nkmers = codes.len().saturating_sub(k - 1);
-    debug_assert!(wstart < nkmers);
-    let wend = (wstart + window).min(nkmers);
-    let mask = Kmer128::mask(k);
-
-    let mut kw = {
-        let mut w = 0u128;
-        for &c in &codes[wstart..wstart + k] {
-            w = (w << 2) | enc.encode(c) as u128;
-        }
-        w
-    };
-    let mut prev = minimizer_of_wide(&scheme, kw, k);
-    let mut smer_word = kw;
-    let mut smer_len = k;
-    let mut smer_min = prev;
-    for pos in wstart + 1..wend {
-        let next = enc.encode(codes[pos + k - 1]) as u128;
-        kw = ((kw << 2) | next) & mask;
-        let mz = minimizer_of_wide(&scheme, kw, k);
-        if mz != prev {
-            out.push(Supermer128 {
-                word: smer_word,
-                len: smer_len as u8,
-                minimizer: smer_min,
-            });
-            smer_word = kw;
-            smer_len = k;
-            smer_min = mz;
-        } else {
-            smer_word = (smer_word << 2) | next;
-            smer_len += 1;
-        }
-        prev = mz;
-    }
-    out.push(Supermer128 {
-        word: smer_word,
-        len: smer_len as u8,
-        minimizer: smer_min,
-    });
-}
-
-/// Wide windowed supermers over a whole read.
-pub fn wide_supermers(codes: &[u8], cfg: &WideConfig) -> Vec<Supermer128> {
-    let mut out = Vec::new();
-    let nkmers = codes.len().saturating_sub(cfg.k - 1);
-    let mut w = 0;
-    while w < nkmers {
-        wide_supermers_of_window(codes, w, cfg, &mut out);
-        w += cfg.window;
-    }
-    out
-}
-
-/// Single-threaded wide oracle.
-pub fn wide_reference_counts(reads: &ReadSet, cfg: &WideConfig) -> HashMap<u128, u64> {
+/// Single-threaded wide oracle: counts all k-mers of `reads` at the
+/// `u128` key width (k in 32..=63; also valid for smaller k). Built
+/// directly on [`Kmer128`] packing, independent of the width-generic
+/// counting stack it verifies.
+pub fn wide_reference_counts(reads: &ReadSet, cfg: &CountingConfig) -> HashMap<u128, u64> {
     let mut map = HashMap::new();
     for read in &reads.reads {
         for w in kmer_words128(&read.codes, cfg.k, cfg.encoding) {
-            *map.entry(w).or_insert(0) += 1;
+            let key = if cfg.canonical {
+                Kmer128::from_word(w, cfg.k).canonical().word()
+            } else {
+                w
+            };
+            *map.entry(key).or_insert(0) += 1;
         }
     }
     map
 }
 
-/// Report from a wide run.
-#[derive(Clone, Debug)]
-pub struct WideRunReport {
-    /// Module times (simulated, per-rank means).
-    pub phases: PhaseBreakdown,
-    /// Exchange accounting (units are k-mers or supermers).
-    pub exchange: ExchangeSummary,
-    /// Per-rank counted loads.
-    pub load: LoadSummary,
-    /// Total instances counted.
-    pub total_kmers: u64,
-    /// Distinct wide k-mers.
-    pub distinct_kmers: u64,
-    /// Per-rank tables.
-    pub tables: Vec<Vec<(u128, u32)>>,
-}
-
-/// Which wide pipeline to run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum WideMode {
-    /// Exchange individual wide k-mers (16 B each).
-    Kmer,
-    /// Exchange wide supermers (17 B each) routed by minimizer — the
-    /// paper's §IV claim of implementation independence, demonstrated on
-    /// a CPU counter.
-    Supermer,
-}
-
-/// Runs a wide CPU counter on `nodes` Summit nodes (42 ranks each).
-pub fn run_cpu_wide(
-    reads: &ReadSet,
-    cfg: &WideConfig,
-    mode: WideMode,
-    nodes: usize,
-    cpu: &CpuCoreModel,
-) -> WideRunReport {
-    cfg.validate().expect("invalid wide config");
-    let net = Network::summit_cpu(nodes);
-    let mut world = BspWorld::new(net);
-    let nranks = world.nranks();
-    let parts = reads.partition_by_bases(nranks);
-    let hasher = Murmur3x64::new(cfg.hash_seed);
-    let _scheme = cfg.scheme();
-
-    // Parse: bucket wide k-mers or supermers by owner.
-    let (buckets, parse_time) = world.compute_step_named("parse", |rank| {
-        let mut out: Vec<Vec<u128>> = vec![Vec::new(); nranks];
-        let mut lens: Vec<Vec<u8>> = vec![Vec::new(); nranks];
-        let mut bases = 0u64;
-        for read in &parts[rank].reads {
-            bases += read.codes.len() as u64;
-            match mode {
-                WideMode::Kmer => {
-                    for w in kmer_words128(&read.codes, cfg.k, cfg.encoding) {
-                        let h = hasher.hash_u128(w);
-                        out[owner_rank_mult_shift(h, nranks)].push(w);
-                    }
-                }
-                WideMode::Supermer => {
-                    for sm in wide_supermers(&read.codes, cfg) {
-                        let dst = owner_rank_mult_shift(hasher.hash_u64(sm.minimizer), nranks);
-                        out[dst].push(sm.word);
-                        lens[dst].push(sm.len);
-                    }
-                }
-            }
-        }
-        // Wide parsing costs ~2x the narrow path per base (two words to
-        // roll, wider hash).
-        let dt = cpu.parse_rate.scaled(0.5).time_for(bases as f64);
-        ((out, lens), dt)
-    });
-
-    let mut word_buckets = Vec::with_capacity(nranks);
-    let mut len_buckets = Vec::with_capacity(nranks);
-    for (w, l) in buckets {
-        word_buckets.push(w);
-        len_buckets.push(l);
-    }
-    let units_sent: u64 = word_buckets
-        .iter()
-        .flat_map(|row| row.iter().map(|v| v.len() as u64))
-        .sum();
-
-    // Exchange: words (16 B) and, for supermers, lengths (1 B).
-    let words_out = world.alltoallv(word_buckets);
-    let mut exchange_time = words_out.times.mean;
-    let lens_recv = if mode == WideMode::Supermer {
-        let lens_out = world.alltoallv(len_buckets);
-        exchange_time += lens_out.times.mean;
-        Some(lens_out.recv)
-    } else {
-        None
-    };
-
-    // Count into wide host tables.
-    let recv = words_out.recv;
-    let (rank_results, count_time) = world.compute_step_named("count", |rank| {
-        let mut kmers: Vec<u128> = Vec::new();
-        match (&lens_recv, mode) {
-            (Some(lens), WideMode::Supermer) => {
-                for (w_src, l_src) in recv[rank].iter().zip(&lens[rank]) {
-                    for (&word, &len) in w_src.iter().zip(l_src) {
-                        let sm = Supermer128 {
-                            word,
-                            len,
-                            minimizer: 0,
-                        };
-                        kmers.extend(sm.kmers(cfg.k));
-                    }
-                }
-            }
-            _ => {
-                for v in &recv[rank] {
-                    kmers.extend_from_slice(v);
-                }
-            }
-        }
-        let mut table: HostCountTable<u128> =
-            HostCountTable::with_expected(kmers.len(), cfg.table_load_factor, cfg.hash_seed ^ 1);
-        for &w in &kmers {
-            table.insert(w);
-        }
-        let dt = cpu.count_rate.scaled(0.5).time_for(kmers.len() as f64);
-        (
-            (
-                table.iter().collect::<Vec<(u128, u32)>>(),
-                kmers.len() as u64,
-            ),
-            dt,
-        )
-    });
-
-    let stats = world.stats();
-    let mut tables = Vec::with_capacity(nranks);
-    let mut loads = Vec::with_capacity(nranks);
-    let mut total = 0u64;
-    let mut distinct = 0u64;
-    for (entries, instances) in rank_results {
-        total += instances;
-        distinct += entries.len() as u64;
-        loads.push(instances);
-        tables.push(entries);
-    }
-    WideRunReport {
-        phases: PhaseBreakdown {
-            parse: parse_time.mean,
-            exchange: exchange_time,
-            count: count_time.mean,
-        },
-        exchange: ExchangeSummary {
-            units: units_sent,
-            bytes: stats.total_bytes,
-            off_node_bytes: stats.off_node_bytes,
-            alltoallv_time: exchange_time,
-            rounds: 1,
-        },
-        load: LoadSummary {
-            kmers_per_rank: loads,
-        },
-        total_kmers: total,
-        distinct_kmers: distinct,
-        tables,
-    }
-}
-
-/// Derives a [`WideConfig`] from a narrow [`CountingConfig`]'s seed and
-/// load factor (convenience for callers already holding one).
-pub fn wide_from(cfg: &CountingConfig, k: usize, m: usize) -> WideConfig {
-    WideConfig {
-        k,
-        m,
-        window: 65 - k,
-        encoding: cfg.encoding,
-        hash_seed: cfg.hash_seed,
-        table_load_factor: cfg.table_load_factor,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::verify::reference_counts_w;
     use dedukt_dna::{Dataset, DatasetId, ScalePreset};
 
     fn reads() -> ReadSet {
         Dataset::new(DatasetId::VVulnificus30x, ScalePreset::Tiny).generate()
     }
 
-    #[test]
-    fn config_validation() {
-        assert!(WideConfig::default().validate().is_ok());
-        let bad = [
-            WideConfig {
-                k: 31,
-                ..Default::default()
-            },
-            WideConfig {
-                k: 64,
-                ..Default::default()
-            },
-            WideConfig {
-                window: 30, // 30 + 40 = 70 > 64
-                ..Default::default()
-            },
-            WideConfig {
-                m: 32,
-                ..Default::default()
-            },
-        ];
-        for c in bad {
-            assert!(c.validate().is_err());
+    fn wide_cfg(k: usize) -> CountingConfig {
+        CountingConfig {
+            k,
+            m: 11,
+            window: 65 - k,
+            ..CountingConfig::default()
         }
     }
 
     #[test]
-    fn wide_supermers_preserve_kmer_multiset() {
-        let cfg = WideConfig::default();
-        for read in reads().reads.iter().take(30) {
-            let mut extracted: Vec<u128> = wide_supermers(&read.codes, &cfg)
-                .iter()
-                .flat_map(|s| s.kmers(cfg.k).collect::<Vec<_>>())
-                .collect();
-            extracted.sort_unstable();
-            let mut direct: Vec<u128> = kmer_words128(&read.codes, cfg.k, cfg.encoding).collect();
-            direct.sort_unstable();
-            assert_eq!(extracted, direct);
-        }
-    }
-
-    #[test]
-    fn wide_supermer_minimizer_invariant() {
-        let cfg = WideConfig::default();
-        let scheme = cfg.scheme();
-        for read in reads().reads.iter().take(10) {
-            for sm in wide_supermers(&read.codes, &cfg) {
-                assert!((cfg.k..=cfg.window + cfg.k - 1).contains(&(sm.len as usize)));
-                for kw in sm.kmers(cfg.k) {
-                    assert_eq!(minimizer_of_wide(&scheme, kw, cfg.k), sm.minimizer);
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn wide_pipelines_match_oracle_and_each_other() {
+    fn wide_oracle_agrees_with_generic_oracle() {
         let rs = reads();
-        let cfg = WideConfig::default();
-        let cpu = CpuCoreModel::default();
-        let oracle = wide_reference_counts(&rs, &cfg);
-
-        for mode in [WideMode::Kmer, WideMode::Supermer] {
-            let report = run_cpu_wide(&rs, &cfg, mode, 1, &cpu);
-            assert_eq!(report.distinct_kmers as usize, oracle.len(), "{mode:?}");
-            assert_eq!(report.total_kmers, oracle.values().sum::<u64>(), "{mode:?}");
-            let mut seen = HashMap::new();
-            for t in &report.tables {
-                for &(kmer, count) in t {
-                    assert!(seen.insert(kmer, count).is_none(), "{mode:?}: dup owner");
-                }
-            }
-            for (kmer, &count) in &oracle {
-                assert_eq!(seen.get(kmer).copied(), Some(count as u32), "{mode:?}");
-            }
+        for k in [33usize, 41, 63] {
+            let cfg = wide_cfg(k);
+            let independent = wide_reference_counts(&rs, &cfg);
+            let generic = reference_counts_w::<u128>(&rs, &cfg);
+            assert_eq!(independent, generic, "k = {k}");
+            assert_eq!(
+                independent.values().sum::<u64>(),
+                rs.total_kmers(k) as u64,
+                "k = {k}"
+            );
         }
     }
 
     #[test]
-    fn wide_supermers_cut_exchange_bytes() {
+    fn wide_oracle_matches_narrow_oracle_at_small_k() {
+        // At k ≤ 31 the wide packing must reproduce the narrow word in
+        // the low bits, so the two oracles agree key-for-key.
         let rs = reads();
-        let cfg = WideConfig::default();
-        let cpu = CpuCoreModel::default();
-        let km = run_cpu_wide(&rs, &cfg, WideMode::Kmer, 1, &cpu);
-        let sm = run_cpu_wide(&rs, &cfg, WideMode::Supermer, 1, &cpu);
-        // 16 B per k-mer vs 17 B per (longer) supermer.
-        assert_eq!(km.exchange.bytes, km.exchange.units * 16);
-        assert_eq!(sm.exchange.bytes, sm.exchange.units * 17);
-        assert!(
-            sm.exchange.bytes * 2 < km.exchange.bytes,
-            "wide supermers should cut bytes >2x: {} vs {}",
-            sm.exchange.bytes,
-            km.exchange.bytes
-        );
-    }
-
-    #[test]
-    fn wide_from_respects_packing() {
         let cfg = CountingConfig::default();
-        let w = wide_from(&cfg, 49, 13);
-        assert!(w.validate().is_ok());
-        assert_eq!(w.window + w.k - 1, 64);
+        let wide = wide_reference_counts(&rs, &cfg);
+        let narrow = crate::verify::reference_counts(&rs, &cfg);
+        assert_eq!(wide.len(), narrow.len());
+        for (&k, &c) in &narrow {
+            assert_eq!(wide.get(&(k as u128)), Some(&c));
+        }
     }
 }

@@ -1,0 +1,143 @@
+//! The packed-key width abstraction that makes the counting stack
+//! generic over k.
+//!
+//! [`PackedKmer`] unifies the two key widths the counters run at —
+//! `u64` for the paper's narrow regime (k ≤ 31) and `u128` for the
+//! wide-k extension (k ≤ 63) — by combining the hash-table key contract
+//! ([`TableKey`]) with the bit-packing contract
+//! ([`dedukt_dna::kmer::KmerWord`]) and adding what the staged driver
+//! needs on top: exact wire-byte sizes (8 vs 16 for k-mers, 9 vs 17 for
+//! supermers), the width's counting bounds, and the device-atomic slot
+//! machinery backing [`crate::table::DeviceCountTable`] at either width.
+//!
+//! With this trait in place there is exactly one driver, one set of
+//! `CounterStages`, one device table, and one CLI path; k ≤ 31 and
+//! k ≤ 63 differ only in the type parameter.
+
+use crate::table::TableKey;
+use dedukt_dna::kmer::KmerWord;
+use dedukt_gpu::{AtomicBuffer, AtomicBuffer128, Device, OomError};
+
+/// A packed k-mer key the full counting stack can run on: hashable table
+/// key, 2-bit packable word, and device-table slot element.
+///
+/// The counting bound is one below the packing bound at either width:
+/// the all-ones word (k = [`KmerWord::MAX_K`], every base the symbol 3)
+/// would collide with the empty-slot sentinel [`TableKey::EMPTY`], so
+/// the pipelines cap k at [`PackedKmer::MAX_COUNTING_K`].
+pub trait PackedKmer: TableKey + KmerWord {
+    /// Bytes one packed k-mer occupies on the wire (8 or 16).
+    const KMER_WIRE_BYTES: u64 = Self::WORD_BYTES as u64;
+
+    /// Bytes one supermer occupies on the wire: the packed word plus a
+    /// length byte (9 or 17, §IV-B).
+    const SUPERMER_WIRE_BYTES: u64 = Self::WORD_BYTES as u64 + 1;
+
+    /// Largest k the counting pipelines accept at this width (31 or 63).
+    const MAX_COUNTING_K: usize;
+
+    /// Largest supermer length in bases one word can pack, which bounds
+    /// `window + k - 1` (32 or 64).
+    const MAX_SUPERMER_BASES: usize = Self::MAX_K;
+
+    /// Device-resident key-slot array of the width's device count table,
+    /// supporting the CUDA-style atomic CAS claim loop.
+    type DeviceSlots: Send + Sync + std::fmt::Debug;
+
+    /// Allocates `len` key slots on `device`, initialised to
+    /// [`TableKey::EMPTY`]. Charged at [`PackedKmer::KMER_WIRE_BYTES`]
+    /// per slot.
+    fn alloc_device_slots(device: &Device, len: usize) -> Result<Self::DeviceSlots, OomError>;
+
+    /// Loads slot `i`.
+    fn slot_load(slots: &Self::DeviceSlots, i: usize) -> Self;
+
+    /// Atomic compare-and-swap on slot `i` (CUDA `atomicCAS` semantics):
+    /// returns the value observed before the operation.
+    fn slot_cas(slots: &Self::DeviceSlots, i: usize, current: Self, new: Self) -> Self;
+
+    /// Copies all slots to the host.
+    fn slots_snapshot(slots: &Self::DeviceSlots) -> Vec<Self>;
+}
+
+impl PackedKmer for u64 {
+    const MAX_COUNTING_K: usize = 31;
+
+    type DeviceSlots = AtomicBuffer;
+
+    fn alloc_device_slots(device: &Device, len: usize) -> Result<AtomicBuffer, OomError> {
+        let slots = device.alloc_atomic(len)?;
+        for i in 0..len {
+            slots.store(i, u64::EMPTY);
+        }
+        Ok(slots)
+    }
+
+    #[inline]
+    fn slot_load(slots: &AtomicBuffer, i: usize) -> u64 {
+        slots.load(i)
+    }
+
+    #[inline]
+    fn slot_cas(slots: &AtomicBuffer, i: usize, current: u64, new: u64) -> u64 {
+        slots.compare_and_swap(i, current, new)
+    }
+
+    fn slots_snapshot(slots: &AtomicBuffer) -> Vec<u64> {
+        slots.snapshot()
+    }
+}
+
+impl PackedKmer for u128 {
+    const MAX_COUNTING_K: usize = 63;
+
+    type DeviceSlots = AtomicBuffer128;
+
+    fn alloc_device_slots(device: &Device, len: usize) -> Result<AtomicBuffer128, OomError> {
+        let slots = device.alloc_atomic128(len)?;
+        for i in 0..len {
+            slots.store(i, u128::EMPTY);
+        }
+        Ok(slots)
+    }
+
+    #[inline]
+    fn slot_load(slots: &AtomicBuffer128, i: usize) -> u128 {
+        slots.load(i)
+    }
+
+    #[inline]
+    fn slot_cas(slots: &AtomicBuffer128, i: usize, current: u128, new: u128) -> u128 {
+        slots.compare_and_swap(i, current, new)
+    }
+
+    fn slots_snapshot(slots: &AtomicBuffer128) -> Vec<u128> {
+        slots.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_match_the_paper_figures() {
+        assert_eq!(<u64 as PackedKmer>::KMER_WIRE_BYTES, 8);
+        assert_eq!(<u64 as PackedKmer>::SUPERMER_WIRE_BYTES, 9);
+        assert_eq!(<u128 as PackedKmer>::KMER_WIRE_BYTES, 16);
+        assert_eq!(<u128 as PackedKmer>::SUPERMER_WIRE_BYTES, 17);
+        assert_eq!(<u64 as PackedKmer>::MAX_COUNTING_K, 31);
+        assert_eq!(<u128 as PackedKmer>::MAX_COUNTING_K, 63);
+        assert_eq!(<u64 as PackedKmer>::MAX_SUPERMER_BASES, 32);
+        assert_eq!(<u128 as PackedKmer>::MAX_SUPERMER_BASES, 64);
+    }
+
+    #[test]
+    fn device_slots_start_empty_at_both_widths() {
+        let device = Device::v100();
+        let narrow = <u64 as PackedKmer>::alloc_device_slots(&device, 8).unwrap();
+        assert!((0..8).all(|i| <u64 as PackedKmer>::slot_load(&narrow, i) == u64::EMPTY));
+        let wide = <u128 as PackedKmer>::alloc_device_slots(&device, 8).unwrap();
+        assert!((0..8).all(|i| <u128 as PackedKmer>::slot_load(&wide, i) == u128::EMPTY));
+    }
+}

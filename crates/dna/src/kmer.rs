@@ -291,6 +291,153 @@ impl fmt::Debug for Kmer128 {
     }
 }
 
+/// A machine word wide enough to hold a 2-bit-packed k-mer: `u64` for
+/// k ≤ 32 or `u128` for k ≤ 64.
+///
+/// This is the width abstraction the generic counting stack is built on:
+/// packing, rolling, minimizer extraction ([`KmerWord::submer_of`] always
+/// yields a `u64` because m ≤ 32 at either width), canonicalization, and
+/// the exact wire size of one packed word. All methods delegate to
+/// [`Kmer`] / [`Kmer128`], so narrow behaviour is bit-identical to the
+/// concrete types.
+pub trait KmerWord: Copy + Eq + Ord + std::hash::Hash + fmt::Debug + Send + Sync + 'static {
+    /// Maximum k this width can pack (32 or 64).
+    const MAX_K: usize;
+    /// The all-zero word.
+    const ZERO: Self;
+    /// Bytes one packed word occupies on the wire (8 or 16).
+    const WORD_BYTES: usize;
+
+    /// Bit mask covering the low `2k` bits.
+    fn kmer_mask(k: usize) -> Self;
+
+    /// Rolls the window one base right: shifts in the 2-bit `sym` and
+    /// masks back to `2k` bits. `mask` must be `Self::kmer_mask(k)`.
+    fn roll_sym(self, sym: u8, mask: Self) -> Self;
+
+    /// Packs a slice of base codes under `encoding` (MSB-first).
+    fn pack_codes(codes: &[u8], encoding: Encoding) -> Self;
+
+    /// Extracts the `m`-mer (m ≤ 32) starting at base offset `pos` of a
+    /// `k`-long word as a packed `u64`, preserving symbol order.
+    fn submer_of(self, k: usize, pos: usize, m: usize) -> u64;
+
+    /// Extracts the `sub_len`-base window starting at base offset `pos`
+    /// of a `total_len`-long word as a full-width packed word (the k-mer
+    /// extraction primitive of supermer unpacking, where `sub_len` may
+    /// exceed 32 at the wide width).
+    fn subword(self, total_len: usize, pos: usize, sub_len: usize) -> Self;
+
+    /// Canonical form: numeric min of the word and its reverse complement.
+    fn canonical_word(self, k: usize) -> Self;
+
+    /// Decodes the `k`-long word back to base codes.
+    fn word_codes(self, k: usize, encoding: Encoding) -> Vec<u8>;
+}
+
+impl KmerWord for u64 {
+    const MAX_K: usize = Kmer::MAX_K;
+    const ZERO: Self = 0;
+    const WORD_BYTES: usize = 8;
+
+    #[inline]
+    fn kmer_mask(k: usize) -> u64 {
+        Kmer::mask(k)
+    }
+
+    #[inline]
+    fn roll_sym(self, sym: u8, mask: u64) -> u64 {
+        ((self << 2) | sym as u64) & mask
+    }
+
+    fn pack_codes(codes: &[u8], encoding: Encoding) -> u64 {
+        Kmer::from_codes(codes, encoding).word()
+    }
+
+    #[inline]
+    fn submer_of(self, k: usize, pos: usize, m: usize) -> u64 {
+        Kmer::from_word(self, k).submer(pos, m)
+    }
+
+    #[inline]
+    fn subword(self, total_len: usize, pos: usize, sub_len: usize) -> u64 {
+        debug_assert!(sub_len >= 1 && pos + sub_len <= total_len);
+        (self >> (2 * (total_len - pos - sub_len))) & Kmer::mask(sub_len)
+    }
+
+    #[inline]
+    fn canonical_word(self, k: usize) -> u64 {
+        Kmer::from_word(self, k).canonical().word()
+    }
+
+    fn word_codes(self, k: usize, encoding: Encoding) -> Vec<u8> {
+        Kmer::from_word(self, k).codes(encoding)
+    }
+}
+
+impl KmerWord for u128 {
+    const MAX_K: usize = Kmer128::MAX_K;
+    const ZERO: Self = 0;
+    const WORD_BYTES: usize = 16;
+
+    #[inline]
+    fn kmer_mask(k: usize) -> u128 {
+        Kmer128::mask(k)
+    }
+
+    #[inline]
+    fn roll_sym(self, sym: u8, mask: u128) -> u128 {
+        ((self << 2) | sym as u128) & mask
+    }
+
+    fn pack_codes(codes: &[u8], encoding: Encoding) -> u128 {
+        Kmer128::from_codes(codes, encoding).word()
+    }
+
+    #[inline]
+    fn submer_of(self, k: usize, pos: usize, m: usize) -> u64 {
+        Kmer128::from_word(self, k).submer(pos, m)
+    }
+
+    #[inline]
+    fn subword(self, total_len: usize, pos: usize, sub_len: usize) -> u128 {
+        debug_assert!(sub_len >= 1 && pos + sub_len <= total_len);
+        (self >> (2 * (total_len - pos - sub_len))) & Kmer128::mask(sub_len)
+    }
+
+    #[inline]
+    fn canonical_word(self, k: usize) -> u128 {
+        Kmer128::from_word(self, k).canonical().word()
+    }
+
+    fn word_codes(self, k: usize, encoding: Encoding) -> Vec<u8> {
+        Kmer128::from_word(self, k).codes(encoding)
+    }
+}
+
+/// Iterates all packed k-mer words of a base-code slice with a rolling
+/// window, at either word width. Yields nothing if the slice is shorter
+/// than k. Width-generic twin of [`kmer_words`] / [`kmer_words128`].
+pub fn kmer_words_w<W: KmerWord>(
+    codes: &[u8],
+    k: usize,
+    encoding: Encoding,
+) -> impl Iterator<Item = W> + '_ {
+    assert!((1..=W::MAX_K).contains(&k));
+    let mask = W::kmer_mask(k);
+    let mut acc = W::ZERO;
+    let mut filled = 0usize;
+    codes.iter().filter_map(move |&c| {
+        acc = acc.roll_sym(encoding.encode(c), mask);
+        filled += 1;
+        if filled >= k {
+            Some(acc)
+        } else {
+            None
+        }
+    })
+}
+
 /// Iterates all packed wide k-mer words (k ≤ 64) of a base-code slice
 /// with a rolling window. Yields nothing if the slice is shorter than k.
 pub fn kmer_words128<'a>(
@@ -528,6 +675,44 @@ mod tests {
         rolled = rolled.rolled(codes[k], ENC);
         let fresh = Kmer128::from_codes(&codes[1..k + 1], ENC);
         assert_eq!(rolled, fresh);
+    }
+
+    #[test]
+    fn kmer_word_trait_matches_concrete_types() {
+        let s = b"GATTACAGATTACAGATTACAGATTACAGATTACAGATT"; // 39 bases
+        let codes: Vec<u8> = s
+            .iter()
+            .map(|&c| Base::from_ascii(c).unwrap().code())
+            .collect();
+        // Narrow parity at k = 17.
+        let k = 17;
+        let narrow: Vec<u64> = kmer_words_w(&codes, k, ENC).collect();
+        let expect: Vec<u64> = kmer_words(&codes, k, ENC).collect();
+        assert_eq!(narrow, expect);
+        let w0 = narrow[0];
+        assert_eq!(
+            w0.canonical_word(k),
+            Kmer::from_word(w0, k).canonical().word()
+        );
+        assert_eq!(w0.submer_of(k, 3, 7), Kmer::from_word(w0, k).submer(3, 7));
+        assert_eq!(w0.word_codes(k, ENC), Kmer::from_word(w0, k).codes(ENC));
+        assert_eq!(<u64 as KmerWord>::pack_codes(&codes[..k], ENC), w0);
+        // Wide parity at k = 35.
+        let k = 35;
+        let wide: Vec<u128> = kmer_words_w(&codes, k, ENC).collect();
+        let expect: Vec<u128> = kmer_words128(&codes, k, ENC).collect();
+        assert_eq!(wide, expect);
+        let w0 = wide[0];
+        assert_eq!(
+            w0.canonical_word(k),
+            Kmer128::from_word(w0, k).canonical().word()
+        );
+        assert_eq!(
+            w0.submer_of(k, 4, 11),
+            Kmer128::from_word(w0, k).submer(4, 11)
+        );
+        assert_eq!(w0.word_codes(k, ENC), Kmer128::from_word(w0, k).codes(ENC));
+        assert_eq!(<u128 as KmerWord>::pack_codes(&codes[..k], ENC), w0);
     }
 
     #[test]

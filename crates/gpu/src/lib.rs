@@ -30,6 +30,6 @@ pub mod transfer;
 
 pub use config::DeviceConfig;
 pub use launch::{BlockCtx, KernelReport, LaunchConfig, ThreadCtx, WorkTally};
-pub use memory::{AtomicBuffer, AtomicBuffer32, Device, DeviceBuffer, OomError};
+pub use memory::{AtomicBuffer, AtomicBuffer128, AtomicBuffer32, Device, DeviceBuffer, OomError};
 pub use stream::Stream;
 pub use transfer::{Link, TransferDirection};

@@ -16,7 +16,7 @@ use crate::config::DeviceConfig;
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Allocation failure: the request would exceed device memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,6 +156,20 @@ impl Device {
         let mut v = Vec::with_capacity(len);
         v.resize_with(len, || AtomicU32::new(0));
         Ok(AtomicBuffer32 {
+            data: v,
+            bytes,
+            device: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Allocates a zeroed buffer of `len` 128-bit atomically updated slots
+    /// (wide k-mer keys). Charged at 16 B per slot.
+    pub fn alloc_atomic128(&self, len: usize) -> Result<AtomicBuffer128, OomError> {
+        let bytes = (len * 16) as u64;
+        self.inner.try_reserve(bytes)?;
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || Mutex::new(0u128));
+        Ok(AtomicBuffer128 {
             data: v,
             bytes,
             device: Arc::clone(&self.inner),
@@ -316,6 +330,69 @@ impl Drop for AtomicBuffer32 {
     }
 }
 
+/// A device buffer of 128-bit slots with atomic compare-and-swap — the
+/// key array of a wide-k (u128) counting table.
+///
+/// Real GPUs CAS 128-bit values with paired 64-bit CAS or
+/// `atomicCAS` on `ulonglong2` via vectorized loads; the host simulation
+/// uses one mutex per slot, which is linearizable and therefore a sound
+/// stand-in for the device primitive. Charged at 16 B per slot, exactly
+/// the device footprint of the key array.
+#[derive(Debug)]
+pub struct AtomicBuffer128 {
+    data: Vec<Mutex<u128>>,
+    bytes: u64,
+    device: Arc<DeviceInner>,
+}
+
+impl AtomicBuffer128 {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Load.
+    #[inline]
+    pub fn load(&self, i: usize) -> u128 {
+        *self.data[i].lock().expect("poisoned device slot")
+    }
+
+    /// Store.
+    #[inline]
+    pub fn store(&self, i: usize, v: u128) {
+        *self.data[i].lock().expect("poisoned device slot") = v;
+    }
+
+    /// Atomic compare-and-swap (CUDA `atomicCAS` semantics): if the slot
+    /// holds `current`, replaces it with `new`. Returns the value observed
+    /// before the operation (equal to `current` on success).
+    #[inline]
+    pub fn compare_and_swap(&self, i: usize, current: u128, new: u128) -> u128 {
+        let mut slot = self.data[i].lock().expect("poisoned device slot");
+        let prev = *slot;
+        if prev == current {
+            *slot = new;
+        }
+        prev
+    }
+
+    /// Copies the current contents to a host `Vec`.
+    pub fn snapshot(&self) -> Vec<u128> {
+        (0..self.data.len()).map(|i| self.load(i)).collect()
+    }
+}
+
+impl Drop for AtomicBuffer128 {
+    fn drop(&mut self) {
+        self.device.release(self.bytes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +473,45 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(a.load(0), 40_000);
+    }
+
+    #[test]
+    fn atomic128_cas_and_accounting() {
+        let d = small_device(4096);
+        let a = d.alloc_atomic128(4).unwrap();
+        assert_eq!(d.allocated_bytes(), 64); // 16 B per slot
+        let big = (7u128 << 64) | 3;
+        assert_eq!(a.compare_and_swap(0, 0, big), 0); // success: saw 0
+        assert_eq!(a.compare_and_swap(0, 0, 9), big); // failure: saw big
+        assert_eq!(a.load(0), big);
+        a.store(1, 11);
+        assert_eq!(a.snapshot(), vec![big, 11, 0, 0]);
+        drop(a);
+        assert_eq!(d.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_atomic128_cas_is_exact() {
+        let d = small_device(1 << 20);
+        let a = std::sync::Arc::new(d.alloc_atomic128(1).unwrap());
+        let winners = std::sync::Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (1..=8u128)
+            .map(|t| {
+                let a = std::sync::Arc::clone(&a);
+                let winners = std::sync::Arc::clone(&winners);
+                std::thread::spawn(move || {
+                    if a.compare_and_swap(0, 0, t << 64) == 0 {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Exactly one CAS on the empty slot may succeed.
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+        assert_ne!(a.load(0), 0);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!   [--metrics m.json [--metrics-format json|prom]]`
 //!   — run a distributed counter on a FASTQ file and export results,
 //!   optionally with a Chrome trace and a run-wide metrics snapshot.
+//!   Any k up to 63 works in every mode: k ≤ 31 ships 8-byte packed
+//!   keys on the wire, k in 32..=63 ships 16-byte keys.
 //!   `--round-limit` bounds per-rank exchange memory (§III-A);
 //!   `--overlap-rounds` additionally overlaps each round's count kernel
 //!   with the next round's wire time.
@@ -22,7 +24,7 @@
 //! dedukt count ecoli.fastq --mode supermer --nodes 4 --out counts.tsv
 //! ```
 
-use dedukt::core::{dump, pipeline, Mode, RunConfig};
+use dedukt::core::{dump, pipeline, Mode, PackedKmer, RunConfig};
 use dedukt::dna::fastq::parse_fastq;
 use dedukt::dna::{Dataset, DatasetId, ScalePreset};
 use std::fs::File;
@@ -208,7 +210,7 @@ enum MetricsFormat {
 }
 
 /// The human-readable phase/imbalance digest printed after every run.
-fn print_run_summary(report: &pipeline::RunReport) {
+fn print_run_summary<K: PackedKmer>(report: &pipeline::RunReport<K>) {
     eprintln!(
         "simulated phases: parse {} | exchange {} | count {} | total {} | makespan {}",
         report.phases.parse,
@@ -290,20 +292,53 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    // Wide k (32..=63) routes to the u128 CPU pipelines.
-    if (32..=63).contains(&rc.counting.k) {
-        if metrics_path.is_some() {
-            return Err("--metrics is not supported for wide k (32..=63)".into());
+    let outputs = CountOutputs {
+        out_path,
+        spectrum_path,
+        trace_path,
+        metrics_path,
+        metrics_format,
+        min_qual,
+    };
+    // One staged driver, two key widths: k ≤ 31 packs into u64 words,
+    // k ≤ 63 into u128. Everything past the window clamp is identical —
+    // the width is a type parameter, not a separate pipeline.
+    if rc.counting.k <= 31 {
+        rc.counting.window = rc.counting.window.min(33 - rc.counting.k);
+        count_with_width::<u64>(path, rc, outputs)
+    } else {
+        if rc.counting.k <= 63 {
+            rc.counting.window = rc.counting.window.min(65 - rc.counting.k).max(1);
         }
-        return count_wide(path, &rc, out_path, spectrum_path, trace_path);
+        count_with_width::<u128>(path, rc, outputs)
     }
-    // Keep the supermer word-packing constraint satisfied for custom k.
-    rc.counting.window = rc.counting.window.min(33 - rc.counting.k.min(31));
-    rc.validate().map_err(|e| e.to_string())?;
+}
+
+/// Export destinations and read-filtering options for `dedukt count`.
+struct CountOutputs {
+    out_path: Option<String>,
+    spectrum_path: Option<String>,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    metrics_format: MetricsFormat,
+    min_qual: Option<u8>,
+}
+
+/// Runs `dedukt count` at the key width `K` and writes every requested
+/// export. Narrow and wide k share this path verbatim; invalid
+/// configurations (k or m out of range for the width) surface as a
+/// `ConfigError` and exit 2.
+fn count_with_width<K: PackedKmer>(
+    path: &str,
+    mut rc: RunConfig,
+    outputs: CountOutputs,
+) -> Result<(), String> {
+    rc.validate_for_width(K::MAX_COUNTING_K, K::MAX_SUPERMER_BASES)
+        .map_err(|e| e.to_string())?;
     rc.collect_tables = true;
-    rc.collect_spectrum = spectrum_path.is_some();
-    rc.collect_trace = trace_path.is_some();
-    rc.collect_metrics = metrics_path.is_some();
+    rc.collect_spectrum = outputs.spectrum_path.is_some();
+    rc.collect_trace = outputs.trace_path.is_some();
+    rc.collect_metrics = outputs.metrics_path.is_some();
 
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut reads = parse_fastq(BufReader::new(file), rc.counting.k).map_err(|e| e.to_string())?;
@@ -312,7 +347,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         reads.len(),
         reads.total_bases()
     );
-    if let Some(q) = min_qual {
+    if let Some(q) = outputs.min_qual {
         reads = reads.quality_trimmed(q, rc.counting.k);
         eprintln!(
             "quality trim at Q{q}: {} reads ({} bases) remain",
@@ -321,10 +356,15 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let report = pipeline::run(&reads, &rc).map_err(|e| e.to_string())?;
+    let report = pipeline::run_typed::<K>(&reads, &rc).map_err(|e| e.to_string())?;
     eprintln!(
-        "mode {:?}: {} k-mer instances, {} distinct, on {} ranks",
-        rc.mode, report.total_kmers, report.distinct_kmers, report.nranks
+        "mode {:?} (k={}, {}-byte keys on the wire): {} k-mer instances, {} distinct, on {} ranks",
+        rc.mode,
+        rc.counting.k,
+        K::KMER_WIRE_BYTES,
+        report.total_kmers,
+        report.distinct_kmers,
+        report.nranks
     );
     print_run_summary(&report);
 
@@ -334,14 +374,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             .as_ref()
             .ok_or("internal error: pipeline did not collect the rank tables")?,
     );
-    if let Some(p) = out_path {
+    if let Some(p) = outputs.out_path {
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
         dump::write_dump(&mut w, &merged, rc.counting.k, rc.counting.encoding)
             .map_err(|e| e.to_string())?;
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("wrote {} k-mers to {p}", merged.len());
     }
-    if let Some(p) = spectrum_path {
+    if let Some(p) = outputs.spectrum_path {
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
         let spectrum = report
             .spectrum
@@ -358,7 +398,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             );
         }
     }
-    if let Some(p) = trace_path {
+    if let Some(p) = outputs.trace_path {
         let events = report
             .trace
             .as_ref()
@@ -370,13 +410,13 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("wrote chrome trace to {p} (open in chrome://tracing or Perfetto)");
     }
-    if let Some(p) = metrics_path {
+    if let Some(p) = outputs.metrics_path {
         let snapshot = report
             .metrics
             .as_ref()
             .ok_or("internal error: pipeline did not collect metrics despite --metrics")?;
         let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
-        match metrics_format {
+        match outputs.metrics_format {
             MetricsFormat::Json => snapshot.write_json(&mut w).map_err(|e| e.to_string())?,
             MetricsFormat::Prometheus => snapshot
                 .write_prometheus(&mut w)
@@ -390,79 +430,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     for (kmer, count) in dump::heavy_hitters(&merged, 5) {
         eprintln!(
             "  {}  x{count}",
-            dedukt::dna::kmer::Kmer::from_word(kmer, rc.counting.k).to_ascii(rc.counting.encoding)
+            dump::kmer_ascii(kmer, rc.counting.k, rc.counting.encoding)
         );
-    }
-    Ok(())
-}
-
-/// Wide-k counting (k 32..=63) through the u128 CPU pipelines.
-fn count_wide(
-    path: &str,
-    rc: &RunConfig,
-    out_path: Option<String>,
-    spectrum_path: Option<String>,
-    trace_path: Option<String>,
-) -> Result<(), String> {
-    use dedukt::core::wide::{run_cpu_wide, wide_from, WideMode};
-    if trace_path.is_some() {
-        return Err("--trace is not supported for wide k (32..=63)".into());
-    }
-    let mode = match rc.mode {
-        Mode::GpuSupermer => WideMode::Supermer,
-        Mode::CpuBaseline | Mode::GpuKmer => WideMode::Kmer,
-    };
-    let cfg = wide_from(&rc.counting, rc.counting.k, rc.counting.m.min(31));
-    cfg.validate()?;
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    let reads = parse_fastq(BufReader::new(file), cfg.k).map_err(|e| e.to_string())?;
-    eprintln!(
-        "parsed {} reads ({} bases) from {path}",
-        reads.len(),
-        reads.total_bases()
-    );
-
-    let report = run_cpu_wide(&reads, &cfg, mode, rc.nodes, &rc.cpu_model);
-    eprintln!(
-        "wide k={} ({:?}): {} k-mer instances, {} distinct",
-        cfg.k, mode, report.total_kmers, report.distinct_kmers
-    );
-    eprintln!(
-        "simulated phases: parse {} | exchange {} | count {} | total {}",
-        report.phases.parse,
-        report.phases.exchange,
-        report.phases.count,
-        report.phases.total()
-    );
-
-    if let Some(p) = out_path {
-        let mut entries: Vec<(u128, u32)> = report
-            .tables
-            .iter()
-            .flat_map(|t| t.iter().copied())
-            .collect();
-        entries.sort_unstable_by_key(|&(k, _)| k);
-        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
-        for (word, count) in &entries {
-            let ascii: String = dedukt::dna::kmer::Kmer128::from_word(*word, cfg.k)
-                .codes(cfg.encoding)
-                .into_iter()
-                .map(|c| dedukt::dna::Base::from_code(c).to_ascii() as char)
-                .collect();
-            use std::io::Write as _;
-            writeln!(w, "{ascii}\t{count}").map_err(|e| e.to_string())?;
-        }
-        w.flush().map_err(|e| e.to_string())?;
-        eprintln!("wrote {} wide k-mers to {p}", entries.len());
-    }
-    if let Some(p) = spectrum_path {
-        let spectrum = dedukt::dna::spectrum::Spectrum::from_counts(
-            report.tables.iter().flat_map(|t| t.iter().map(|&(_, c)| c)),
-        );
-        let mut w = BufWriter::new(File::create(&p).map_err(|e| e.to_string())?);
-        dump::write_spectrum(&mut w, &spectrum).map_err(|e| e.to_string())?;
-        w.flush().map_err(|e| e.to_string())?;
-        eprintln!("wrote spectrum to {p}");
     }
     Ok(())
 }

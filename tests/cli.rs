@@ -167,9 +167,10 @@ fn wide_k_counts_through_the_u128_pipeline() {
         41,
     )
     .unwrap();
-    let cfg = dedukt::core::wide::WideConfig {
+    let cfg = dedukt::core::CountingConfig {
         k: 41,
         m: 11,
+        window: 24,
         ..Default::default()
     };
     let oracle = dedukt::core::wide::wide_reference_counts(&reads, &cfg);

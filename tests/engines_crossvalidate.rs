@@ -103,3 +103,44 @@ fn threaded_engine_is_deterministic_across_rank_counts() {
     let b = threaded_count(&reads, 11, 17);
     assert_eq!(a, b);
 }
+
+/// Wide k (k = 41, u128 keys) through the same unified driver: all
+/// three engines must agree with the independent wide oracle key-for-key.
+/// (The threaded harness stays narrow — its collective is u64-typed.)
+#[test]
+fn all_engines_match_wide_oracle_at_k41() {
+    let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+    let mut rc = RunConfig::new(Mode::CpuBaseline, 2);
+    rc.counting.k = 41;
+    rc.counting.m = 11;
+    rc.counting.window = 24;
+    rc.collect_tables = true;
+    let oracle = dedukt::core::wide::wide_reference_counts(&reads, &rc.counting);
+    assert!(!oracle.is_empty());
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        rc.mode = mode;
+        let report = pipeline::run_typed::<u128>(&reads, &rc).expect("valid wide config");
+        assert_eq!(
+            report.total_kmers,
+            oracle.values().sum::<u64>(),
+            "{mode:?}: total"
+        );
+        assert_eq!(
+            report.distinct_kmers as usize,
+            oracle.len(),
+            "{mode:?}: distinct"
+        );
+        let mut merged: HashMap<u128, u64> = HashMap::new();
+        for table in report.tables.as_ref().expect("tables collected") {
+            for &(kmer, count) in table {
+                assert!(
+                    merged.insert(kmer, count as u64).is_none(),
+                    "{mode:?}: k-mer owned by two ranks"
+                );
+            }
+        }
+        for (kmer, count) in &oracle {
+            assert_eq!(merged.get(kmer), Some(count), "{mode:?}: k-mer {kmer:#x}");
+        }
+    }
+}

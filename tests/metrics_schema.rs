@@ -113,6 +113,38 @@ fn metric_totals_are_consistent_with_the_report() {
     }
 }
 
+/// Wide k (u128 keys) exports exactly the same series set as narrow k:
+/// dashboards keyed on the schema never see the width. The wire totals
+/// stay width-honest — 17 bytes per supermer (16-byte word + length).
+#[test]
+fn wide_metrics_schema_matches_narrow() {
+    use std::collections::BTreeSet;
+    let reads = tiny_reads();
+    let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
+    rc.collect_metrics = true;
+    let narrow = run(&reads, &rc).expect("valid config");
+    rc.counting.k = 41;
+    rc.counting.m = 11;
+    rc.counting.window = 24;
+    let wide = dedukt::core::pipeline::run_typed::<u128>(&reads, &rc).expect("valid wide config");
+    let names = |r: &[dedukt::sim::metrics::MetricEntry]| -> BTreeSet<String> {
+        r.iter().map(|e| e.name.clone()).collect()
+    };
+    assert_eq!(
+        names(&narrow.metrics.as_ref().unwrap().entries),
+        names(&wide.metrics.as_ref().unwrap().entries),
+        "wide and narrow runs must export the same series"
+    );
+    assert_eq!(
+        wide.metrics
+            .as_ref()
+            .unwrap()
+            .counter_total("exchange_bytes_total"),
+        wide.exchange.units * 17,
+        "wide supermers are 17 bytes on the wire"
+    );
+}
+
 #[test]
 fn disabling_metrics_leaves_the_run_bit_identical() {
     let reads = tiny_reads();

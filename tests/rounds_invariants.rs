@@ -4,22 +4,35 @@
 //! multiset, distinct totals, spectrum, and per-rank tables are identical.
 
 use dedukt::core::pipeline::gpu_common::split_rounds_weighted;
-use dedukt::core::{pipeline, Mode, RunConfig, RunReport};
+use dedukt::core::{pipeline, Mode, PackedKmer, RunConfig, RunReport};
 use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
 use proptest::prelude::*;
 
 fn run(reads: &ReadSet, mode: Mode, cap: Option<u64>, overlap: bool) -> RunReport {
+    run_w::<u64>(reads, mode, cap, overlap, |_| {})
+}
+
+/// Width-generic runner: same collection flags at any key width, with a
+/// hook to adjust the counting parameters (e.g. into the wide regime).
+fn run_w<K: PackedKmer>(
+    reads: &ReadSet,
+    mode: Mode,
+    cap: Option<u64>,
+    overlap: bool,
+    tweak: impl Fn(&mut RunConfig),
+) -> RunReport<K> {
     let mut rc = RunConfig::new(mode, 2);
     rc.collect_spectrum = true;
     rc.collect_tables = true;
     rc.round_limit_bytes = cap;
     rc.overlap_rounds = overlap;
-    pipeline::run(reads, &rc).expect("valid config")
+    tweak(&mut rc);
+    pipeline::run_typed::<K>(reads, &rc).expect("valid config")
 }
 
 /// Probing layout (hence iteration order) depends on insertion order, so
 /// compare table *contents* per rank.
-fn sorted_tables(r: &RunReport) -> Vec<Vec<(u64, u32)>> {
+fn sorted_tables<K: PackedKmer + Ord>(r: &RunReport<K>) -> Vec<Vec<(K, u32)>> {
     r.tables
         .as_ref()
         .expect("tables collected")
@@ -32,7 +45,7 @@ fn sorted_tables(r: &RunReport) -> Vec<Vec<(u64, u32)>> {
         .collect()
 }
 
-fn assert_same_counts(r: &RunReport, baseline: &RunReport, what: &str) {
+fn assert_same_counts<K: PackedKmer + Ord>(r: &RunReport<K>, baseline: &RunReport<K>, what: &str) {
     assert_eq!(r.total_kmers, baseline.total_kmers, "{what}: total");
     assert_eq!(
         r.distinct_kmers, baseline.distinct_kmers,
@@ -126,6 +139,56 @@ fn overlap_is_identity_on_a_single_round() {
             overlapped.total_time(),
             blocking.total_time(),
             "{mode:?}: single-round overlap must cost exactly the same"
+        );
+    }
+}
+
+/// The same invariant in the wide regime (k = 41, u128 keys, 16-byte
+/// wire items): round caps and overlap never change results, and every
+/// configuration stays bit-identical to the independent wide oracle.
+#[test]
+fn wide_rounds_and_overlap_change_time_not_results() {
+    let reads = Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate();
+    let wide = |rc: &mut RunConfig| {
+        rc.counting.k = 41;
+        rc.counting.m = 11;
+        rc.counting.window = 24;
+    };
+    let mut oracle: Vec<(u128, u32)> = {
+        let mut rc = RunConfig::new(Mode::CpuBaseline, 2);
+        wide(&mut rc);
+        dedukt::core::wide::wide_reference_counts(&reads, &rc.counting)
+            .into_iter()
+            .map(|(k, c)| (k, c as u32))
+            .collect()
+    };
+    oracle.sort_unstable();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let baseline = run_w::<u128>(&reads, mode, None, false, wide);
+        assert_eq!(
+            baseline.exchange.rounds, 1,
+            "{mode:?}: unlimited is 1 round"
+        );
+        let mut merged: Vec<(u128, u32)> = sorted_tables(&baseline).concat();
+        merged.sort_unstable();
+        assert_eq!(merged, oracle, "{mode:?}: baseline vs wide oracle");
+
+        let cap = (baseline.exchange.bytes / baseline.nranks as u64 / 4).max(1);
+        let blocking = run_w::<u128>(&reads, mode, Some(cap), false, wide);
+        let overlapped = run_w::<u128>(&reads, mode, Some(cap), true, wide);
+        assert!(
+            blocking.exchange.rounds >= 2,
+            "{mode:?}: cap {cap} B should force multiple rounds"
+        );
+        assert_same_counts(&blocking, &baseline, &format!("wide {mode:?}"));
+        assert_same_counts(&overlapped, &baseline, &format!("wide {mode:?} overlapped"));
+        assert_eq!(
+            blocking.exchange.rounds, overlapped.exchange.rounds,
+            "{mode:?}: overlap must not change the round schedule"
+        );
+        assert!(
+            overlapped.total_time().as_secs() <= blocking.total_time().as_secs() * (1.0 + 1e-9),
+            "{mode:?}: overlap slower"
         );
     }
 }

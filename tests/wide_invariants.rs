@@ -1,23 +1,31 @@
-//! Property tests for the wide-k (u128) extension: the same invariants
-//! the narrow supermer machinery guarantees, under random reads and
-//! parameters in the wide regime.
+//! Property tests for the wide-k (u128) regime: the same invariants the
+//! narrow supermer machinery guarantees, exercised through the
+//! width-generic APIs under random reads and parameters.
 
-use dedukt::core::wide::{
-    minimizer_of_wide, run_cpu_wide, wide_reference_counts, wide_supermers, WideConfig, WideMode,
-};
-use dedukt::core::CpuCoreModel;
+use dedukt::core::minimizer::{MinimizerScheme, OrderingKind};
+use dedukt::core::supermer::build_supermers_windowed_w;
+use dedukt::core::wide::wide_reference_counts;
+use dedukt::core::{pipeline, CountingConfig, Mode, RunConfig};
 use dedukt::dna::kmer::kmer_words128;
 use dedukt::dna::{Encoding, Read, ReadSet};
 use proptest::prelude::*;
 
-fn wide_cfg_strategy() -> impl Strategy<Value = WideConfig> {
-    (32usize..=63, 2usize..16).prop_map(|(k, m)| WideConfig {
+fn wide_cfg_strategy() -> impl Strategy<Value = CountingConfig> {
+    (32usize..=63, 2usize..16).prop_map(|(k, m)| CountingConfig {
         k,
         m: m.min(k - 1),
         window: 65 - k,
         encoding: Encoding::PaperRandom,
-        ..WideConfig::default()
+        ..CountingConfig::default()
     })
+}
+
+fn scheme_of(cfg: &CountingConfig) -> MinimizerScheme {
+    MinimizerScheme {
+        encoding: cfg.encoding,
+        ordering: OrderingKind::EncodedLexicographic,
+        m: cfg.m,
+    }
 }
 
 proptest! {
@@ -29,10 +37,12 @@ proptest! {
         codes in prop::collection::vec(0u8..4, 0..300),
         cfg in wide_cfg_strategy(),
     ) {
-        let mut extracted: Vec<u128> = wide_supermers(&codes, &cfg)
-            .iter()
-            .flat_map(|s| s.kmers(cfg.k).collect::<Vec<_>>())
-            .collect();
+        let scheme = scheme_of(&cfg);
+        let mut extracted: Vec<u128> =
+            build_supermers_windowed_w::<u128>(&codes, cfg.k, cfg.window, &scheme)
+                .iter()
+                .flat_map(|s| s.kmers(cfg.k).collect::<Vec<_>>())
+                .collect();
         extracted.sort_unstable();
         let mut direct: Vec<u128> = kmer_words128(&codes, cfg.k, cfg.encoding).collect();
         direct.sort_unstable();
@@ -46,38 +56,43 @@ proptest! {
         codes in prop::collection::vec(0u8..4, 0..200),
         cfg in wide_cfg_strategy(),
     ) {
-        let scheme = dedukt::core::minimizer::MinimizerScheme {
-            encoding: cfg.encoding,
-            ordering: dedukt::core::minimizer::OrderingKind::EncodedLexicographic,
-            m: cfg.m,
-        };
-        for sm in wide_supermers(&codes, &cfg) {
+        let scheme = scheme_of(&cfg);
+        for sm in build_supermers_windowed_w::<u128>(&codes, cfg.k, cfg.window, &scheme) {
             prop_assert!((cfg.k..=64).contains(&(sm.len as usize)));
             for kw in sm.kmers(cfg.k) {
-                prop_assert_eq!(minimizer_of_wide(&scheme, kw, cfg.k), sm.minimizer);
+                prop_assert_eq!(scheme.minimizer_of_w(kw, cfg.k).word, sm.minimizer);
             }
         }
     }
 
-    /// Both wide pipelines equal the wide oracle on random read sets.
+    /// All three engines equal the wide oracle on random read sets when
+    /// run at the u128 key width.
     #[test]
     fn wide_pipelines_equal_oracle(
         reads in prop::collection::vec(prop::collection::vec(0u8..4, 0..150), 1..12),
-        mode_supermer in any::<bool>(),
+        mode_idx in 0usize..3,
     ) {
         let rs: ReadSet = reads
             .into_iter()
             .enumerate()
             .map(|(i, codes)| Read { id: format!("w{i}"), codes, quals: None })
             .collect();
-        let cfg = WideConfig::default();
+        let cfg = CountingConfig {
+            k: 41,
+            m: 11,
+            window: 24,
+            ..CountingConfig::default()
+        };
         let oracle = wide_reference_counts(&rs, &cfg);
-        let mode = if mode_supermer { WideMode::Supermer } else { WideMode::Kmer };
-        let report = run_cpu_wide(&rs, &cfg, mode, 1, &CpuCoreModel::default());
+        let mode = [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer][mode_idx];
+        let mut rc = RunConfig::new(mode, 1);
+        rc.counting = cfg;
+        rc.collect_tables = true;
+        let report = pipeline::run_typed::<u128>(&rs, &rc).expect("valid wide config");
         prop_assert_eq!(report.distinct_kmers as usize, oracle.len());
         prop_assert_eq!(report.total_kmers, oracle.values().sum::<u64>());
         let mut seen = std::collections::HashMap::new();
-        for t in &report.tables {
+        for t in report.tables.as_ref().expect("tables collected") {
             for &(kmer, count) in t {
                 prop_assert!(seen.insert(kmer, count).is_none(), "duplicate owner");
             }
