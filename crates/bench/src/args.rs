@@ -9,6 +9,8 @@
 //! * `--gpu-direct` — enable GPUDirect staging.
 //! * `--round-limit BYTES` — memory-bounded exchange rounds (§III-A).
 //! * `--overlap-rounds` — overlap count kernels with the next round's wire.
+//! * `--fault-seed N` / `--fault-spec k=v,...` — deterministic network
+//!   fault injection with driver-side retry (DESIGN.md §7).
 
 use dedukt_dna::ScalePreset;
 
@@ -29,6 +31,11 @@ pub struct ExperimentArgs {
     pub round_limit: Option<u64>,
     /// Overlap count kernels with the next round's exchange.
     pub overlap_rounds: bool,
+    /// Fault-injection seed (activates faults even without a spec).
+    pub fault_seed: Option<u64>,
+    /// Fault-injection spec string, `key=value` comma list (activates
+    /// faults with seed 0 even without `--fault-seed`).
+    pub fault_spec: Option<String>,
 }
 
 impl Default for ExperimentArgs {
@@ -41,6 +48,8 @@ impl Default for ExperimentArgs {
             gpu_direct: false,
             round_limit: None,
             overlap_rounds: false,
+            fault_seed: None,
+            fault_spec: None,
         }
     }
 }
@@ -54,7 +63,8 @@ impl ExperimentArgs {
                 eprintln!("error: {e}");
                 eprintln!(
                     "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] \
-                     [--gpu-direct] [--round-limit BYTES] [--overlap-rounds]"
+                     [--gpu-direct] [--round-limit BYTES] [--overlap-rounds] \
+                     [--fault-seed N] [--fault-spec k=v,...]"
                 );
                 std::process::exit(2);
             }
@@ -113,6 +123,16 @@ impl ExperimentArgs {
                     out.round_limit = Some(b);
                 }
                 "--overlap-rounds" => out.overlap_rounds = true,
+                "--fault-seed" => {
+                    let v = it.next().ok_or("--fault-seed needs a value")?;
+                    out.fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed {v:?}"))?);
+                }
+                "--fault-spec" => {
+                    let v = it.next().ok_or("--fault-spec needs a value")?;
+                    // Parse eagerly so a typo fails at the flag, not mid-run.
+                    dedukt_net::FaultSpec::parse(&v)?;
+                    out.fault_spec = Some(v);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -168,6 +188,17 @@ mod tests {
         assert_eq!(a.scale, ScalePreset::Custom(0.25));
         assert!(parse(&["--scale", "x-1"]).is_err());
         assert!(parse(&["--scale", "huge"]).is_err());
+    }
+
+    #[test]
+    fn fault_flags() {
+        let a = parse(&["--fault-seed", "7", "--fault-spec", "fail=0.1,retries=3"]).unwrap();
+        assert_eq!(a.fault_seed, Some(7));
+        assert_eq!(a.fault_spec.as_deref(), Some("fail=0.1,retries=3"));
+        // Malformed specs fail at the flag, not mid-run.
+        assert!(parse(&["--fault-spec", "bogus=1"]).is_err());
+        assert!(parse(&["--fault-spec", "fail"]).is_err());
+        assert!(parse(&["--fault-seed", "many"]).is_err());
     }
 
     #[test]

@@ -22,15 +22,30 @@ pub fn generate(id: DatasetId, args: &ExperimentArgs) -> ReadSet {
     reads
 }
 
+/// Applies the flags every experiment honours to a fresh `RunConfig`.
+fn apply_common_flags(rc: &mut RunConfig, args: &ExperimentArgs) {
+    rc.gpu_direct = args.gpu_direct;
+    rc.round_limit_bytes = args.round_limit;
+    rc.overlap_rounds = args.overlap_rounds;
+    if args.fault_seed.is_some() || args.fault_spec.is_some() {
+        let spec = match &args.fault_spec {
+            Some(s) => dedukt_net::FaultSpec::parse(s).expect("fault spec validated at parse"),
+            None => dedukt_net::FaultSpec::default(),
+        };
+        rc.fault = Some(dedukt_net::FaultPlan::new(
+            args.fault_seed.unwrap_or(0),
+            spec,
+        ));
+    }
+}
+
 /// Builds a `RunConfig` honouring the experiment flags and runs it.
 pub fn run_mode(reads: &ReadSet, mode: Mode, nodes: usize, args: &ExperimentArgs) -> RunReport {
     let mut rc = RunConfig::new(mode, nodes);
     if let Some(m) = args.m {
         rc.counting.m = m;
     }
-    rc.gpu_direct = args.gpu_direct;
-    rc.round_limit_bytes = args.round_limit;
-    rc.overlap_rounds = args.overlap_rounds;
+    apply_common_flags(&mut rc, args);
     dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config")
 }
 
@@ -44,9 +59,7 @@ pub fn run_mode_with_m(
 ) -> RunReport {
     let mut rc = RunConfig::new(mode, nodes);
     rc.counting.m = m;
-    rc.gpu_direct = args.gpu_direct;
-    rc.round_limit_bytes = args.round_limit;
-    rc.overlap_rounds = args.overlap_rounds;
+    apply_common_flags(&mut rc, args);
     dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config")
 }
 

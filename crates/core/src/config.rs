@@ -138,6 +138,9 @@ pub enum ConfigError {
     ZeroNodes,
     /// `round_limit_bytes == Some(0)` — no round could carry anything.
     ZeroRoundLimit,
+    /// The fault plan's rates or retry policy are out of range
+    /// ([`dedukt_net::fault::FaultSpec::validate`]'s message).
+    Fault(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -150,6 +153,7 @@ impl std::fmt::Display for ConfigError {
             ),
             ConfigError::ZeroNodes => f.write_str("node count must be positive"),
             ConfigError::ZeroRoundLimit => f.write_str("round limit must be positive"),
+            ConfigError::Fault(msg) => f.write_str(msg),
         }
     }
 }
@@ -295,6 +299,12 @@ pub struct RunConfig {
     /// do no metrics work at all; simulated times are identical either way
     /// (they come from the analytic cost models).
     pub collect_metrics: bool,
+    /// Deterministic fault schedule for the exchange layer (stragglers,
+    /// transient send failures, bucket corruption — DESIGN.md §7). The
+    /// driver retries failed/corrupt buckets with bounded backoff; final
+    /// counts are bit-identical to a fault-free run whenever the plan is
+    /// survivable. `None` (the default) models a perfect fabric.
+    pub fault: Option<dedukt_net::fault::FaultPlan>,
 }
 
 impl RunConfig {
@@ -317,6 +327,7 @@ impl RunConfig {
             collect_tables: false,
             collect_trace: false,
             collect_metrics: false,
+            fault: None,
         }
     }
 
@@ -352,6 +363,9 @@ impl RunConfig {
         }
         if self.round_limit_bytes == Some(0) {
             return Err(ConfigError::ZeroRoundLimit);
+        }
+        if let Some(plan) = &self.fault {
+            plan.spec().validate().map_err(ConfigError::Fault)?;
         }
         Ok(())
     }
@@ -436,6 +450,21 @@ mod tests {
         c.window = 24;
         c.k = 64; // all-ones sentinel collision
         assert!(c.validate_for_width(63, 64).is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_with_the_run() {
+        use dedukt_net::fault::{FaultPlan, FaultSpec};
+        let mut rc = RunConfig::new(Mode::GpuKmer, 1);
+        rc.fault = Some(FaultPlan::new(1, FaultSpec::default()));
+        assert!(rc.validate().is_ok());
+        rc.fault = Some(FaultPlan::new(1, FaultSpec::parse("fail=1.5").unwrap()));
+        match rc.validate() {
+            Err(ConfigError::Fault(msg)) => assert!(msg.contains("[0, 1]"), "{msg}"),
+            other => panic!("expected a fault config error, got {other:?}"),
+        }
+        rc.fault = Some(FaultPlan::new(1, FaultSpec::parse("retries=0").unwrap()));
+        assert!(matches!(rc.validate(), Err(ConfigError::Fault(_))));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod width;
 
 pub use config::{ConfigError, CountingConfig, CpuCoreModel, GpuTuning, Mode, RunConfig};
 pub use minimizer::{minimizer_of_kmer, MinimizerScheme, OrderingKind};
-pub use pipeline::{run, run_typed, RunReport};
+pub use pipeline::{run, run_typed, RunError, RunReport};
 pub use stats::PhaseBreakdown;
 pub use supermer::Supermer;
 pub use table::{DeviceCountTable, HostCountTable};

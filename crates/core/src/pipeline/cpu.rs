@@ -16,7 +16,7 @@ use crate::partition::key_owner;
 use crate::pipeline::driver::{
     exchange_items_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
 };
-use crate::pipeline::{RankCountResult, RunReport};
+use crate::pipeline::{RankCountResult, RunError, RunReport};
 use crate::table::HostCountTable;
 use crate::width::PackedKmer;
 use dedukt_dna::kmer::kmer_words_w;
@@ -131,12 +131,18 @@ impl<K: PackedKmer> CounterStages for CpuStages<K> {
 }
 
 /// Runs the CPU baseline counter at the narrow (`u64`) key width.
+///
+/// Panics on an invalid configuration or an unsurvivable fault plan; use
+/// [`crate::pipeline::run`] for the fallible entry point.
 pub fn run_cpu(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    run_cpu_typed::<u64>(reads, rc)
+    run_cpu_typed::<u64>(reads, rc).expect("run failed")
 }
 
 /// Runs the CPU baseline counter at an explicit key width.
-pub fn run_cpu_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
+pub fn run_cpu_typed<K: PackedKmer>(
+    reads: &ReadSet,
+    rc: &RunConfig,
+) -> Result<RunReport<K>, RunError> {
     run_staged(&mut CpuStages::<K>(PhantomData), reads, rc)
 }
 

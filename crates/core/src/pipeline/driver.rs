@@ -27,7 +27,7 @@
 
 use crate::config::{CountingConfig, RunConfig};
 use crate::pipeline::gpu_common::split_rounds_weighted;
-use crate::pipeline::{assemble_counts, RankCountResult, RunReport};
+use crate::pipeline::{assemble_counts, RankCountResult, RunError, RunReport};
 use crate::stats::{ExchangeSummary, PhaseBreakdown};
 use crate::width::PackedKmer;
 use dedukt_dna::ReadSet;
@@ -70,6 +70,14 @@ pub(crate) struct RoundRecv<I> {
     /// `items[dst]` — everything rank `dst` received this round,
     /// concatenated in source-rank order.
     pub items: Vec<Vec<I>>,
+    /// `undelivered[src][dst]` — buckets lost to an injected fault this
+    /// attempt, in send-matrix shape so the driver can feed them straight
+    /// back into the next attempt. All empty on a fault-free fabric.
+    pub undelivered: Vec<Vec<Vec<I>>>,
+    /// Buckets that failed to send this attempt.
+    pub failed_sends: u64,
+    /// Buckets that arrived corrupt (checksum mismatch) this attempt.
+    pub corrupt_buckets: u64,
     /// Mean per-rank pure wire time of the round's collective(s).
     pub wire_mean: SimTime,
     /// Mean per-rank *charged* time: equals `wire_mean` for a blocking
@@ -155,11 +163,14 @@ pub(crate) trait CounterStages: Sync {
 }
 
 /// Runs one counter through the shared staged superstep skeleton.
+///
+/// Errs only when a fault plan's retry budget is exhausted mid-exchange
+/// ([`RunError::ExchangeFailed`]); fault-free runs always succeed.
 pub(crate) fn run_staged<S: CounterStages>(
     stages: &mut S,
     reads: &ReadSet,
     rc: &RunConfig,
-) -> RunReport<S::Key> {
+) -> Result<RunReport<S::Key>, RunError> {
     let nranks = rc.nranks();
     let mut net = stages.network(rc);
     net.params.algo = rc.exchange_algo;
@@ -168,6 +179,9 @@ pub(crate) fn run_staged<S: CounterStages>(
     let metrics = rc.collect_metrics.then(|| Arc::new(MetricsRegistry::new()));
     if let Some(m) = &metrics {
         world.enable_metrics(Arc::clone(m));
+    }
+    if let Some(plan) = rc.fault {
+        world.enable_faults(plan);
     }
     let ctx = DriverCtx {
         rc,
@@ -222,7 +236,14 @@ pub(crate) fn run_staged<S: CounterStages>(
     let mut prev_round_times: Option<Vec<SimTime>> = None;
     let mut wire_total = SimTime::ZERO;
     let mut charged_total = SimTime::ZERO;
-    for round in rounds {
+    // Fault-recovery accounting, all zero on a perfect fabric: retry
+    // attempts and their backoffs are charged to `recovery_total`,
+    // keeping `wire_total`/`charged_total` pure first-attempt time.
+    let fault_spec = rc.fault.map(|p| *p.spec());
+    let mut recovery_total = SimTime::ZERO;
+    let mut retries_total = 0u64;
+    let mut corrupt_total = 0u64;
+    for (round_idx, round) in rounds.into_iter().enumerate() {
         // Double-buffered overlap: while this round is on the wire, the
         // previous round's count kernel runs on each rank's stream.
         let hidden = if rc.overlap_rounds {
@@ -230,16 +251,45 @@ pub(crate) fn run_staged<S: CounterStages>(
         } else {
             None
         };
-        let rr = stages.exchange_round(&mut world, round, hidden.as_deref());
+        world.fault_context(round_idx as u64, 0);
+        let mut rr = stages.exchange_round(&mut world, round, hidden.as_deref());
         wire_total += rr.wire_mean;
         charged_total += rr.charged_mean;
-        for (rank, items) in rr.items.iter().enumerate() {
+        let mut delivered = rr.items;
+        // Bounded retry-with-backoff: re-offer only the failed/corrupt
+        // buckets, with the backoff and the retry collective charged to
+        // the sim clock as recovery time. Exhausting the budget is a
+        // clean run failure, never a panic.
+        let mut attempt: u32 = 1;
+        while rr.failed_sends + rr.corrupt_buckets > 0 {
+            let spec = fault_spec.expect("faults cannot fire without a plan");
+            retries_total += rr.failed_sends + rr.corrupt_buckets;
+            corrupt_total += rr.corrupt_buckets;
+            if attempt > spec.max_retries {
+                return Err(RunError::ExchangeFailed {
+                    round: round_idx as u64,
+                    attempts: attempt,
+                });
+            }
+            let backoff =
+                SimTime::from_secs(spec.backoff_secs * (1u64 << (attempt - 1).min(20)) as f64);
+            world.advance_all("retry-backoff", backoff);
+            world.fault_context(round_idx as u64, attempt);
+            rr = stages.exchange_round(&mut world, rr.undelivered, None);
+            recovery_total += backoff + rr.charged_mean;
+            for (dst, items) in rr.items.iter_mut().enumerate() {
+                delivered[dst].append(items);
+            }
+            attempt += 1;
+        }
+        world.clear_fault_context();
+        for (rank, items) in delivered.iter().enumerate() {
             received_items[rank] += items.len() as u64;
         }
         // Count this round (functionally now; its simulated time is
         // charged either as the next round's hidden compute or in the
         // final count step).
-        let paired: Vec<(S::Counter, Vec<S::Item>)> = counters.into_iter().zip(rr.items).collect();
+        let paired: Vec<(S::Counter, Vec<S::Item>)> = counters.into_iter().zip(delivered).collect();
         let counted: Vec<(S::Counter, SimTime)> = paired
             .into_par_iter()
             .map(|(mut c, items)| {
@@ -280,19 +330,28 @@ pub(crate) fn run_staged<S: CounterStages>(
         .collect();
 
     // ── Report assembly ────────────────────────────────────────────────
+    if let Some(m) = &metrics {
+        // Fault-recovery series exist only when recovery happened, so a
+        // zero-fault plan leaves the metrics schema untouched.
+        if retries_total > 0 {
+            m.counter_add("retries_total", None, retries_total);
+            m.counter_add("corrupt_buckets_total", None, corrupt_total);
+            m.gauge_add("recovery_seconds_total", None, recovery_total.as_secs());
+        }
+    }
     let makespan = world.elapsed();
     let trace = rc.collect_trace.then(|| world.take_trace());
     let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
     let stats = world.stats();
     let (load, total, distinct, spectrum, tables) =
         assemble_counts(rank_results, rc.collect_spectrum, rc.collect_tables);
-    RunReport {
+    Ok(RunReport {
         mode: rc.mode,
         nodes: rc.nodes,
         nranks,
         phases: PhaseBreakdown {
             parse: prepass_time + bucket_step.mean,
-            exchange: stage_out_step.mean + charged_total + stage_in_step.mean,
+            exchange: stage_out_step.mean + charged_total + recovery_total + stage_in_step.mean,
             count: count_step.mean,
         },
         makespan,
@@ -302,6 +361,10 @@ pub(crate) fn run_staged<S: CounterStages>(
             off_node_bytes: stats.off_node_bytes,
             alltoallv_time: wire_total,
             rounds: nrounds as u64,
+            retries: retries_total,
+            corrupt_buckets: corrupt_total,
+            retry_bytes: stats.retry_bytes,
+            recovery_time: recovery_total,
         },
         load,
         total_kmers: total,
@@ -311,13 +374,13 @@ pub(crate) fn run_staged<S: CounterStages>(
         trace,
         trace_counters,
         metrics: metrics.map(|m| m.snapshot()),
-    }
+    })
 }
 
 /// Shared exchange hook for the pipelines whose wire items are bare
 /// packed k-mers (at either width): one Alltoallv per round, overlapped
 /// when `hidden` is present.
-pub(crate) fn exchange_items_round<I: Send>(
+pub(crate) fn exchange_items_round<I: Send + dedukt_net::fault::WireHash>(
     world: &mut BspWorld,
     round: Vec<Vec<Vec<I>>>,
     hidden: Option<&[SimTime]>,
@@ -328,6 +391,9 @@ pub(crate) fn exchange_items_round<I: Send>(
     };
     RoundRecv {
         items: flatten_recv(outcome.recv),
+        undelivered: outcome.undelivered,
+        failed_sends: outcome.failed_sends,
+        corrupt_buckets: outcome.corrupt_buckets,
         wire_mean: outcome.wire.mean,
         charged_mean: outcome.times.mean,
     }

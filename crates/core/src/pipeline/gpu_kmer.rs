@@ -25,7 +25,7 @@ use crate::pipeline::driver::{
 use crate::pipeline::gpu_common::{
     block_range, chunked_launch, concat_rank_reads, reads_h2d_volume, staging, DeviceRoundCounter,
 };
-use crate::pipeline::{RankCountResult, RunReport};
+use crate::pipeline::{RankCountResult, RunError, RunReport};
 use crate::width::PackedKmer;
 use dedukt_dna::kmer::KmerWord;
 use dedukt_dna::packed::ConcatReads;
@@ -203,12 +203,18 @@ impl<K: PackedKmer> CounterStages for GpuKmerStages<K> {
 }
 
 /// Runs the GPU k-mer counter at the narrow (`u64`) key width.
+///
+/// Panics on an invalid configuration or an unsurvivable fault plan; use
+/// [`crate::pipeline::run`] for the fallible entry point.
 pub fn run_gpu_kmer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    run_gpu_kmer_typed::<u64>(reads, rc)
+    run_gpu_kmer_typed::<u64>(reads, rc).expect("run failed")
 }
 
 /// Runs the GPU k-mer counter at an explicit key width.
-pub fn run_gpu_kmer_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
+pub fn run_gpu_kmer_typed<K: PackedKmer>(
+    reads: &ReadSet,
+    rc: &RunConfig,
+) -> Result<RunReport<K>, RunError> {
     run_staged(&mut GpuKmerStages::<K>(PhantomData), reads, rc)
 }
 

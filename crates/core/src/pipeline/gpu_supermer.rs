@@ -24,7 +24,7 @@ use crate::config::RunConfig;
 use crate::partition::{minimizer_owner, BalancedAssignment};
 use crate::pipeline::driver::{run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv};
 use crate::pipeline::gpu_common::{block_range, chunked_launch, staging, DeviceRoundCounter};
-use crate::pipeline::{RankCountResult, RunReport};
+use crate::pipeline::{RankCountResult, RunError, RunReport};
 use crate::supermer::build_supermers_reference_w;
 use crate::supermer::{num_windows, supermers_of_window_w, SupermerW};
 use crate::width::PackedKmer;
@@ -250,6 +250,10 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
             word_round.push(wrow);
             len_round.push(lrow);
         }
+        // Both collectives run in the driver's current fault context, so
+        // an injected fault hits a bucket's words and lengths *together*
+        // (the BSP world caches the first collective's fate matrix) —
+        // the zip alignment below survives any fault schedule.
         let words_out = match hidden {
             Some(h) => world.alltoallv_overlapped(word_round, h),
             None => world.alltoallv(word_round),
@@ -269,8 +273,34 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
                 flat
             })
             .collect();
+        // Undelivered buckets re-zip the same way (shared fates keep the
+        // two streams bucket-aligned) so the driver can re-offer them as
+        // ordinary items on the retry attempt.
+        let undelivered = words_out
+            .undelivered
+            .into_iter()
+            .zip(lens_out.undelivered)
+            .map(|(wrow, lrow)| {
+                wrow.into_iter()
+                    .zip(lrow)
+                    .map(|(w_dst, l_dst)| {
+                        assert_eq!(
+                            w_dst.len(),
+                            l_dst.len(),
+                            "undelivered word/length streams must align"
+                        );
+                        w_dst.into_iter().zip(l_dst).collect()
+                    })
+                    .collect()
+            })
+            .collect();
         RoundRecv {
             items,
+            undelivered,
+            // One logical supermer bucket rides two wire buckets; report
+            // it once so retry counts match the k-mer pipelines'.
+            failed_sends: words_out.failed_sends,
+            corrupt_buckets: words_out.corrupt_buckets,
             wire_mean: words_out.wire.mean + lens_out.wire.mean,
             charged_mean: words_out.times.mean + lens_out.times.mean,
         }
@@ -329,12 +359,17 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
 }
 
 /// Runs the GPU supermer counter at the narrow (`u64`) key width.
+/// Panics on an invalid configuration or an unsurvivable fault plan;
+/// use [`crate::pipeline::run`] for the fallible entry point.
 pub fn run_gpu_supermer(reads: &ReadSet, rc: &RunConfig) -> RunReport {
-    run_gpu_supermer_typed::<u64>(reads, rc)
+    run_gpu_supermer_typed::<u64>(reads, rc).expect("run failed")
 }
 
 /// Runs the GPU supermer counter at an explicit key width.
-pub fn run_gpu_supermer_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> RunReport<K> {
+pub fn run_gpu_supermer_typed<K: PackedKmer>(
+    reads: &ReadSet,
+    rc: &RunConfig,
+) -> Result<RunReport<K>, RunError> {
     assert!(
         !rc.counting.canonical,
         "canonical counting is incompatible with minimizer routing of raw supermers; \

@@ -80,14 +80,52 @@ impl<K: TableKey> RunReport<K> {
     }
 }
 
+/// A failed pipeline run: either the configuration was rejected up
+/// front, or the run itself died in a way the driver reports cleanly
+/// (today: an exchange round exhausting its fault-retry budget).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunError {
+    /// The run configuration was rejected before any work was done.
+    Config(ConfigError),
+    /// An exchange round still had undelivered buckets after the fault
+    /// plan's full retry budget (`1 + max_retries` attempts).
+    ExchangeFailed {
+        /// Zero-based exchange round that could not complete.
+        round: u64,
+        /// Delivery attempts made (first attempt + retries).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => e.fmt(f),
+            RunError::ExchangeFailed { round, attempts } => write!(
+                f,
+                "exchange round {round} failed: buckets still undelivered after \
+                 {attempts} attempts (fault retry budget exhausted)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> RunError {
+        RunError::Config(e)
+    }
+}
+
 /// Runs the pipeline selected by `rc.mode`.
 ///
 /// Validates the whole run configuration first and returns a
-/// [`ConfigError`] instead of panicking on a bad one — CLI and library
-/// callers can surface the message cleanly. The per-mode `run_*`
-/// functions remain panicking entry points for callers that have already
-/// validated.
-pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, ConfigError> {
+/// [`RunError`] instead of panicking on a bad configuration or an
+/// unsurvivable fault plan — CLI and library callers can surface the
+/// message cleanly. The per-mode `run_*` functions remain panicking
+/// entry points for callers that have already validated.
+pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, RunError> {
     run_typed::<u64>(reads, rc)
 }
 
@@ -96,16 +134,14 @@ pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, ConfigError> {
 /// splitting, overlap, metrics, and tracing behave identically at either
 /// width; only the wire bytes per item (and hence exchange volumes and
 /// simulated times) differ.
-pub fn run_typed<K: PackedKmer>(
-    reads: &ReadSet,
-    rc: &RunConfig,
-) -> Result<RunReport<K>, ConfigError> {
-    rc.validate_for_width(K::MAX_COUNTING_K, K::MAX_SUPERMER_BASES)?;
-    Ok(match rc.mode {
+pub fn run_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport<K>, RunError> {
+    rc.validate_for_width(K::MAX_COUNTING_K, K::MAX_SUPERMER_BASES)
+        .map_err(RunError::Config)?;
+    match rc.mode {
         Mode::CpuBaseline => cpu::run_cpu_typed::<K>(reads, rc),
         Mode::GpuKmer => gpu_kmer::run_gpu_kmer_typed::<K>(reads, rc),
         Mode::GpuSupermer => gpu_supermer::run_gpu_supermer_typed::<K>(reads, rc),
-    })
+    }
 }
 
 /// Shared post-processing: assemble the report pieces every pipeline

@@ -51,6 +51,19 @@ pub struct ExchangeSummary {
     /// How many memory-bounded rounds the exchange was split into
     /// (§III-A); 1 when `round_limit_bytes` is unset.
     pub rounds: u64,
+    /// Fault recovery: buckets re-sent after a failed or corrupt
+    /// delivery (zero without a fault plan).
+    pub retries: u64,
+    /// Fault recovery: buckets that arrived with a checksum mismatch and
+    /// were discarded (a subset of [`ExchangeSummary::retries`]).
+    pub corrupt_buckets: u64,
+    /// Bytes of [`ExchangeSummary::bytes`] re-sent on retry attempts;
+    /// first-attempt traffic is `bytes - retry_bytes`.
+    pub retry_bytes: u64,
+    /// Simulated time spent recovering: retry collectives plus backoff,
+    /// charged separately from [`ExchangeSummary::alltoallv_time`]
+    /// (which stays pure first-attempt wire time).
+    pub recovery_time: SimTime,
 }
 
 impl ExchangeSummary {
@@ -128,6 +141,7 @@ mod tests {
             off_node_bytes: 1 << 19,
             alltoallv_time: SimTime::from_millis(3.0),
             rounds: 1,
+            ..Default::default()
         };
         assert_eq!(format!("{}", e.volume()), "1.00 MiB");
     }

@@ -25,7 +25,7 @@ use dedukt_gpu::{AtomicBuffer, AtomicBuffer128, Device, OomError};
 /// the all-ones word (k = [`KmerWord::MAX_K`], every base the symbol 3)
 /// would collide with the empty-slot sentinel [`TableKey::EMPTY`], so
 /// the pipelines cap k at [`PackedKmer::MAX_COUNTING_K`].
-pub trait PackedKmer: TableKey + KmerWord {
+pub trait PackedKmer: TableKey + KmerWord + dedukt_net::WireHash {
     /// Bytes one packed k-mer occupies on the wire (8 or 16).
     const KMER_WIRE_BYTES: u64 = Self::WORD_BYTES as u64;
 

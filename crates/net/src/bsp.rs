@@ -13,10 +13,33 @@
 //! modelled collective time.
 
 use crate::cost::Network;
+use crate::fault::{BucketFate, ChecksumFrame, FaultPlan, WireHash};
 use crate::stats::CommStats;
 use dedukt_sim::{MetricsRegistry, SimClock, SimTime, TraceCounter, TraceEvent};
 use rayon::prelude::*;
 use std::sync::Arc;
+
+/// Fault-injection state attached to a world by
+/// [`BspWorld::enable_faults`].
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Active exchange context `(round, attempt)` set by
+    /// [`BspWorld::fault_context`]. Fates are applied **only** inside a
+    /// context — a caller that opens one is promising it has a retry
+    /// path for the undelivered buckets. Contextless collectives (e.g.
+    /// the minimizer prepass) always deliver.
+    ctx: Option<(u64, u32)>,
+    /// Fates of the first collective in the current context, reused by
+    /// subsequent collectives so paired payloads (supermer words +
+    /// lengths) share one fate and stay zip-aligned.
+    cached_fates: Option<Vec<Vec<BucketFate>>>,
+    /// Compute steps seen, the straggler schedule's step coordinate.
+    compute_steps: u64,
+    /// Cumulative buckets re-sent on retry attempts, per source rank —
+    /// the "retry buckets" trace counter lane.
+    retry_buckets_cum: Vec<u64>,
+}
 
 /// Durations of one superstep, aggregated over ranks.
 ///
@@ -51,7 +74,19 @@ impl StepTimes {
 #[derive(Debug)]
 pub struct ExchangeOutcome<T> {
     /// `recv[dst][src]` — the payload rank `src` sent to rank `dst`.
+    /// Buckets lost to an injected fault arrive empty here and show up in
+    /// [`ExchangeOutcome::undelivered`] instead.
     pub recv: Vec<Vec<Vec<T>>>,
+    /// `undelivered[src][dst]` — buckets that failed to send or arrived
+    /// corrupt this attempt, returned in send-matrix shape so the caller
+    /// can pass them straight back to the next attempt's Alltoallv. All
+    /// empty on a fault-free fabric or outside a fault context.
+    pub undelivered: Vec<Vec<Vec<T>>>,
+    /// Buckets that failed to send this attempt.
+    pub failed_sends: u64,
+    /// Buckets delivered with a checksum mismatch and discarded this
+    /// attempt.
+    pub corrupt_buckets: u64,
     /// Per-rank *charged* time for this collective, measured from the
     /// synchronized start (straggler waits are reflected in the clocks,
     /// not here — phases are reported barrier-to-barrier, as the paper's
@@ -77,6 +112,7 @@ pub struct BspWorld {
     sent_bytes_cum: Vec<u64>,
     metrics: Option<Arc<MetricsRegistry>>,
     step_counter: usize,
+    fault: Option<FaultState>,
 }
 
 impl BspWorld {
@@ -92,6 +128,7 @@ impl BspWorld {
             sent_bytes_cum: vec![0; n],
             metrics: None,
             step_counter: 0,
+            fault: None,
         }
     }
 
@@ -101,6 +138,59 @@ impl BspWorld {
     /// changes them.
     pub fn enable_metrics(&mut self, registry: Arc<MetricsRegistry>) {
         self.metrics = Some(registry);
+    }
+
+    /// Attaches a deterministic fault plan. Stragglers stretch subsequent
+    /// compute steps immediately; bucket fates (failed sends, corruption)
+    /// fire only inside a [`BspWorld::fault_context`], because applying
+    /// them requires the caller to own a retry path.
+    pub fn enable_faults(&mut self, plan: FaultPlan) {
+        let n = self.nranks();
+        self.fault = Some(FaultState {
+            plan,
+            ctx: None,
+            cached_fates: None,
+            compute_steps: 0,
+            retry_buckets_cum: vec![0; n],
+        });
+    }
+
+    /// Opens (or re-keys) a fault context: collectives until the next
+    /// [`BspWorld::fault_context`]/[`BspWorld::clear_fault_context`] call
+    /// draw bucket fates at `(round, attempt)`. The first collective in a
+    /// context fixes the fate matrix; later collectives in the same
+    /// context reuse it, so multi-collective payloads (supermer words +
+    /// lengths) fail or deliver together. No-op without a fault plan.
+    pub fn fault_context(&mut self, round: u64, attempt: u32) {
+        if let Some(fs) = &mut self.fault {
+            fs.ctx = Some((round, attempt));
+            fs.cached_fates = None;
+        }
+    }
+
+    /// Closes the fault context: collectives go back to always delivering.
+    pub fn clear_fault_context(&mut self) {
+        if let Some(fs) = &mut self.fault {
+            fs.ctx = None;
+            fs.cached_fates = None;
+        }
+    }
+
+    /// Advances every rank's clock by `dt`, recording one `name` trace
+    /// span per rank — used to charge retry backoff to the sim clock.
+    pub fn advance_all(&mut self, name: &str, dt: SimTime) {
+        if dt.is_zero() {
+            return;
+        }
+        for rank in 0..self.clocks.len() {
+            self.trace.push(TraceEvent {
+                name: name.to_string(),
+                rank,
+                start: self.clocks[rank].now(),
+                duration: dt,
+            });
+            self.clocks[rank].advance(dt);
+        }
     }
 
     /// Number of ranks.
@@ -153,9 +243,26 @@ impl BspWorld {
     {
         let results: Vec<(T, SimTime)> = (0..self.nranks()).into_par_iter().map(&f).collect();
         let metrics = self.metrics.clone();
+        let straggle: Option<(FaultPlan, u64)> = self.fault.as_mut().map(|fs| {
+            fs.compute_steps += 1;
+            (fs.plan, fs.compute_steps - 1)
+        });
         let mut outputs = Vec::with_capacity(results.len());
         let mut times = Vec::with_capacity(results.len());
         for (rank, (out, dt)) in results.into_iter().enumerate() {
+            // A scheduled straggler stretches this rank's step — timing
+            // only, the computed payload is untouched.
+            let dt = match &straggle {
+                Some((plan, step)) => {
+                    let factor = plan.straggle_factor(*step, rank);
+                    if factor != 1.0 {
+                        SimTime::from_secs(dt.as_secs() * factor)
+                    } else {
+                        dt
+                    }
+                }
+                None => dt,
+            };
             if !dt.is_zero() {
                 self.trace.push(TraceEvent {
                     name: name.to_string(),
@@ -191,7 +298,7 @@ impl BspWorld {
     /// Performs an Alltoallv: `send[src][dst]` is the payload `src` sends
     /// to `dst`. Payloads move (no copies); the cost model charges each
     /// rank its simulated exchange time.
-    pub fn alltoallv<T: Send>(&mut self, send: Vec<Vec<Vec<T>>>) -> ExchangeOutcome<T> {
+    pub fn alltoallv<T: Send + WireHash>(&mut self, send: Vec<Vec<Vec<T>>>) -> ExchangeOutcome<T> {
         self.exchange(send, None)
     }
 
@@ -202,7 +309,7 @@ impl BspWorld {
     /// charged `max(wire, hidden)` — whichever finishes last gates the
     /// superstep — instead of their sum. Volumes, statistics, and payload
     /// routing are identical to [`BspWorld::alltoallv`].
-    pub fn alltoallv_overlapped<T: Send>(
+    pub fn alltoallv_overlapped<T: Send + WireHash>(
         &mut self,
         send: Vec<Vec<Vec<T>>>,
         hidden: &[SimTime],
@@ -215,7 +322,7 @@ impl BspWorld {
         self.exchange(send, Some(hidden))
     }
 
-    fn exchange<T: Send>(
+    fn exchange<T: Send + WireHash>(
         &mut self,
         send: Vec<Vec<Vec<T>>>,
         hidden: Option<&[SimTime]>,
@@ -235,6 +342,38 @@ impl BspWorld {
             .record_alltoallv(&send_bytes, |r| topo.node_of(r));
         if hidden.is_some() {
             self.stats.overlapped_collectives += 1;
+        }
+        // Fates for this attempt, fixed before the wire: every attempted
+        // byte is charged whether or not its bucket survives. Inside a
+        // fault context the first collective's matrix is cached so paired
+        // collectives share fates.
+        let fates: Option<Vec<Vec<BucketFate>>> = match &mut self.fault {
+            Some(fs) if fs.ctx.is_some() => Some(match &fs.cached_fates {
+                Some(m) => m.clone(),
+                None => {
+                    let (round, attempt) = fs.ctx.expect("guarded above");
+                    let m: Vec<Vec<BucketFate>> = (0..p)
+                        .map(|src| {
+                            (0..p)
+                                .map(|dst| fs.plan.bucket_fate(round, attempt, src, dst))
+                                .collect()
+                        })
+                        .collect();
+                    fs.cached_fates = Some(m.clone());
+                    m
+                }
+            }),
+            _ => None,
+        };
+        let is_retry = self
+            .fault
+            .as_ref()
+            .and_then(|fs| fs.ctx)
+            .is_some_and(|(_, attempt)| attempt > 0);
+        if is_retry {
+            // Retry traffic: charged to the wire like any collective, but
+            // tracked separately from first-attempt volume.
+            self.stats.retry_bytes += send_bytes.iter().flatten().sum::<u64>();
         }
         let wire_times = self.net.alltoallv_times(&send_bytes);
         let sent_per_rank: Vec<u64> = send_bytes.iter().map(|row| row.iter().sum()).collect();
@@ -278,6 +417,13 @@ impl BspWorld {
                 // slowest participant (SimTime subtraction floors at zero).
                 let wait = start - self.clocks[rank].now();
                 m.counter_add("exchange_bytes_total", Some(rank), sent_per_rank[rank]);
+                if is_retry {
+                    m.counter_add(
+                        "exchange_retry_bytes_total",
+                        Some(rank),
+                        sent_per_rank[rank],
+                    );
+                }
                 m.gauge_add("alltoallv_wire_seconds_total", Some(rank), wt.as_secs());
                 m.gauge_add("alltoallv_wait_seconds_total", Some(rank), wait.as_secs());
                 if hidden.is_some() {
@@ -304,16 +450,76 @@ impl BspWorld {
         let times = StepTimes::from_times(&elapsed);
         let wire = StepTimes::from_times(&wire);
 
-        // Transpose payloads: recv[dst][src] = send[src][dst].
-        let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-        for row in send {
-            for (dst, payload) in row.into_iter().enumerate() {
-                recv[dst].push(payload);
+        if is_retry {
+            // "retry buckets" counter lane: cumulative buckets each source
+            // rank had to re-offer, sampled at this attempt's finish.
+            let fs = self.fault.as_mut().expect("is_retry implies fault state");
+            for (rank, row) in send_bytes.iter().enumerate() {
+                fs.retry_buckets_cum[rank] += row.iter().filter(|&&b| b > 0).count() as u64;
+            }
+            let cum = fs.retry_buckets_cum.clone();
+            for (rank, &buckets) in cum.iter().enumerate() {
+                self.counters.push(TraceCounter {
+                    name: "retry buckets".to_string(),
+                    rank,
+                    ts: self.clocks[rank].now(),
+                    value: buckets as f64,
+                });
             }
         }
 
+        // Transpose payloads: recv[dst][src] = send[src][dst], applying
+        // this attempt's bucket fates. A failed or corrupt bucket arrives
+        // empty and is handed back in `undelivered[src][dst]` for the
+        // caller's next attempt; corruption is *detected* by the receiver
+        // recomputing the checksum frame, never silently consumed.
+        let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+        let mut undelivered: Vec<Vec<Vec<T>>> = (0..p)
+            .map(|_| (0..p).map(|_| Vec::new()).collect())
+            .collect();
+        let mut failed_sends = 0u64;
+        let mut corrupt_buckets = 0u64;
+        for (src, row) in send.into_iter().enumerate() {
+            for (dst, payload) in row.into_iter().enumerate() {
+                // Nothing sent, nothing to fault.
+                let fate = match &fates {
+                    Some(m) if !payload.is_empty() => m[src][dst],
+                    _ => BucketFate::Deliver,
+                };
+                match fate {
+                    BucketFate::Deliver if fates.is_none() => recv[dst].push(payload),
+                    BucketFate::Deliver => {
+                        // Receiver-side verification: recompute the frame
+                        // over the delivered items.
+                        let frame = ChecksumFrame::compute(&payload);
+                        debug_assert!(frame.matches(&payload));
+                        recv[dst].push(payload);
+                    }
+                    BucketFate::FailSend => {
+                        failed_sends += 1;
+                        recv[dst].push(Vec::new());
+                        undelivered[src][dst] = payload;
+                    }
+                    BucketFate::Corrupt => {
+                        // The wire flipped bits; the frame no longer
+                        // matches, so the receiver discards the bucket.
+                        let frame = ChecksumFrame::compute(&payload).corrupted();
+                        assert!(!frame.matches(&payload), "corrupted frame must not verify");
+                        corrupt_buckets += 1;
+                        recv[dst].push(Vec::new());
+                        undelivered[src][dst] = payload;
+                    }
+                }
+            }
+        }
+        self.stats.failed_sends += failed_sends;
+        self.stats.corrupt_buckets += corrupt_buckets;
+
         ExchangeOutcome {
             recv,
+            undelivered,
+            failed_sends,
+            corrupt_buckets,
             elapsed,
             times,
             wire,
@@ -525,6 +731,169 @@ mod tests {
         let p = w.nranks();
         let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![1u64]; p]; p];
         w.alltoallv_overlapped(send, &[SimTime::ZERO]);
+    }
+
+    #[test]
+    fn faults_need_a_context_to_fire() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = world(1);
+        w.enable_faults(FaultPlan::new(
+            3,
+            FaultSpec::parse("fail=1.0,straggle=0").unwrap(),
+        ));
+        let p = w.nranks();
+        // No fault context: even fail=1.0 delivers everything.
+        let out = w.alltoallv(vec![vec![vec![5u64; 4]; p]; p]);
+        assert_eq!(out.failed_sends, 0);
+        assert!(out.undelivered.iter().flatten().all(|b| b.is_empty()));
+        for dst in 0..p {
+            for src in 0..p {
+                assert_eq!(out.recv[dst][src], vec![5u64; 4]);
+            }
+        }
+        // Inside a context, every non-empty bucket fails.
+        w.fault_context(0, 0);
+        let out = w.alltoallv(vec![vec![vec![5u64; 4]; p]; p]);
+        assert_eq!(out.failed_sends, (p * p) as u64);
+        assert!(out.recv.iter().flatten().all(|b| b.is_empty()));
+        assert!(out
+            .undelivered
+            .iter()
+            .flatten()
+            .all(|b| b == &vec![5u64; 4]));
+        assert_eq!(w.stats().failed_sends, (p * p) as u64);
+        // Clearing the context restores perfect delivery.
+        w.clear_fault_context();
+        let out = w.alltoallv(vec![vec![vec![5u64; 4]; p]; p]);
+        assert_eq!(out.failed_sends, 0);
+    }
+
+    #[test]
+    fn retry_loop_recovers_every_bucket() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = world(1);
+        let spec = FaultSpec::parse("fail=0.4,corrupt=0.3,straggle=0").unwrap();
+        w.enable_faults(FaultPlan::new(1234, spec));
+        let p = w.nranks();
+        // Tagged payloads so we can verify exact reassembly.
+        let tag = |src: usize, dst: usize| vec![(src * 100 + dst) as u64; 3];
+        let mut pending: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|src| (0..p).map(|dst| tag(src, dst)).collect())
+            .collect();
+        let mut delivered: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|_| (0..p).map(|_| Vec::new()).collect())
+            .collect();
+        let mut attempts = 0u32;
+        let mut retried_buckets = 0u64;
+        loop {
+            w.fault_context(0, attempts);
+            let out = w.alltoallv(pending);
+            for (dst, row) in out.recv.into_iter().enumerate() {
+                for (src, bucket) in row.into_iter().enumerate() {
+                    if !bucket.is_empty() {
+                        assert!(delivered[dst][src].is_empty(), "double delivery");
+                        delivered[dst][src] = bucket;
+                    }
+                }
+            }
+            if out.failed_sends + out.corrupt_buckets == 0 {
+                break;
+            }
+            retried_buckets += out.failed_sends + out.corrupt_buckets;
+            pending = out.undelivered;
+            attempts += 1;
+            assert!(attempts < 64, "fates must eventually deliver");
+        }
+        assert!(attempts > 0, "rates this high must fault at least once");
+        assert!(retried_buckets > 0);
+        for (dst, row) in delivered.iter().enumerate() {
+            for (src, bucket) in row.iter().enumerate() {
+                assert_eq!(*bucket, tag(src, dst));
+            }
+        }
+        // All attempted bytes are in total_bytes; the retry share is
+        // exactly the re-offered buckets' bytes.
+        assert_eq!(w.stats().retry_bytes, retried_buckets * 3 * 8);
+        assert_eq!(
+            w.stats().failed_sends + w.stats().corrupt_buckets,
+            retried_buckets
+        );
+        assert!(w.stats().total_bytes > w.stats().retry_bytes);
+        // Retry attempts left "retry buckets" counter samples.
+        let lanes = w.take_trace_counters();
+        assert!(lanes.iter().any(|c| c.name == "retry buckets"));
+    }
+
+    #[test]
+    fn paired_collectives_share_fates_within_a_context() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut w = world(1);
+        w.enable_faults(FaultPlan::new(
+            77,
+            FaultSpec::parse("fail=0.5,straggle=0").unwrap(),
+        ));
+        let p = w.nranks();
+        w.fault_context(9, 0);
+        let words = w.alltoallv(vec![vec![vec![1u64; 2]; p]; p]);
+        let lens = w.alltoallv(vec![vec![vec![1u8; 2]; p]; p]);
+        for dst in 0..p {
+            for src in 0..p {
+                assert_eq!(
+                    words.recv[dst][src].is_empty(),
+                    lens.recv[dst][src].is_empty(),
+                    "words and lengths must share a fate ({src}->{dst})"
+                );
+            }
+        }
+        // Re-keying the context redraws fates; with fail=0.5 over 36
+        // buckets the new draw must differ somewhere.
+        w.fault_context(10, 0);
+        let again = w.alltoallv(vec![vec![vec![1u64; 2]; p]; p]);
+        let differs = (0..p).any(|dst| {
+            (0..p).any(|src| words.recv[dst][src].is_empty() != again.recv[dst][src].is_empty())
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn stragglers_stretch_compute_only() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let mut plain = world(1);
+        let mut faulty = world(1);
+        faulty.enable_faults(FaultPlan::new(
+            5,
+            FaultSpec::parse("straggle=0.5,slow=10").unwrap(),
+        ));
+        let step =
+            |w: &mut BspWorld| w.compute_step_named("work", |r| (r * 2, SimTime::from_millis(1.0)));
+        let (outs_a, times_a) = step(&mut plain);
+        let (outs_b, times_b) = step(&mut faulty);
+        // Payloads identical, times stretched for the scheduled ranks.
+        assert_eq!(outs_a, outs_b);
+        assert!(times_b.max > times_a.max);
+        assert_eq!(times_b.max, SimTime::from_millis(10.0));
+        // Zero-rate plan leaves timing bit-identical.
+        let mut zero = world(1);
+        zero.enable_faults(FaultPlan::new(5, FaultSpec::none()));
+        let (_, times_z) = step(&mut zero);
+        assert_eq!(times_z.max, times_a.max);
+        assert_eq!(times_z.mean, times_a.mean);
+    }
+
+    #[test]
+    fn advance_all_charges_every_clock() {
+        let mut w = world(1);
+        w.advance_all("retry-backoff", SimTime::from_millis(2.0));
+        assert!(w
+            .clocks()
+            .iter()
+            .all(|c| c.now() == SimTime::from_millis(2.0)));
+        let trace = w.take_trace();
+        assert_eq!(trace.len(), w.nranks());
+        assert!(trace.iter().all(|e| e.name == "retry-backoff"));
+        // Zero advance records nothing.
+        w.advance_all("noop", SimTime::ZERO);
+        assert!(w.take_trace().is_empty());
     }
 
     #[test]

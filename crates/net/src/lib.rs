@@ -21,6 +21,7 @@
 pub mod bsp;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
@@ -28,6 +29,7 @@ pub mod topology;
 pub use bsp::BspWorld;
 pub use comm::Communicator;
 pub use cost::NetworkParams;
+pub use fault::{BucketFate, ChecksumFrame, FaultPlan, FaultSpec, WireHash};
 pub use stats::CommStats;
 pub use threaded::ThreadedWorld;
 pub use topology::Topology;

@@ -18,6 +18,15 @@ pub struct CommStats {
     pub off_node_bytes: u64,
     /// Total messages (non-empty rank→rank payloads).
     pub messages: u64,
+    /// Bytes of [`CommStats::total_bytes`] that were *re-sent* on retry
+    /// attempts after a fault (zero on a fault-free fabric). First-attempt
+    /// traffic is `total_bytes - retry_bytes`.
+    pub retry_bytes: u64,
+    /// Buckets that failed to send (transient link fault) across all
+    /// attempts.
+    pub failed_sends: u64,
+    /// Buckets delivered with a checksum mismatch and discarded.
+    pub corrupt_buckets: u64,
     /// Per-rank bytes *sent*, accumulated (for imbalance reporting).
     pub sent_by_rank: Vec<u64>,
 }
@@ -67,6 +76,9 @@ impl CommStats {
         self.total_bytes += other.total_bytes;
         self.off_node_bytes += other.off_node_bytes;
         self.messages += other.messages;
+        self.retry_bytes += other.retry_bytes;
+        self.failed_sends += other.failed_sends;
+        self.corrupt_buckets += other.corrupt_buckets;
         for (a, b) in self.sent_by_rank.iter_mut().zip(&other.sent_by_rank) {
             *a += b;
         }

@@ -6,7 +6,9 @@
 //! counts (≤ a few hundred) and for cross-validating the BSP engine.
 
 use crate::comm::Communicator;
+use crate::fault::{BucketFate, ChecksumFrame, FaultPlan, WireHash};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::Cell;
 use std::sync::{Arc, Barrier};
 
 /// Payload carried between ranks.
@@ -14,6 +16,27 @@ enum Payload {
     Bytes(Vec<u8>),
     Words(Vec<u64>),
     Scalar(u64),
+    /// A byte bucket travelling with its checksum frame (fault runs).
+    FramedBytes(Vec<u8>, ChecksumFrame),
+    /// A word bucket travelling with its checksum frame (fault runs).
+    FramedWords(Vec<u64>, ChecksumFrame),
+    /// The attempt's send failed in flight; the receiver learns only that
+    /// nothing arrived and must wait for the next attempt.
+    FailedSend,
+}
+
+/// Per-rank fault-injection state: the shared plan plus this rank's view
+/// of the schedule. Both endpoints of every channel evaluate the *same*
+/// pure [`FaultPlan`], so no acknowledgement traffic is needed — sender
+/// and receiver independently agree on each bucket's per-attempt fate.
+struct FaultCtx {
+    plan: FaultPlan,
+    /// Fault-aware collectives completed (the fate schedule's `round`
+    /// coordinate, matching the BSP engine's `fault_context` round).
+    round: Cell<u64>,
+    /// Failed or corrupt bucket arrivals observed by this rank as a
+    /// receiver — one per retry the matching sender had to perform.
+    retries: Cell<u64>,
 }
 
 /// A per-rank handle implementing [`Communicator`] over channels.
@@ -25,7 +48,13 @@ pub struct ThreadedComm {
     /// `from[src]` receives from rank `src`.
     from: Vec<Receiver<Payload>>,
     barrier: Arc<Barrier>,
+    fault: Option<FaultCtx>,
 }
+
+/// Hang guard for fault-run collectives: with any survivable fault rates
+/// the per-pair retry loop finishes in a handful of attempts, so hitting
+/// this bound means the plan can never deliver (e.g. fail=1).
+const MAX_FAULT_ATTEMPTS: u32 = 1000;
 
 impl ThreadedComm {
     fn send_to(&self, dst: usize, p: Payload) {
@@ -34,6 +63,90 @@ impl ThreadedComm {
 
     fn recv_from(&self, src: usize) -> Payload {
         self.from[src].recv().expect("peer rank hung up")
+    }
+
+    /// Failed or corrupt bucket arrivals this rank has observed — the
+    /// threaded engine's analogue of `CommStats::failed_sends +
+    /// corrupt_buckets`, summed over receiving ranks.
+    pub fn fault_retries(&self) -> u64 {
+        self.fault.as_ref().map_or(0, |c| c.retries.get())
+    }
+
+    /// One fault-aware Alltoallv: every pair `(self → dst, src → self)`
+    /// runs its own deterministic retry loop. On each attempt a pending
+    /// pair moves exactly one message (framed payload, corrupt-framed
+    /// payload, or a [`Payload::FailedSend`] marker), so matched
+    /// send/receive counts keep the unbounded FIFO channels deadlock-free;
+    /// a pair leaves the loop at its first [`BucketFate::Deliver`] draw,
+    /// the same attempt index at which the BSP engine's retry loop
+    /// re-delivers that bucket. Empty buckets always deliver on attempt 0
+    /// (nothing on the wire can fail).
+    fn faulty_alltoallv<T: WireHash>(
+        &self,
+        ctx: &FaultCtx,
+        send: Vec<Vec<T>>,
+        wrap: impl Fn(Vec<T>, ChecksumFrame) -> Payload,
+        unwrap: impl Fn(Payload) -> Option<(Vec<T>, ChecksumFrame)>,
+        clone_bucket: impl Fn(&[T]) -> Vec<T>,
+    ) -> Vec<Vec<T>> {
+        let round = ctx.round.get();
+        ctx.round.set(round + 1);
+        let mut pending_out: Vec<Option<Vec<T>>> = send.into_iter().map(Some).collect();
+        let mut result: Vec<Option<Vec<T>>> = (0..self.size).map(|_| None).collect();
+        let mut pending_in: Vec<bool> = vec![true; self.size];
+        for attempt in 0..MAX_FAULT_ATTEMPTS {
+            if pending_out.iter().all(Option::is_none) && result.iter().all(Option::is_some) {
+                return result.into_iter().map(Option::unwrap).collect();
+            }
+            for (dst, slot) in pending_out.iter_mut().enumerate() {
+                let Some(payload) = slot else {
+                    continue;
+                };
+                let fate = if payload.is_empty() {
+                    BucketFate::Deliver
+                } else {
+                    ctx.plan.bucket_fate(round, attempt, self.rank, dst)
+                };
+                match fate {
+                    BucketFate::Deliver => {
+                        let p = slot.take().expect("guarded above");
+                        let frame = ChecksumFrame::compute(&p);
+                        self.send_to(dst, wrap(p, frame));
+                    }
+                    BucketFate::Corrupt => {
+                        // The bucket crosses the wire with a bad frame;
+                        // the sender keeps its copy for the retry.
+                        let frame = ChecksumFrame::compute(payload).corrupted();
+                        self.send_to(dst, wrap(clone_bucket(payload), frame));
+                    }
+                    BucketFate::FailSend => self.send_to(dst, Payload::FailedSend),
+                }
+            }
+            for (src, pending) in pending_in.iter_mut().enumerate() {
+                if !*pending {
+                    continue;
+                }
+                match self.recv_from(src) {
+                    Payload::FailedSend => ctx.retries.set(ctx.retries.get() + 1),
+                    other => {
+                        let (items, frame) =
+                            unwrap(other).expect("collective mismatch: expected framed payload");
+                        if frame.matches(&items) {
+                            result[src] = Some(items);
+                            *pending = false;
+                        } else {
+                            // Receiver-side checksum verification caught
+                            // the corruption; discard and await a resend.
+                            ctx.retries.set(ctx.retries.get() + 1);
+                        }
+                    }
+                }
+            }
+        }
+        panic!(
+            "fault plan never delivered: a bucket survived {MAX_FAULT_ATTEMPTS} attempts \
+             (are fail+corrupt rates at 1?)"
+        );
     }
 }
 
@@ -48,6 +161,18 @@ impl Communicator for ThreadedComm {
 
     fn alltoallv_u64(&self, send: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
         assert_eq!(send.len(), self.size, "send must address every rank");
+        if let Some(ctx) = &self.fault {
+            return self.faulty_alltoallv(
+                ctx,
+                send,
+                Payload::FramedWords,
+                |p| match p {
+                    Payload::FramedWords(w, f) => Some((w, f)),
+                    _ => None,
+                },
+                |b| b.to_vec(),
+            );
+        }
         for (dst, payload) in send.into_iter().enumerate() {
             self.send_to(dst, Payload::Words(payload));
         }
@@ -61,6 +186,18 @@ impl Communicator for ThreadedComm {
 
     fn alltoallv_bytes(&self, send: Vec<Vec<u8>>) -> Vec<Vec<u8>> {
         assert_eq!(send.len(), self.size, "send must address every rank");
+        if let Some(ctx) = &self.fault {
+            return self.faulty_alltoallv(
+                ctx,
+                send,
+                Payload::FramedBytes,
+                |p| match p {
+                    Payload::FramedBytes(b, f) => Some((b, f)),
+                    _ => None,
+                },
+                |b| b.to_vec(),
+            );
+        }
         for (dst, payload) in send.into_iter().enumerate() {
             self.send_to(dst, Payload::Bytes(payload));
         }
@@ -144,6 +281,20 @@ impl ThreadedWorld {
         T: Send,
         F: Fn(ThreadedComm) -> T + Sync,
     {
+        ThreadedWorld::run_with_faults(nranks, None, f)
+    }
+
+    /// [`ThreadedWorld::run`] under a deterministic fault plan: every
+    /// rank's Alltoallv collectives route through the framed retry
+    /// protocol (scalar collectives and barriers are fault-free), and the
+    /// engine delivers exactly the payloads the BSP engine would under
+    /// the same plan. The threaded engine has no simulated clock, so
+    /// stragglers and backoff do not apply here.
+    pub fn run_with_faults<T, F>(nranks: usize, plan: Option<FaultPlan>, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ThreadedComm) -> T + Sync,
+    {
         assert!(nranks > 0);
         // channels[src][dst]
         let mut senders: Vec<Vec<Sender<Payload>>> = Vec::with_capacity(nranks);
@@ -172,6 +323,11 @@ impl ThreadedWorld {
                 to: to_row,
                 from: from_opts.into_iter().map(Option::unwrap).collect(),
                 barrier: Arc::clone(&barrier),
+                fault: plan.map(|plan| FaultCtx {
+                    plan,
+                    round: Cell::new(0),
+                    retries: Cell::new(0),
+                }),
             })
             .collect();
 
@@ -279,6 +435,77 @@ mod tests {
             comm.broadcast(v, 1)
         });
         assert!(results.iter().all(|&v| v == 99));
+    }
+
+    #[test]
+    fn faulty_alltoallv_delivers_everything() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let p = 6;
+        let plan = FaultPlan::new(2024, FaultSpec::parse("fail=0.3,corrupt=0.2").unwrap());
+        let results = ThreadedWorld::run_with_faults(p, Some(plan), |comm| {
+            let send: Vec<Vec<u64>> = (0..p)
+                .map(|dst| vec![(comm.rank() * 100 + dst) as u64; 3])
+                .collect();
+            let words = comm.alltoallv_u64(send);
+            let bytes =
+                comm.alltoallv_bytes((0..p).map(|dst| vec![comm.rank() as u8; dst + 1]).collect());
+            (words, bytes, comm.fault_retries())
+        });
+        let mut total_retries = 0;
+        for (dst, (words, bytes, retries)) in results.iter().enumerate() {
+            for src in 0..p {
+                assert_eq!(words[src], vec![(src * 100 + dst) as u64; 3]);
+                assert_eq!(bytes[src], vec![src as u8; dst + 1]);
+            }
+            total_retries += retries;
+        }
+        assert!(total_retries > 0, "rates this high must retry somewhere");
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_plain_run() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let p = 4;
+        let body = |comm: &ThreadedComm| {
+            let send: Vec<Vec<u64>> = (0..p).map(|dst| vec![(comm.rank() + dst) as u64]).collect();
+            comm.alltoallv_u64(send)
+        };
+        let plain = ThreadedWorld::run(p, |comm| body(&comm));
+        let zero =
+            ThreadedWorld::run_with_faults(p, Some(FaultPlan::new(1, FaultSpec::none())), |comm| {
+                (body(&comm), comm.fault_retries())
+            });
+        for (a, (b, retries)) in plain.iter().zip(&zero) {
+            assert_eq!(a, b);
+            assert_eq!(*retries, 0);
+        }
+    }
+
+    #[test]
+    fn faulty_collectives_stay_matched_across_rounds() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let p = 4;
+        let plan = FaultPlan::new(9, FaultSpec::parse("fail=0.4,corrupt=0.1").unwrap());
+        let results = ThreadedWorld::run_with_faults(p, Some(plan), |comm| {
+            let mut out = Vec::new();
+            for round in 0..5u64 {
+                let send: Vec<Vec<u64>> = (0..p)
+                    .map(|dst| vec![round * 1000 + (comm.rank() * 10 + dst) as u64])
+                    .collect();
+                out.push(comm.alltoallv_u64(send));
+                comm.barrier();
+            }
+            let sum = comm.allreduce_sum(comm.rank() as u64);
+            (out, sum)
+        });
+        for (dst, (rounds, sum)) in results.iter().enumerate() {
+            assert_eq!(*sum, (0..p as u64).sum::<u64>());
+            for (round, recv) in rounds.iter().enumerate() {
+                for (src, bucket) in recv.iter().enumerate() {
+                    assert_eq!(*bucket, vec![round as u64 * 1000 + (src * 10 + dst) as u64]);
+                }
+            }
+        }
     }
 
     #[test]

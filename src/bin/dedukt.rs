@@ -15,6 +15,10 @@
 //!   `--round-limit` bounds per-rank exchange memory (§III-A);
 //!   `--overlap-rounds` additionally overlaps each round's count kernel
 //!   with the next round's wire time.
+//!   `--fault-seed N` / `--fault-spec k=v,...` inject deterministic
+//!   network faults (DESIGN.md §7): failed sends, corrupt buckets and
+//!   stragglers, recovered by the driver's bounded retry loop. The
+//!   counted spectra stay bit-identical to the fault-free run.
 //! * `info` — print the simulated hardware presets.
 //!
 //! Examples:
@@ -63,6 +67,7 @@ fn print_usage() {
          \x20        [--overlap-rounds] [--out dump.tsv]\n\
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
          \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
+         \x20        [--fault-seed N] [--fault-spec fail=F,corrupt=C,straggle=S,slow=X,retries=R,backoff=B]\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
          \x20 dedukt info"
     );
@@ -241,6 +246,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut metrics_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Json;
     let mut min_qual: Option<u8> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_spec: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
@@ -278,6 +285,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                         .map_err(|_| "bad quality threshold")?,
                 )
             }
+            "--fault-seed" => {
+                fault_seed = Some(
+                    take_value(&mut it, "--fault-seed")?
+                        .parse()
+                        .map_err(|_| "bad fault seed")?,
+                )
+            }
+            "--fault-spec" => fault_spec = Some(take_value(&mut it, "--fault-spec")?.to_string()),
             "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
             "--spectrum" => spectrum_path = Some(take_value(&mut it, "--spectrum")?.to_string()),
             "--trace" => trace_path = Some(take_value(&mut it, "--trace")?.to_string()),
@@ -291,6 +306,16 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    // Either fault flag alone activates injection: a bare seed uses the
+    // default spec, a bare spec uses seed 0. Spec range errors surface
+    // later through `validate_for_width` as a ConfigError.
+    if fault_seed.is_some() || fault_spec.is_some() {
+        let spec = match &fault_spec {
+            Some(s) => dedukt::net::FaultSpec::parse(s)?,
+            None => dedukt::net::FaultSpec::default(),
+        };
+        rc.fault = Some(dedukt::net::FaultPlan::new(fault_seed.unwrap_or(0), spec));
     }
     let outputs = CountOutputs {
         out_path,

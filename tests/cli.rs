@@ -234,6 +234,117 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn fault_flags_recover_and_match_the_fault_free_dump() {
+    let dir = tmpdir("fault");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let clean = dir.join("clean.tsv");
+    let faulty = dir.join("faulty.tsv");
+    let metrics = dir.join("metrics.json");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--out"])
+        .arg(&clean)
+        .status()
+        .unwrap()
+        .success());
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--fault-seed",
+            "42",
+            "--fault-spec",
+            "fail=0.2,corrupt=0.1,retries=8",
+            "--out",
+        ])
+        .arg(&faulty)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The headline guarantee, end to end: same dump, byte for byte.
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&faulty).unwrap(),
+        "fault recovery must not change a single count"
+    );
+    // Recovery surfaced through --metrics.
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"name\": \"retries_total\""));
+    assert!(json.contains("\"name\": \"exchange_retry_bytes_total\""));
+    assert!(json.contains("\"name\": \"recovery_seconds_total\""));
+}
+
+#[test]
+fn malformed_fault_specs_exit_two_with_a_config_error() {
+    let dir = tmpdir("fault-bad");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    // (spec, message fragment): rates out of range and retries=0 pass
+    // parsing but fail validation, like every other ConfigError; unknown
+    // keys and junk values fail at the parser.
+    for (spec, needle) in [
+        ("fail=1.5", "must be in [0, 1]"),
+        ("bogus=1", "unknown fault spec key"),
+        ("retries=0", "retries must be at least 1"),
+        ("fail=lots", "fault spec"),
+        ("corrupt", "fault spec"),
+    ] {
+        let out = dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args(["--fault-spec", spec])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec {spec:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "spec {spec:?}: missing {needle:?} in\n{stderr}"
+        );
+    }
+    // An unsurvivable plan is a clean exit-2 failure, not a panic.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--fault-spec", "fail=1,corrupt=0,retries=2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fault retry budget exhausted"),
+        "missing budget message in\n{stderr}"
+    );
+}
+
+#[test]
 fn trace_flag_writes_chrome_trace() {
     let dir = tmpdir("trace");
     let fastq = dir.join("reads.fastq");

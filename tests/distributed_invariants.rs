@@ -4,7 +4,7 @@
 use dedukt::core::{pipeline, verify, Mode, RunConfig};
 use dedukt::dna::{Read, ReadSet};
 use dedukt::net::cost::Network;
-use dedukt::net::BspWorld;
+use dedukt::net::{BspWorld, Communicator, FaultPlan, ThreadedWorld};
 use proptest::prelude::*;
 
 fn readset_strategy() -> impl Strategy<Value = ReadSet> {
@@ -105,5 +105,98 @@ proptest! {
         prop_assert!(big.phases.count >= small.phases.count * 0.6,
             "count collapsed: {} -> {}", small.phases.count, big.phases.count);
         prop_assert_eq!(big.total_kmers, small.total_kmers * 2);
+    }
+
+    /// The two network engines agree under the same fault plan: both the
+    /// BSP world (driven through the driver-style retry loop) and the
+    /// threaded world (per-pair retry protocol) deliver exactly the same
+    /// payloads, and they observe the same number of retried buckets.
+    /// The fate schedule is a pure function of (seed, round, attempt,
+    /// src, dst), so neither engine needs the other's state to agree.
+    #[test]
+    fn engines_agree_on_deliveries_under_the_same_fault_plan(
+        seed in 0u64..1_000_000,
+        fail in 0.0f64..0.45,
+        corrupt in 0.0f64..0.3,
+        nrounds in 1u64..4,
+    ) {
+        let mut spec = dedukt::net::FaultSpec::none();
+        spec.fail_rate = fail;
+        spec.corrupt_rate = corrupt;
+        let plan = FaultPlan::new(seed, spec);
+        let mut world = BspWorld::new(Network::summit_gpu(1));
+        world.enable_faults(plan);
+        let p = world.nranks();
+        // payload[src][dst][round]: unique, so misrouting is detectable.
+        let payload = |src: usize, dst: usize, round: u64| -> Vec<u64> {
+            vec![round << 32 | (src as u64) << 16 | dst as u64; (src + dst) % 3 + 1]
+        };
+
+        // BSP engine: one fault context per (round, attempt), retrying
+        // only the undelivered buckets — the staged driver's loop.
+        let mut bsp_retries = 0u64;
+        let mut bsp_delivered: Vec<Vec<Vec<Vec<u64>>>> = Vec::new(); // [round][dst][src]
+        for round in 0..nrounds {
+            let send: Vec<Vec<Vec<u64>>> = (0..p)
+                .map(|src| (0..p).map(|dst| payload(src, dst, round)).collect())
+                .collect();
+            world.fault_context(round, 0);
+            let mut out = world.alltoallv(send);
+            let mut delivered = out.recv;
+            let mut attempt = 1u32;
+            while out.failed_sends + out.corrupt_buckets > 0 {
+                bsp_retries += out.failed_sends + out.corrupt_buckets;
+                prop_assert!(attempt < 200, "plan never delivers");
+                world.fault_context(round, attempt);
+                out = world.alltoallv(out.undelivered);
+                for (dst, row) in out.recv.iter_mut().enumerate() {
+                    for (src, bucket) in row.iter_mut().enumerate() {
+                        if !bucket.is_empty() {
+                            prop_assert!(delivered[dst][src].is_empty(), "double delivery");
+                            delivered[dst][src] = std::mem::take(bucket);
+                        }
+                    }
+                }
+                attempt += 1;
+            }
+            bsp_delivered.push(delivered);
+        }
+        world.clear_fault_context();
+
+        // Threaded engine: the same collectives under the same plan; its
+        // per-collective round counter lines up with the BSP contexts.
+        let threaded = ThreadedWorld::run_with_faults(p, Some(plan), |comm| {
+            let rank = comm.rank();
+            let mut rounds = Vec::new();
+            for round in 0..nrounds {
+                let send: Vec<Vec<u64>> = (0..p).map(|dst| payload(rank, dst, round)).collect();
+                rounds.push(comm.alltoallv_u64(send));
+            }
+            (rounds, comm.fault_retries())
+        });
+
+        let mut threaded_retries = 0u64;
+        for (dst, (rounds, retries)) in threaded.iter().enumerate() {
+            threaded_retries += retries;
+            for (round, recv) in rounds.iter().enumerate() {
+                for src in 0..p {
+                    prop_assert_eq!(
+                        &recv[src],
+                        &bsp_delivered[round][dst][src],
+                        "payload mismatch {}->{} round {}", src, dst, round
+                    );
+                    prop_assert_eq!(&recv[src], &payload(src, dst, round as u64));
+                }
+            }
+        }
+        prop_assert_eq!(
+            bsp_retries,
+            threaded_retries,
+            "engines must observe the same retry schedule"
+        );
+        prop_assert_eq!(
+            world.stats().failed_sends + world.stats().corrupt_buckets,
+            threaded_retries
+        );
     }
 }

@@ -145,6 +145,66 @@ fn wide_metrics_schema_matches_narrow() {
     );
 }
 
+/// A zero-rate fault plan is a true no-op: the metric name set, the
+/// `CommStats` wire-byte totals, every phase time and the makespan are
+/// exactly what a run without any plan produces. This pins the PR 3
+/// schema against accidental drift from the fault machinery.
+#[test]
+fn zero_fault_plan_changes_nothing() {
+    use dedukt::net::{FaultPlan, FaultSpec};
+    use std::collections::BTreeSet;
+    let reads = tiny_reads();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut rc = RunConfig::new(mode, 2);
+        rc.collect_metrics = true;
+        let plain = run(&reads, &rc).expect("valid config");
+        rc.fault = Some(FaultPlan::new(12345, FaultSpec::none()));
+        let zeroed = run(&reads, &rc).expect("zero-rate plan cannot fail");
+
+        // Wire-byte accounting untouched, no retry residue.
+        assert_eq!(zeroed.exchange.bytes, plain.exchange.bytes, "mode {mode:?}");
+        assert_eq!(
+            zeroed.exchange.off_node_bytes, plain.exchange.off_node_bytes,
+            "mode {mode:?}"
+        );
+        assert_eq!(zeroed.exchange.rounds, plain.exchange.rounds);
+        assert_eq!(zeroed.exchange.retries, 0, "mode {mode:?}");
+        assert_eq!(zeroed.exchange.retry_bytes, 0, "mode {mode:?}");
+        assert_eq!(zeroed.exchange.corrupt_buckets, 0);
+        assert_eq!(
+            zeroed.exchange.recovery_time,
+            dedukt::sim::SimTime::ZERO,
+            "mode {mode:?}"
+        );
+
+        // Simulated time bit-identical: no straggle factor, no backoff.
+        assert_eq!(zeroed.phases.parse, plain.phases.parse, "mode {mode:?}");
+        assert_eq!(
+            zeroed.phases.exchange, plain.phases.exchange,
+            "mode {mode:?}"
+        );
+        assert_eq!(zeroed.phases.count, plain.phases.count, "mode {mode:?}");
+        assert_eq!(zeroed.makespan, plain.makespan, "mode {mode:?}");
+        assert_eq!(
+            zeroed.exchange.alltoallv_time, plain.exchange.alltoallv_time,
+            "mode {mode:?}"
+        );
+
+        // The exported series set — the schema dashboards key on — is
+        // exactly the PR 3 set: no fault series appear without retries.
+        let names = |r: &RunReport| -> BTreeSet<String> {
+            r.metrics
+                .as_ref()
+                .unwrap()
+                .entries
+                .iter()
+                .map(|e| e.name.clone())
+                .collect()
+        };
+        assert_eq!(names(&zeroed), names(&plain), "mode {mode:?}");
+    }
+}
+
 #[test]
 fn disabling_metrics_leaves_the_run_bit_identical() {
     let reads = tiny_reads();
