@@ -11,6 +11,10 @@
 //! * `--overlap-rounds` — overlap count kernels with the next round's wire.
 //! * `--fault-seed N` / `--fault-spec k=v,...` — deterministic network
 //!   fault injection with driver-side retry (DESIGN.md §7).
+//! * `--mem-seed N` / `--mem-spec k=v,...` — deterministic memory
+//!   pressure with regrow/spill recovery (DESIGN.md §8).
+//! * `--table-safety F` — count-table sizing safety factor.
+//! * `--device-hbm BYTES` — simulated device memory budget override.
 
 use dedukt_dna::ScalePreset;
 
@@ -36,6 +40,15 @@ pub struct ExperimentArgs {
     /// Fault-injection spec string, `key=value` comma list (activates
     /// faults with seed 0 even without `--fault-seed`).
     pub fault_spec: Option<String>,
+    /// Memory-pressure seed (activates pressure even without a spec).
+    pub mem_seed: Option<u64>,
+    /// Memory-pressure spec string, `key=value` comma list (activates
+    /// pressure with seed 0 even without `--mem-seed`).
+    pub mem_spec: Option<String>,
+    /// Count-table sizing safety factor override.
+    pub table_safety: Option<f64>,
+    /// Simulated device memory budget override, in bytes.
+    pub device_hbm: Option<u64>,
 }
 
 impl Default for ExperimentArgs {
@@ -50,6 +63,10 @@ impl Default for ExperimentArgs {
             overlap_rounds: false,
             fault_seed: None,
             fault_spec: None,
+            mem_seed: None,
+            mem_spec: None,
+            table_safety: None,
+            device_hbm: None,
         }
     }
 }
@@ -64,7 +81,8 @@ impl ExperimentArgs {
                 eprintln!(
                     "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] \
                      [--gpu-direct] [--round-limit BYTES] [--overlap-rounds] \
-                     [--fault-seed N] [--fault-spec k=v,...]"
+                     [--fault-seed N] [--fault-spec k=v,...] \
+                     [--mem-seed N] [--mem-spec k=v,...] [--table-safety F] [--device-hbm BYTES]"
                 );
                 std::process::exit(2);
             }
@@ -133,6 +151,35 @@ impl ExperimentArgs {
                     dedukt_net::FaultSpec::parse(&v)?;
                     out.fault_spec = Some(v);
                 }
+                "--mem-seed" => {
+                    let v = it.next().ok_or("--mem-seed needs a value")?;
+                    out.mem_seed = Some(v.parse().map_err(|_| format!("bad mem seed {v:?}"))?);
+                }
+                "--mem-spec" => {
+                    let v = it.next().ok_or("--mem-spec needs a value")?;
+                    dedukt_gpu::MemSpec::parse(&v)?;
+                    out.mem_spec = Some(v);
+                }
+                "--table-safety" => {
+                    let v = it.next().ok_or("--table-safety needs a value")?;
+                    let f: f64 = v
+                        .parse()
+                        .map_err(|_| format!("bad table safety factor {v:?}"))?;
+                    if !f.is_finite() || f <= 0.0 {
+                        return Err("--table-safety must be a positive finite factor".into());
+                    }
+                    out.table_safety = Some(f);
+                }
+                "--device-hbm" => {
+                    let v = it.next().ok_or("--device-hbm needs a value")?;
+                    let b: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad device HBM byte count {v:?}"))?;
+                    if b == 0 {
+                        return Err("--device-hbm must be positive".into());
+                    }
+                    out.device_hbm = Some(b);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -199,6 +246,29 @@ mod tests {
         assert!(parse(&["--fault-spec", "bogus=1"]).is_err());
         assert!(parse(&["--fault-spec", "fail"]).is_err());
         assert!(parse(&["--fault-seed", "many"]).is_err());
+    }
+
+    #[test]
+    fn mem_flags() {
+        let a = parse(&[
+            "--mem-seed",
+            "5",
+            "--mem-spec",
+            "under=0.5,shrink=0.25",
+            "--table-safety",
+            "0.5",
+            "--device-hbm",
+            "1048576",
+        ])
+        .unwrap();
+        assert_eq!(a.mem_seed, Some(5));
+        assert_eq!(a.mem_spec.as_deref(), Some("under=0.5,shrink=0.25"));
+        assert_eq!(a.table_safety, Some(0.5));
+        assert_eq!(a.device_hbm, Some(1048576));
+        // Malformed specs and out-of-range knobs fail at the flag.
+        assert!(parse(&["--mem-spec", "bogus=1"]).is_err());
+        assert!(parse(&["--table-safety", "0"]).is_err());
+        assert!(parse(&["--device-hbm", "0"]).is_err());
     }
 
     #[test]

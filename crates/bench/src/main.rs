@@ -1,0 +1,78 @@
+//! `dedukt-bench` — the default bench binary: a small, deterministic
+//! three-engine baseline whose JSON output is checked in as
+//! `BENCH_baseline.json` at the repo root.
+//!
+//! The baseline runs every counter (CPU baseline, GPU k-mer, GPU
+//! supermer) on the tiny synthetic E. coli slice at paper-default
+//! parameters and records the functional results (instances, distinct
+//! k-mers) plus the simulated phase times. Because both the dataset and
+//! the simulation are seeded and deterministic, the file only changes
+//! when the cost models or the counting semantics change — making it a
+//! cheap drift detector for CI and for reviewers:
+//!
+//! ```text
+//! cargo run --release -p dedukt-bench > BENCH_baseline.json
+//! ```
+//!
+//! The per-figure regenerators live in `src/bin/` (`fig3_breakdown`,
+//! `table2_volume`, …); this binary is deliberately tiny so the
+//! baseline stays fast enough to re-run on every PR.
+
+use dedukt_bench::args::ExperimentArgs;
+use dedukt_bench::runner;
+use dedukt_core::{Mode, RunReport};
+use dedukt_dna::DatasetId;
+
+/// One baseline row, hand-rolled to JSON (no serde in the workspace).
+fn report_json(label: &str, nodes: usize, r: &RunReport) -> String {
+    format!(
+        "    {{\"mode\": \"{label}\", \"nodes\": {nodes}, \"nranks\": {}, \
+         \"total_kmers\": {}, \"distinct_kmers\": {}, \
+         \"parse_secs\": {:.6e}, \"exchange_secs\": {:.6e}, \"count_secs\": {:.6e}, \
+         \"total_secs\": {:.6e}, \"makespan_secs\": {:.6e}, \
+         \"exchange_bytes\": {}, \"load_imbalance\": {:.4}}}",
+        r.nranks,
+        r.total_kmers,
+        r.distinct_kmers,
+        r.phases.parse.as_secs(),
+        r.phases.exchange.as_secs(),
+        r.phases.count.as_secs(),
+        r.total_time().as_secs(),
+        r.makespan.as_secs(),
+        r.exchange.bytes,
+        r.load.imbalance(),
+    )
+}
+
+fn main() {
+    let mut args = ExperimentArgs::parse();
+    // The checked-in baseline is the tiny deterministic slice; larger
+    // scales remain available via --scale for local comparisons.
+    if !std::env::args().any(|a| a == "--scale") {
+        args.scale = dedukt_dna::ScalePreset::Tiny;
+    }
+    let nodes = args.nodes.unwrap_or(2);
+    let reads = runner::generate(DatasetId::EColi30x, &args);
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("cpu", Mode::CpuBaseline),
+        ("gpu-kmer", Mode::GpuKmer),
+        ("gpu-supermer", Mode::GpuSupermer),
+    ] {
+        let report = runner::run_mode(&reads, mode, nodes, &args);
+        eprintln!(
+            "  [bench] {label}: {} instances, {} distinct, total {}",
+            report.total_kmers,
+            report.distinct_kmers,
+            report.total_time()
+        );
+        rows.push(report_json(label, nodes, &report));
+    }
+    println!("{{");
+    println!("  \"dataset\": \"ecoli-tiny\",");
+    println!("  \"k\": 17,");
+    println!("  \"baseline\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

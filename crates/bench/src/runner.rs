@@ -37,6 +37,19 @@ fn apply_common_flags(rc: &mut RunConfig, args: &ExperimentArgs) {
             spec,
         ));
     }
+    if args.mem_seed.is_some() || args.mem_spec.is_some() {
+        let spec = match &args.mem_spec {
+            Some(s) => dedukt_gpu::MemSpec::parse(s).expect("mem spec validated at parse"),
+            None => dedukt_gpu::MemSpec::default(),
+        };
+        rc.mem = Some(dedukt_gpu::MemPlan::new(args.mem_seed.unwrap_or(0), spec));
+    }
+    if let Some(f) = args.table_safety {
+        rc.table_safety = f;
+    }
+    if let Some(b) = args.device_hbm {
+        rc.gpu_device.memory_bytes = b;
+    }
 }
 
 /// Builds a `RunConfig` honouring the experiment flags and runs it.

@@ -141,6 +141,10 @@ pub enum ConfigError {
     /// The fault plan's rates or retry policy are out of range
     /// ([`dedukt_net::fault::FaultSpec::validate`]'s message).
     Fault(String),
+    /// The memory-pressure plan or table safety factor is out of range
+    /// ([`dedukt_gpu::MemSpec::validate`]'s message, or a bad
+    /// `table_safety`).
+    Mem(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -154,6 +158,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroNodes => f.write_str("node count must be positive"),
             ConfigError::ZeroRoundLimit => f.write_str("round limit must be positive"),
             ConfigError::Fault(msg) => f.write_str(msg),
+            ConfigError::Mem(msg) => f.write_str(msg),
         }
     }
 }
@@ -305,6 +310,21 @@ pub struct RunConfig {
     /// counts are bit-identical to a fault-free run whenever the plan is
     /// survivable. `None` (the default) models a perfect fabric.
     pub fault: Option<dedukt_net::fault::FaultPlan>,
+    /// Safety factor applied to every rank's expected-instance estimate
+    /// when sizing count tables (DESIGN.md §8). `1.0` (the default)
+    /// preserves exact sizing — tables are sized for the full expected
+    /// load and byte-for-byte identical to earlier releases; values
+    /// below 1.0 deliberately undersize tables to exercise the
+    /// grow/spill recovery.
+    pub table_safety: f64,
+    /// Deterministic memory-pressure schedule for the counting phase
+    /// (distinct-count underestimates, denied grow allocations —
+    /// DESIGN.md §8). Counting survives pressure by growing tables on
+    /// device or spilling overflowing k-mers to the host; final counts
+    /// are bit-identical to an unconstrained run whenever the spill
+    /// budget holds. `None` (the default) models a perfect memory
+    /// estimate and allocator.
+    pub mem: Option<dedukt_gpu::MemPlan>,
 }
 
 impl RunConfig {
@@ -328,6 +348,8 @@ impl RunConfig {
             collect_trace: false,
             collect_metrics: false,
             fault: None,
+            table_safety: 1.0,
+            mem: None,
         }
     }
 
@@ -366,6 +388,15 @@ impl RunConfig {
         }
         if let Some(plan) = &self.fault {
             plan.spec().validate().map_err(ConfigError::Fault)?;
+        }
+        if !self.table_safety.is_finite() || self.table_safety <= 0.0 || self.table_safety > 100.0 {
+            return Err(ConfigError::Mem(format!(
+                "table safety factor {} must be a finite value in (0, 100]",
+                self.table_safety
+            )));
+        }
+        if let Some(plan) = &self.mem {
+            plan.spec().validate().map_err(ConfigError::Mem)?;
         }
         Ok(())
     }
@@ -465,6 +496,26 @@ mod tests {
         }
         rc.fault = Some(FaultPlan::new(1, FaultSpec::parse("retries=0").unwrap()));
         assert!(matches!(rc.validate(), Err(ConfigError::Fault(_))));
+    }
+
+    #[test]
+    fn mem_plan_and_table_safety_are_validated_with_the_run() {
+        use dedukt_gpu::{MemPlan, MemSpec};
+        let mut rc = RunConfig::new(Mode::GpuKmer, 1);
+        rc.mem = Some(MemPlan::new(1, MemSpec::default()));
+        assert!(rc.validate().is_ok());
+        rc.mem = Some(MemPlan::new(1, MemSpec::parse("under=1.5").unwrap()));
+        match rc.validate() {
+            Err(ConfigError::Mem(msg)) => assert!(msg.contains("[0, 1]"), "{msg}"),
+            other => panic!("expected a mem config error, got {other:?}"),
+        }
+        rc.mem = None;
+        rc.table_safety = 0.0;
+        assert!(matches!(rc.validate(), Err(ConfigError::Mem(_))));
+        rc.table_safety = f64::NAN;
+        assert!(matches!(rc.validate(), Err(ConfigError::Mem(_))));
+        rc.table_safety = 0.25;
+        assert!(rc.validate().is_ok());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::config::RunConfig;
 use crate::partition::key_owner;
 use crate::pipeline::driver::{
-    exchange_items_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
+    exchange_items_round, run_staged, BucketOut, CounterOom, CounterStages, DriverCtx, RoundRecv,
 };
 use crate::pipeline::{RankCountResult, RunError, RunReport};
 use crate::table::HostCountTable;
@@ -88,25 +88,42 @@ impl<K: PackedKmer> CounterStages for CpuStages<K> {
     fn make_counter(
         &self,
         ctx: &DriverCtx,
-        _rank: usize,
+        rank: usize,
         expected_instances: u64,
-    ) -> CpuCounter<K> {
-        CpuCounter {
+    ) -> Result<CpuCounter<K>, CounterOom> {
+        // The same safety × underestimate scaling the GPU pipelines
+        // apply, so the sizing story is engine-uniform; the host table
+        // grows transparently under load, so an undersized estimate
+        // never changes CPU results and never OOMs (no device budget) —
+        // memory pressure on this engine only re-sizes the initial
+        // allocation. `pressure` keeps its all-zero default.
+        let factor = ctx.rc.table_safety * ctx.rc.mem.map_or(1.0, |p| p.estimate_factor(rank));
+        let expected = if factor == 1.0 {
+            expected_instances as usize
+        } else {
+            ((expected_instances as f64) * factor).ceil().max(1.0) as usize
+        };
+        Ok(CpuCounter {
             table: HostCountTable::with_expected(
-                expected_instances as usize,
+                expected,
                 ctx.cfg.table_load_factor,
                 ctx.cfg.hash_seed ^ 0xC0C0,
             ),
             received: 0,
-        }
+        })
     }
 
-    fn count_round(&self, ctx: &DriverCtx, counter: &mut CpuCounter<K>, items: Vec<K>) -> SimTime {
+    fn count_round(
+        &self,
+        ctx: &DriverCtx,
+        counter: &mut CpuCounter<K>,
+        items: Vec<K>,
+    ) -> Result<SimTime, CounterOom> {
         counter.received += items.len() as u64;
         for k in &items {
             counter.table.insert(*k);
         }
-        ctx.rc.cpu_model.count_rate.time_for(items.len() as f64)
+        Ok(ctx.rc.cpu_model.count_rate.time_for(items.len() as f64))
     }
 
     fn finish(&self, ctx: &DriverCtx, rank: usize, counter: CpuCounter<K>) -> RankCountResult<K> {

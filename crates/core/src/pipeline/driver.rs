@@ -85,6 +85,32 @@ pub(crate) struct RoundRecv<I> {
     pub charged_mean: SimTime,
 }
 
+/// A counting stage ran out of device memory and could not recover —
+/// the grow path was denied *and* the host spill budget is exhausted
+/// (or even the initial table allocation failed). The driver converts
+/// this into [`RunError::DeviceOom`], gathering every rank's high-water
+/// mark for the message.
+pub(crate) struct CounterOom {
+    /// What failed, from the counting stage (allocation request sizes,
+    /// spill budget).
+    pub detail: String,
+    /// The failing rank's device-allocation high-water mark in bytes.
+    pub high_water_bytes: u64,
+}
+
+/// Memory-pressure telemetry one rank's counter accumulated; all zero
+/// on an unconstrained run (and always zero on the CPU pipeline, which
+/// has no device budget — its tables grow transparently on the host).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct PressureStats {
+    /// k-mer instances parked on the host spill list (feeds the
+    /// "spill k-mers" trace lane; regrow/OOM event counts are emitted
+    /// as per-rank metrics by the counter itself).
+    pub spilled: u64,
+    /// Device-allocation high-water mark in bytes.
+    pub high_water_bytes: u64,
+}
+
 /// The counter-specific hooks of one pipeline; everything else —
 /// world setup, round slicing, the superstep loop, phase accounting,
 /// report assembly — lives in [`run_staged`].
@@ -140,17 +166,33 @@ pub(crate) trait CounterStages: Sync {
     }
 
     /// Create rank `rank`'s counter, sized for `expected_instances`
-    /// k-mer inserts across *all* rounds.
-    fn make_counter(&self, ctx: &DriverCtx, rank: usize, expected_instances: u64) -> Self::Counter;
+    /// k-mer inserts across *all* rounds (scaled by the run's safety
+    /// factor and any injected underestimate). Errs only when even the
+    /// initial table cannot be allocated on the device.
+    fn make_counter(
+        &self,
+        ctx: &DriverCtx,
+        rank: usize,
+        expected_instances: u64,
+    ) -> Result<Self::Counter, CounterOom>;
 
     /// Count one round's received items; returns the simulated kernel
     /// time (charged either as hidden compute or in the count phase).
+    /// Errs only when the rank exhausted both the device budget and its
+    /// host spill budget.
     fn count_round(
         &self,
         ctx: &DriverCtx,
         counter: &mut Self::Counter,
         items: Vec<Self::Item>,
-    ) -> SimTime;
+    ) -> Result<SimTime, CounterOom>;
+
+    /// This counter's memory-pressure telemetry so far. The default is
+    /// the all-zero report, right for counters with no device budget
+    /// (the CPU pipeline).
+    fn pressure(&self, _counter: &Self::Counter) -> PressureStats {
+        PressureStats::default()
+    }
 
     /// Drain the counter into the rank's result (and record its
     /// counting telemetry).
@@ -164,8 +206,11 @@ pub(crate) trait CounterStages: Sync {
 
 /// Runs one counter through the shared staged superstep skeleton.
 ///
-/// Errs only when a fault plan's retry budget is exhausted mid-exchange
-/// ([`RunError::ExchangeFailed`]); fault-free runs always succeed.
+/// Errs when a fault plan's retry budget is exhausted mid-exchange
+/// ([`RunError::ExchangeFailed`]) or when a rank exhausts both the
+/// device budget and its host spill budget while counting
+/// ([`RunError::DeviceOom`]); unconstrained fault-free runs always
+/// succeed.
 pub(crate) fn run_staged<S: CounterStages>(
     stages: &mut S,
     reads: &ReadSet,
@@ -226,10 +271,14 @@ pub(crate) fn run_staged<S: CounterStages>(
         world.compute_step_named("stage-out", |rank| ((), stage_out_times[rank]));
     let rounds = split_rounds_weighted(buckets, rc.round_limit_bytes, S::ITEM_WIRE_BYTES);
     let nrounds = rounds.len();
-    let mut counters: Vec<S::Counter> = (0..nranks)
+    let made: Vec<Result<S::Counter, CounterOom>> = (0..nranks)
         .into_par_iter()
         .map(|rank| stages.make_counter(&ctx, rank, expected[rank]))
         .collect();
+    if made.iter().any(|r| r.is_err()) {
+        return Err(device_oom_error(stages, made));
+    }
+    let mut counters: Vec<S::Counter> = made.into_iter().map(|r| r.ok().unwrap()).collect();
     let mut received_items = vec![0u64; nranks];
     let mut count_totals = vec![SimTime::ZERO; nranks];
     let mut last_round_times = vec![SimTime::ZERO; nranks];
@@ -290,7 +339,7 @@ pub(crate) fn run_staged<S: CounterStages>(
         // charged either as the next round's hidden compute or in the
         // final count step).
         let paired: Vec<(S::Counter, Vec<S::Item>)> = counters.into_iter().zip(delivered).collect();
-        let counted: Vec<(S::Counter, SimTime)> = paired
+        let counted: Vec<(S::Counter, Result<SimTime, CounterOom>)> = paired
             .into_par_iter()
             .map(|(mut c, items)| {
                 let dt = stages.count_round(&ctx, &mut c, items);
@@ -299,9 +348,44 @@ pub(crate) fn run_staged<S: CounterStages>(
             .collect();
         let mut times = Vec::with_capacity(nranks);
         counters = Vec::with_capacity(nranks);
-        for (c, t) in counted {
+        let mut oom: Option<(usize, CounterOom)> = None;
+        for (rank, (c, r)) in counted.into_iter().enumerate() {
+            match r {
+                Ok(t) => times.push(t),
+                Err(e) => {
+                    // Keep the first failing rank's story; the counters
+                    // themselves survive so every rank's high-water mark
+                    // makes it into the error.
+                    if oom.is_none() {
+                        oom = Some((rank, e));
+                    }
+                    times.push(SimTime::ZERO);
+                }
+            }
             counters.push(c);
-            times.push(t);
+        }
+        if let Some((rank, e)) = oom {
+            let mut high_water: Vec<u64> = counters
+                .iter()
+                .map(|c| stages.pressure(c).high_water_bytes)
+                .collect();
+            high_water[rank] = high_water[rank].max(e.high_water_bytes);
+            return Err(RunError::DeviceOom {
+                rank,
+                detail: e.detail,
+                high_water_bytes: high_water,
+            });
+        }
+        // Cumulative spill samples feed a dedicated trace counter lane —
+        // emitted only when pressure actually spilled something, so an
+        // unconstrained run's trace schema is untouched.
+        if rc.collect_trace {
+            for (rank, c) in counters.iter().enumerate() {
+                let p = stages.pressure(c);
+                if p.spilled > 0 {
+                    world.push_counter_sample("spill k-mers", rank, p.spilled as f64);
+                }
+            }
         }
         for (rank, t) in times.iter().enumerate() {
             count_totals[rank] += *t;
@@ -375,6 +459,35 @@ pub(crate) fn run_staged<S: CounterStages>(
         trace_counters,
         metrics: metrics.map(|m| m.snapshot()),
     })
+}
+
+/// Builds [`RunError::DeviceOom`] from a counter-creation pass where at
+/// least one rank failed: the first failing rank names the error, and
+/// every rank contributes its allocation high-water mark (failed ranks
+/// report the mark they reached before the refused allocation).
+fn device_oom_error<S: CounterStages>(
+    stages: &S,
+    made: Vec<Result<S::Counter, CounterOom>>,
+) -> RunError {
+    let mut first: Option<(usize, String)> = None;
+    let mut high_water = Vec::with_capacity(made.len());
+    for (rank, r) in made.into_iter().enumerate() {
+        match r {
+            Ok(c) => high_water.push(stages.pressure(&c).high_water_bytes),
+            Err(e) => {
+                high_water.push(e.high_water_bytes);
+                if first.is_none() {
+                    first = Some((rank, e.detail));
+                }
+            }
+        }
+    }
+    let (rank, detail) = first.expect("device_oom_error called with no failures");
+    RunError::DeviceOom {
+        rank,
+        detail,
+        high_water_bytes: high_water,
+    }
 }
 
 /// Shared exchange hook for the pipelines whose wire items are bare

@@ -1,12 +1,13 @@
 //! Shared machinery of the two GPU pipelines (§III-B / §IV-B).
 
 use crate::config::{CountingConfig, RunConfig};
-use crate::table::{table_capacity, DeviceCountTable};
+use crate::pipeline::driver::{CounterOom, PressureStats};
+use crate::table::{table_capacity, DeviceCountTable, InsertOutcome};
 use crate::width::PackedKmer;
 use dedukt_dna::packed::ConcatReads;
 use dedukt_dna::ReadSet;
 use dedukt_gpu::transfer::staging_time;
-use dedukt_gpu::{Device, KernelReport, LaunchConfig};
+use dedukt_gpu::{Device, KernelReport, LaunchConfig, MemPlan, OomError};
 use dedukt_sim::{DataVolume, Histogram, SimTime};
 
 /// Thread-block size used by all pipeline kernels.
@@ -91,50 +92,70 @@ pub struct CountOutcome<K: PackedKmer = u64> {
 /// inserting into the device open-addressing table with CAS + atomicAdd.
 ///
 /// `cycles_per_kmer` carries the calibrated effective cost (plus the
-/// supermer pipelines' extraction surcharge).
+/// supermer pipelines' extraction surcharge). Errs when the device
+/// cannot hold the table at all; the table is sized exactly for the
+/// batch, so a successful allocation never overflows.
 pub fn count_kmers_on_device<K: PackedKmer>(
     device: &Device,
     cfg: &CountingConfig,
     kmers: &[K],
     cycles_per_kmer: f64,
-) -> CountOutcome<K> {
+) -> Result<CountOutcome<K>, OomError> {
     let capacity = table_capacity(cfg, kmers.len());
-    let table = DeviceCountTable::<K>::new(device, capacity, cfg.hash_seed ^ 0xC0C0)
-        .expect("count table exceeds device memory");
-    let (report, probe_steps, probe_hist) =
+    let table = DeviceCountTable::<K>::new(device, capacity, cfg.hash_seed ^ 0xC0C0)?;
+    let (report, probe_steps, probe_hist, overflow) =
         count_round_on_device(device, &table, kmers, cycles_per_kmer);
+    assert!(
+        overflow.is_empty(),
+        "a table sized for the exact batch cannot overflow"
+    );
     let entries = table.to_host();
     let load_factor = entries.len() as f64 / table.capacity() as f64;
-    CountOutcome {
+    Ok(CountOutcome {
         report,
         entries,
         probe_steps,
         probe_hist,
         load_factor,
-    }
+    })
 }
 
 /// One launch of the counting kernel inserting `kmers` into an existing
 /// device `table` — the round-granular form [`count_kmers_on_device`] and
 /// the staged driver's per-round counting are built on. Returns the
-/// launch report, total probe steps, and the per-insert probe histogram.
+/// launch report, total probe steps, the per-insert probe histogram, and
+/// the k-mers the table could not take because every slot was occupied
+/// (always empty for a table sized for its full load; non-empty only
+/// under memory pressure, when the caller must regrow or spill).
+///
+/// Bounced k-mers still pay their full probe circuit in the cost tally,
+/// but are *not* observed in the histogram — exactly one observation per
+/// successfully counted instance, whenever it finally lands.
 pub fn count_round_on_device<K: PackedKmer>(
     device: &Device,
     table: &DeviceCountTable<K>,
     kmers: &[K],
     cycles_per_kmer: f64,
-) -> (KernelReport, u64, Histogram) {
+) -> (KernelReport, u64, Histogram, Vec<K>) {
     let launch = chunked_launch(kmers.len().max(1));
     let (report, block_stats) = device.launch_map("count_kmers", launch, |b| {
         let (lo, hi) = block_range(kmers.len(), b.cfg.grid_blocks, b.block);
         let mut probes = 0u64;
         let mut fresh = 0u64;
         let mut hist = Histogram::new();
+        let mut overflow = Vec::new();
         for &k in &kmers[lo..hi] {
-            let r = table.insert(k);
-            probes += r.steps as u64;
-            fresh += u64::from(r.new);
-            hist.observe(r.steps as u64);
+            match table.insert(k) {
+                InsertOutcome::Inserted(r) => {
+                    probes += r.steps as u64;
+                    fresh += u64::from(r.new);
+                    hist.observe(r.steps as u64);
+                }
+                InsertOutcome::Full { steps } => {
+                    probes += steps as u64;
+                    overflow.push(k);
+                }
+            }
         }
         let n = (hi - lo) as u64;
         // Effective compute (calibrated) + real memory/atomic traffic:
@@ -146,21 +167,46 @@ pub fn count_round_on_device<K: PackedKmer>(
         b.gmem_coalesced(n * K::KMER_WIRE_BYTES); // streaming the received k-mers
         b.gmem_random(probes * K::KMER_WIRE_BYTES + n * 4);
         b.atomic(2 * n, n - fresh);
-        (probes, hist)
+        (probes, hist, overflow)
     });
     let mut probe_hist = Histogram::new();
     let mut probe_steps = 0u64;
-    for (p, h) in &block_stats {
+    let mut overflow = Vec::new();
+    for (p, h, o) in block_stats {
         probe_steps += p;
-        probe_hist.merge(h);
+        probe_hist.merge(&h);
+        overflow.extend(o);
     }
-    (report, probe_steps, probe_hist)
+    (report, probe_steps, probe_hist, overflow)
+}
+
+/// Scales a rank's expected-instance estimate by the combined safety ×
+/// underestimate factor. A factor of exactly 1.0 skips the float round
+/// trip entirely so default runs size tables byte-identically to
+/// earlier releases.
+fn scaled_estimate(expected: u64, factor: f64) -> usize {
+    if factor == 1.0 {
+        expected as usize
+    } else {
+        ((expected as f64) * factor).ceil().max(1.0) as usize
+    }
 }
 
 /// Per-rank device-side counting state threaded through the staged
-/// driver's exchange rounds: one device, one count table sized for the
-/// whole run, and one stream recording the round-by-round count kernels
-/// (the kernels the overlapped exchange hides behind the wire).
+/// driver's exchange rounds: one device, one count table sized from the
+/// rank's (possibly scaled-down) load estimate, and one stream recording
+/// the round-by-round count kernels (the kernels the overlapped exchange
+/// hides behind the wire).
+///
+/// Under memory pressure — an undersized estimate, a shrunk safety
+/// factor, or a tight `--device-hbm` budget — the table can fill. The
+/// counter then recovers in two tiers (DESIGN.md §8): grow-and-rehash on
+/// the device when the allocation is granted, else park the bounced
+/// k-mers on a bounded host spill list merged back at [`finish`]. Both
+/// paths preserve exact counts; only when even the spill budget is
+/// exhausted does counting fail, cleanly, with a [`CounterOom`].
+///
+/// [`finish`]: DeviceRoundCounter::finish
 pub(crate) struct DeviceRoundCounter<K: PackedKmer = u64> {
     device: Device,
     table: DeviceCountTable<K>,
@@ -169,18 +215,39 @@ pub(crate) struct DeviceRoundCounter<K: PackedKmer = u64> {
     probe_steps: u64,
     instances: u64,
     last_occupancy: f64,
+    rank: usize,
+    hash_seed: u64,
+    mem: Option<MemPlan>,
+    spill_limit: u64,
+    spill: Vec<K>,
+    spilled: u64,
+    regrows: u64,
+    oom_events: u64,
+    grow_attempts: u64,
 }
 
 impl<K: PackedKmer> DeviceRoundCounter<K> {
-    /// A counter for a rank expecting `expected_instances` inserts in
-    /// total — the table is sized once for the full load so splitting
-    /// the exchange into rounds cannot change probe sequences.
-    pub(crate) fn new(rc: &RunConfig, cfg: &CountingConfig, expected_instances: u64) -> Self {
+    /// A counter for rank `rank` expecting `expected_instances` inserts
+    /// in total — the table is sized once for the full (scaled) load so
+    /// splitting the exchange into rounds cannot change probe sequences.
+    /// Errs only when even the initial table allocation exceeds the
+    /// device budget.
+    pub(crate) fn new(
+        rc: &RunConfig,
+        cfg: &CountingConfig,
+        rank: usize,
+        expected_instances: u64,
+    ) -> Result<Self, CounterOom> {
         let device = dedukt_gpu::Device::new(rc.gpu_device.clone());
-        let capacity = table_capacity(cfg, expected_instances as usize);
-        let table = DeviceCountTable::<K>::new(&device, capacity, cfg.hash_seed ^ 0xC0C0)
-            .expect("count table exceeds device memory");
-        DeviceRoundCounter {
+        let factor = rc.table_safety * rc.mem.map_or(1.0, |p| p.estimate_factor(rank));
+        let capacity = table_capacity(cfg, scaled_estimate(expected_instances, factor));
+        let hash_seed = cfg.hash_seed ^ 0xC0C0;
+        let table =
+            DeviceCountTable::<K>::new(&device, capacity, hash_seed).map_err(|e| CounterOom {
+                detail: format!("initial count table allocation failed: {e}"),
+                high_water_bytes: device.peak_bytes(),
+            })?;
+        Ok(DeviceRoundCounter {
             device,
             table,
             stream: dedukt_gpu::Stream::new(),
@@ -188,38 +255,192 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
             probe_steps: 0,
             instances: 0,
             last_occupancy: 0.0,
-        }
+            rank,
+            hash_seed,
+            mem: rc.mem,
+            spill_limit: rc.mem.map_or(u64::MAX, |p| p.spec().spill_limit),
+            spill: Vec::new(),
+            spilled: 0,
+            regrows: 0,
+            oom_events: 0,
+            grow_attempts: 0,
+        })
     }
 
-    /// Inserts one round's k-mers; returns the kernel's simulated time.
-    pub(crate) fn count(&mut self, kmers: &[K], cycles_per_kmer: f64) -> SimTime {
-        let (report, probes, hist) =
+    /// Inserts one round's k-mers; returns the round's simulated device
+    /// time (count kernel plus any regrow kernels and spill staging).
+    /// Errs only when the table filled, no grow allocation was granted,
+    /// and the host spill budget is exhausted.
+    pub(crate) fn count(
+        &mut self,
+        kmers: &[K],
+        cycles_per_kmer: f64,
+    ) -> Result<SimTime, CounterOom> {
+        self.instances += kmers.len() as u64;
+        let mut dt = SimTime::ZERO;
+        let mut pending = self.launch_count(kmers, cycles_per_kmer, &mut dt);
+        // Two-tier recovery: regrow on device while allocations are
+        // granted, then spill to the host. Each regrow doubles capacity,
+        // so the loop strictly shrinks `pending` or exits via spill.
+        while !pending.is_empty() {
+            if self.try_regrow(cycles_per_kmer, &mut dt) {
+                pending = self.launch_count(&pending, cycles_per_kmer, &mut dt);
+            } else {
+                self.spill_pending(pending, &mut dt)?;
+                pending = Vec::new();
+            }
+        }
+        Ok(dt)
+    }
+
+    /// One counting launch into the current table; merges the probe
+    /// telemetry and returns the bounced k-mers.
+    fn launch_count(&mut self, kmers: &[K], cycles_per_kmer: f64, dt: &mut SimTime) -> Vec<K> {
+        let (report, probes, hist, overflow) =
             count_round_on_device(&self.device, &self.table, kmers, cycles_per_kmer);
         self.probe_steps += probes;
         self.probe_hist.merge(&hist);
-        self.instances += kmers.len() as u64;
         self.last_occupancy = report.occupancy;
-        let dt = report.time;
+        *dt += report.time;
         self.stream.record_kernel(report);
-        dt
+        overflow
     }
 
-    /// Drains the table into the rank's result and records the counting
-    /// telemetry (same series as the single-launch pipelines).
+    /// Attempts a grow-and-rehash to a 2×-capacity table. Returns false
+    /// — after recording the OOM event — when the allocation is denied,
+    /// either by the injected plan or by the real device budget; the
+    /// caller then falls back to spilling.
+    fn try_regrow(&mut self, cycles_per_kmer: f64, dt: &mut SimTime) -> bool {
+        let attempt = self.grow_attempts;
+        self.grow_attempts += 1;
+        if self.mem.is_some_and(|p| p.alloc_fails(self.rank, attempt)) {
+            self.oom_events += 1;
+            return false;
+        }
+        // The new table is allocated while the old one is still resident
+        // — exactly the transient doubling a real CUDA rehash pays.
+        let new_table = match DeviceCountTable::<K>::new(
+            &self.device,
+            self.table.capacity() * 2,
+            self.hash_seed,
+        ) {
+            Ok(t) => t,
+            Err(_) => {
+                self.oom_events += 1;
+                return false;
+            }
+        };
+        // Rehash kernel: migrate every resident (key, accumulated count)
+        // with a single probe sequence each. A 2× table always fits the
+        // old resident set (distinct ≤ old capacity = new capacity / 2),
+        // so `Full` is unreachable here.
+        let old = self.table.to_host();
+        let launch = chunked_launch(old.len().max(1));
+        let (report, _) = self.device.launch_map("regrow_table", launch, |b| {
+            let (lo, hi) = block_range(old.len(), b.cfg.grid_blocks, b.block);
+            let mut probes = 0u64;
+            for &(k, c) in &old[lo..hi] {
+                match new_table.insert_counted(k, c) {
+                    InsertOutcome::Inserted(r) => probes += r.steps as u64,
+                    InsertOutcome::Full { .. } => {
+                        unreachable!("a 2x regrow table cannot fill during migration")
+                    }
+                }
+            }
+            let n = (hi - lo) as u64;
+            // Migration is insert-shaped work: stream the old entries in,
+            // probe the new table randomly, CAS + add per entry.
+            b.instr((n as f64 * cycles_per_kmer) as u64);
+            b.gmem_coalesced(n * (K::KMER_WIRE_BYTES + 4));
+            b.gmem_random(probes * K::KMER_WIRE_BYTES + n * 4);
+            b.atomic(2 * n, 0);
+        });
+        *dt += report.time;
+        self.stream.record_kernel(report);
+        self.table = new_table; // the old table drops, freeing its slots
+        self.regrows += 1;
+        true
+    }
+
+    /// Parks bounced k-mers on the host spill list, charging the
+    /// device→host staging of the bounced batch. Errs when the batch
+    /// would blow the spill budget — the rank is genuinely out of
+    /// memory everywhere.
+    fn spill_pending(&mut self, pending: Vec<K>, dt: &mut SimTime) -> Result<(), CounterOom> {
+        let n = pending.len() as u64;
+        if self.spilled.saturating_add(n) > self.spill_limit {
+            return Err(CounterOom {
+                detail: format!(
+                    "host spill budget exhausted: {} k-mers spilled, {} more bounced, \
+                     limit {}",
+                    self.spilled, n, self.spill_limit
+                ),
+                high_water_bytes: self.device.peak_bytes(),
+            });
+        }
+        *dt += staging_time(
+            self.device.config(),
+            DataVolume::from_bytes(n * K::KMER_WIRE_BYTES),
+        );
+        self.spilled += n;
+        self.spill.extend(pending);
+        Ok(())
+    }
+
+    /// This counter's memory-pressure telemetry so far (all zero on an
+    /// unconstrained run).
+    pub(crate) fn pressure(&self) -> PressureStats {
+        PressureStats {
+            spilled: self.spilled,
+            high_water_bytes: self.device.peak_bytes(),
+        }
+    }
+
+    /// Drains the table into the rank's result — merging any host-spilled
+    /// k-mers back in by key, so pressured runs report exactly the counts
+    /// an unconstrained run would — and records the counting telemetry
+    /// (same series as the single-launch pipelines, plus the pressure
+    /// series, which exist only when pressure actually fired).
     pub(crate) fn finish(
-        self,
+        mut self,
         metrics: &Option<std::sync::Arc<dedukt_sim::MetricsRegistry>>,
         rank: usize,
     ) -> crate::pipeline::RankCountResult<K> {
-        let entries = self.table.to_host();
+        let mut entries = self.table.to_host();
+        // Device residency metrics reflect the table alone, before the
+        // spill merge changes the entry list.
+        let device_load = entries.len() as f64 / self.table.capacity() as f64;
+        if !self.spill.is_empty() {
+            let mut spill = std::mem::take(&mut self.spill);
+            spill.sort_unstable();
+            // Sorted key → entry-position index over the device snapshot;
+            // spilled keys that later re-entered the (regrown) table add
+            // onto their resident count, unseen keys append in key order.
+            let mut index: Vec<(K, usize)> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, _))| (k, i))
+                .collect();
+            index.sort_unstable_by_key(|&(k, _)| k);
+            let mut i = 0;
+            while i < spill.len() {
+                let key = spill[i];
+                let mut j = i + 1;
+                while j < spill.len() && spill[j] == key {
+                    j += 1;
+                }
+                let count = (j - i) as u32;
+                match index.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(pos) => entries[index[pos].1].1 += count,
+                    Err(_) => entries.push((key, count)),
+                }
+                i = j;
+            }
+        }
         if let Some(m) = metrics {
             m.counter_add("kmers_counted_total", Some(rank), self.instances);
             m.merge_histogram("count_probe_steps", Some(rank), &self.probe_hist);
-            m.gauge_set(
-                "count_table_load_factor",
-                Some(rank),
-                entries.len() as f64 / self.table.capacity() as f64,
-            );
+            m.gauge_set("count_table_load_factor", Some(rank), device_load);
             m.gauge_set(
                 "kernel_occupancy:count_kmers",
                 Some(rank),
@@ -230,6 +451,25 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
                 Some(rank),
                 self.device.peak_bytes() as f64,
             );
+            // Pressure series are emitted only when the event happened, so
+            // an unconstrained run's metrics schema is byte-identical to
+            // earlier releases.
+            if self.regrows > 0 {
+                m.counter_add("table_regrows_total", Some(rank), self.regrows);
+            }
+            if self.spilled > 0 {
+                m.counter_add("spill_kmers_total", Some(rank), self.spilled);
+            }
+            if self.oom_events > 0 {
+                m.counter_add("device_oom_events_total", Some(rank), self.oom_events);
+            }
+            if self.regrows + self.spilled + self.oom_events > 0 {
+                m.gauge_max(
+                    "hbm_high_water_bytes",
+                    Some(rank),
+                    self.device.peak_bytes() as f64,
+                );
+            }
         }
         crate::pipeline::RankCountResult {
             entries,
@@ -418,7 +658,7 @@ mod tests {
                 kmers.push(key);
             }
         }
-        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0);
+        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0).unwrap();
         assert_eq!(out.entries.len(), 100);
         let total: u64 = out.entries.iter().map(|&(_, c)| c as u64).sum();
         assert_eq!(total, kmers.len() as u64);
@@ -439,7 +679,7 @@ mod tests {
     fn empty_input_yields_empty_table() {
         let device = Device::v100();
         let cfg = CountingConfig::default();
-        let out = count_kmers_on_device::<u64>(&device, &cfg, &[], 1000.0);
+        let out = count_kmers_on_device::<u64>(&device, &cfg, &[], 1000.0).unwrap();
         assert!(out.entries.is_empty());
     }
 
@@ -454,7 +694,7 @@ mod tests {
                 kmers.push((key << 64) | key);
             }
         }
-        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0);
+        let out = count_kmers_on_device(&device, &cfg, &kmers, 1000.0).unwrap();
         assert_eq!(out.entries.len(), 50);
         let total: u64 = out.entries.iter().map(|&(_, c)| c as u64).sum();
         assert_eq!(total, kmers.len() as u64);

@@ -20,7 +20,8 @@
 use crate::config::RunConfig;
 use crate::partition::key_owner;
 use crate::pipeline::driver::{
-    exchange_items_round, run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv,
+    exchange_items_round, run_staged, BucketOut, CounterOom, CounterStages, DriverCtx,
+    PressureStats, RoundRecv,
 };
 use crate::pipeline::gpu_common::{
     block_range, chunked_launch, concat_rank_reads, reads_h2d_volume, staging, DeviceRoundCounter,
@@ -177,10 +178,10 @@ impl<K: PackedKmer> CounterStages for GpuKmerStages<K> {
     fn make_counter(
         &self,
         ctx: &DriverCtx,
-        _rank: usize,
+        rank: usize,
         expected_instances: u64,
-    ) -> DeviceRoundCounter<K> {
-        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
+    ) -> Result<DeviceRoundCounter<K>, CounterOom> {
+        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, rank, expected_instances)
     }
 
     fn count_round(
@@ -188,8 +189,12 @@ impl<K: PackedKmer> CounterStages for GpuKmerStages<K> {
         ctx: &DriverCtx,
         counter: &mut DeviceRoundCounter<K>,
         items: Vec<K>,
-    ) -> SimTime {
+    ) -> Result<SimTime, CounterOom> {
         counter.count(&items, ctx.rc.gpu_tuning.count_cycles_per_kmer)
+    }
+
+    fn pressure(&self, counter: &DeviceRoundCounter<K>) -> PressureStats {
+        counter.pressure()
     }
 
     fn finish(

@@ -22,7 +22,9 @@
 
 use crate::config::RunConfig;
 use crate::partition::{minimizer_owner, BalancedAssignment};
-use crate::pipeline::driver::{run_staged, BucketOut, CounterStages, DriverCtx, RoundRecv};
+use crate::pipeline::driver::{
+    run_staged, BucketOut, CounterOom, CounterStages, DriverCtx, PressureStats, RoundRecv,
+};
 use crate::pipeline::gpu_common::{block_range, chunked_launch, staging, DeviceRoundCounter};
 use crate::pipeline::{RankCountResult, RunError, RunReport};
 use crate::supermer::build_supermers_reference_w;
@@ -319,10 +321,10 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
     fn make_counter(
         &self,
         ctx: &DriverCtx,
-        _rank: usize,
+        rank: usize,
         expected_instances: u64,
-    ) -> DeviceRoundCounter<K> {
-        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, expected_instances)
+    ) -> Result<DeviceRoundCounter<K>, CounterOom> {
+        DeviceRoundCounter::new(ctx.rc, &ctx.cfg, rank, expected_instances)
     }
 
     fn count_round(
@@ -330,7 +332,7 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
         ctx: &DriverCtx,
         counter: &mut DeviceRoundCounter<K>,
         items: Vec<(K, u8)>,
-    ) -> SimTime {
+    ) -> Result<SimTime, CounterOom> {
         let cfg = &ctx.cfg;
         // Device-side extraction, represented functionally by this flatten;
         // its cost is the extract surcharge added to the count kernel.
@@ -346,6 +348,10 @@ impl<K: PackedKmer> CounterStages for SupermerStages<K> {
             &kmers,
             tuning.count_cycles_per_kmer + tuning.extract_cycles_per_kmer,
         )
+    }
+
+    fn pressure(&self, counter: &DeviceRoundCounter<K>) -> PressureStats {
+        counter.pressure()
     }
 
     fn finish(

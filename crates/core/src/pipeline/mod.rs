@@ -82,7 +82,8 @@ impl<K: TableKey> RunReport<K> {
 
 /// A failed pipeline run: either the configuration was rejected up
 /// front, or the run itself died in a way the driver reports cleanly
-/// (today: an exchange round exhausting its fault-retry budget).
+/// (today: an exchange round exhausting its fault-retry budget, or a
+/// rank exhausting device memory *and* its host spill budget).
 #[derive(Clone, Debug, PartialEq)]
 pub enum RunError {
     /// The run configuration was rejected before any work was done.
@@ -95,6 +96,21 @@ pub enum RunError {
         /// Delivery attempts made (first attempt + retries).
         attempts: u32,
     },
+    /// A rank ran out of device memory for its count table and could not
+    /// recover: the grow-and-rehash path was denied and the host spill
+    /// list hit its budget (DESIGN.md §8). The run unwinds cleanly —
+    /// never a panic — carrying every rank's allocation high-water mark
+    /// for post-mortem sizing.
+    DeviceOom {
+        /// Rank that exhausted both the device budget and the spill list.
+        rank: usize,
+        /// What failed (allocation request, spill budget), from the
+        /// counting stage.
+        detail: String,
+        /// Per-rank device-allocation high-water marks in bytes, indexed
+        /// by rank.
+        high_water_bytes: Vec<u64>,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -105,6 +121,15 @@ impl std::fmt::Display for RunError {
                 f,
                 "exchange round {round} failed: buckets still undelivered after \
                  {attempts} attempts (fault retry budget exhausted)"
+            ),
+            RunError::DeviceOom {
+                rank,
+                detail,
+                high_water_bytes,
+            } => write!(
+                f,
+                "device out of memory on rank {rank}: {detail}; per-rank HBM \
+                 high-water marks {high_water_bytes:?} bytes"
             ),
         }
     }

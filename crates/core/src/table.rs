@@ -1,9 +1,12 @@
 //! Open-addressing k-mer count tables with linear probing (§III-B3).
 //!
 //! Two variants share the layout (a power-of-two slot array of packed
-//! k-mer keys plus 32-bit counts, linear probing, `u64::MAX` as the empty
-//! sentinel — valid because the pipelines cap k at 31, so no packed k-mer
-//! can be all-ones):
+//! k-mer keys plus 32-bit counts, linear probing, an all-ones empty
+//! sentinel: `u64::MAX` at the narrow width, `u128::MAX` at the wide
+//! width). The sentinels stay valid at both widths because a packed
+//! k-mer occupies at most `2k` bits of its word — 62 of 64 for k ≤ 31,
+//! 126 of 128 for wide k ≤ 63 — so a real key always has zero top bits
+//! and can never be all-ones:
 //!
 //! * [`HostCountTable`] — single-owner, growable; used by the CPU baseline
 //!   ranks.
@@ -19,13 +22,15 @@ use dedukt_dna::spectrum::Spectrum;
 use dedukt_gpu::{AtomicBuffer32, Device, OomError};
 use dedukt_hash::Murmur3x64;
 
-/// The empty-slot sentinel. k ≤ 31 keeps every real packed k-mer below it.
+/// The narrow-width empty-slot sentinel. k ≤ 31 keeps every real packed
+/// k-mer below it (wide keys use `u128::MAX`, see [`TableKey::EMPTY`]).
 pub const EMPTY_KEY: u64 = u64::MAX;
 
 /// A packed k-mer key a count table can store: `u64` for k ≤ 31 (the
 /// paper's regime) or `u128` for wide k ≤ 63 (this reproduction's long-k
-/// extension).
-pub trait TableKey: Copy + Eq + std::fmt::Debug + Send + Sync {
+/// extension). Keys are `Ord` so spilled k-mers can be merged back into
+/// a table snapshot by deterministic sorted-run coalescing.
+pub trait TableKey: Copy + Eq + Ord + std::fmt::Debug + Send + Sync {
     /// Sentinel marking an empty slot; no real packed k-mer may equal it
     /// (guaranteed by the k-length caps above).
     const EMPTY: Self;
@@ -188,13 +193,29 @@ impl<K: TableKey> HostCountTable<K> {
     }
 }
 
-/// Outcome of one [`DeviceCountTable::insert`].
+/// Probe accounting for one successful [`DeviceCountTable::insert`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct InsertResult {
     /// Probe steps taken (1 = direct hit).
     pub steps: u32,
     /// True if the insert claimed a fresh slot (first occurrence).
     pub new: bool,
+}
+
+/// Outcome of one [`DeviceCountTable::insert`]: either the instance was
+/// counted, or every slot was visited and the table is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The instance landed; probe accounting inside.
+    Inserted(InsertResult),
+    /// All slots were probed and none could take the key. Linear probing
+    /// visits every slot before giving up, so `Full` also proves the key
+    /// is *not* in the table — the caller must regrow the table or spill
+    /// the instance to the host, never drop it.
+    Full {
+        /// Probe steps spent discovering fullness (= the capacity).
+        steps: u32,
+    },
 }
 
 /// A fixed-capacity count table over device atomics, safe for concurrent
@@ -235,50 +256,61 @@ impl<K: PackedKmer> DeviceCountTable<K> {
         self.capacity
     }
 
-    /// Inserts one k-mer instance from any thread. Returns the probe-step
-    /// count (≥ 1) and whether this insert claimed a fresh slot — both
-    /// feed the kernel cost accounting.
+    /// Inserts one k-mer instance from any thread. On success returns the
+    /// probe-step count (≥ 1) and whether this insert claimed a fresh
+    /// slot — both feed the kernel cost accounting. When every slot is
+    /// occupied by other keys the insert returns [`InsertOutcome::Full`]
+    /// instead of landing; tables sized from estimates can fill up under
+    /// memory pressure, so a full table is data, not a bug.
     ///
     /// This is the CUDA idiom: `atomicCAS` to claim an empty slot, then
-    /// `atomicAdd` on the count; linear probing on collision. Panics if
-    /// the table is full (the pipelines size tables from the exact
-    /// received counts, so this indicates a bug, not data).
-    pub fn insert(&self, kmer: K) -> InsertResult {
+    /// `atomicAdd` on the count; linear probing on collision.
+    pub fn insert(&self, kmer: K) -> InsertOutcome {
+        self.insert_counted(kmer, 1)
+    }
+
+    /// Like [`DeviceCountTable::insert`] but adds `count` occurrences at
+    /// once — the rehash primitive: a regrow kernel migrates each old
+    /// slot's accumulated count with a single probe sequence.
+    pub fn insert_counted(&self, kmer: K, count: u32) -> InsertOutcome {
         debug_assert_ne!(kmer, K::EMPTY, "k-mer collides with empty sentinel");
+        debug_assert!(count > 0, "inserting zero occurrences is meaningless");
         let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
         let mut steps = 1u32;
         loop {
             let existing = K::slot_load(&self.keys, slot);
             if existing == kmer {
-                self.counts.fetch_add(slot, 1);
-                return InsertResult { steps, new: false };
+                self.counts.fetch_add(slot, count);
+                return InsertOutcome::Inserted(InsertResult { steps, new: false });
             }
             if existing == K::EMPTY {
                 let prev = K::slot_cas(&self.keys, slot, K::EMPTY, kmer);
                 if prev == K::EMPTY || prev == kmer {
-                    self.counts.fetch_add(slot, 1);
-                    return InsertResult {
+                    self.counts.fetch_add(slot, count);
+                    return InsertOutcome::Inserted(InsertResult {
                         steps,
                         new: prev == K::EMPTY,
-                    };
+                    });
                 }
                 // Another thread claimed the slot for a different k-mer;
                 // fall through to probe on.
             }
+            if steps as usize >= self.capacity() {
+                // Every slot visited, none claimable: the table is full
+                // and (by the full probe circuit) the key is absent.
+                return InsertOutcome::Full { steps };
+            }
             slot = (slot + 1) & self.mask;
             steps += 1;
-            assert!(
-                steps as usize <= self.capacity(),
-                "device count table is full (capacity {})",
-                self.capacity()
-            );
         }
     }
 
-    /// The count of `kmer`, or `None` (quiescent reads only).
+    /// The count of `kmer`, or `None` (quiescent reads only). Bounds the
+    /// probe on slots visited, mirroring the insert path: after
+    /// `capacity` probes every slot has been seen and the key is absent.
     pub fn get(&self, kmer: K) -> Option<u32> {
         let mut slot = (kmer.hash_with(&self.hasher) as usize) & self.mask;
-        let mut steps = 0usize;
+        let mut steps = 1usize;
         loop {
             let k = K::slot_load(&self.keys, slot);
             if k == kmer {
@@ -303,12 +335,11 @@ impl<K: PackedKmer> DeviceCountTable<K> {
             .collect()
     }
 
-    /// Number of distinct keys (quiescent reads only).
+    /// Number of distinct keys (quiescent reads only). Shares the
+    /// [`DeviceCountTable::to_host`] snapshot path rather than taking a
+    /// second, possibly-skewed snapshot of its own.
     pub fn distinct(&self) -> usize {
-        K::slots_snapshot(&self.keys)
-            .iter()
-            .filter(|&&k| k != K::EMPTY)
-            .count()
+        self.to_host().len()
     }
 }
 
@@ -453,13 +484,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "full")]
-    fn device_table_full_panics() {
+    fn device_table_full_reports_outcome() {
         let device = Device::v100();
         let t = DeviceCountTable::new(&device, 16, 11).unwrap();
+        let mut full = 0usize;
         for i in 0..100u64 {
-            t.insert(i);
+            match t.insert(i) {
+                InsertOutcome::Inserted(_) => {}
+                InsertOutcome::Full { steps } => {
+                    // Fullness costs a complete probe circuit, no more.
+                    assert_eq!(steps as usize, t.capacity());
+                    full += 1;
+                }
+            }
         }
+        // 16 slots, 100 distinct keys: the first 16 land, the rest bounce.
+        assert_eq!(t.distinct(), t.capacity());
+        assert_eq!(full, 100 - t.capacity());
+        // Stored keys still count further instances after going full.
+        let (stored, _) = t.to_host()[0];
+        assert!(matches!(t.insert(stored), InsertOutcome::Inserted(_)));
+        // And lookups of bounced keys terminate with None despite the
+        // table having no empty slot to stop at.
+        let bounced = (0..100u64).find(|&k| t.get(k).is_none()).unwrap();
+        assert_eq!(t.get(bounced), None);
     }
 
     #[test]
@@ -469,18 +517,57 @@ mod tests {
         let first = t.insert(5);
         assert_eq!(
             first,
-            InsertResult {
+            InsertOutcome::Inserted(InsertResult {
                 steps: 1,
                 new: true
-            }
+            })
         );
         let again = t.insert(5);
         assert_eq!(
             again,
-            InsertResult {
+            InsertOutcome::Inserted(InsertResult {
                 steps: 1,
                 new: false
-            }
+            })
         );
+    }
+
+    #[test]
+    fn device_insert_counted_adds_in_one_probe_sequence() {
+        let device = Device::v100();
+        let t = DeviceCountTable::<u64>::new(&device, 64, 17).unwrap();
+        assert!(matches!(
+            t.insert_counted(9, 250),
+            InsertOutcome::Inserted(InsertResult { new: true, .. })
+        ));
+        assert!(matches!(
+            t.insert_counted(9, 250),
+            InsertOutcome::Inserted(InsertResult { new: false, .. })
+        ));
+        assert_eq!(t.get(9), Some(500));
+    }
+
+    #[test]
+    fn host_grow_preserves_probe_accounting() {
+        // `grow()` rehashes in place and must not perturb the insert-path
+        // probe counter (the collision metric) or any count.
+        let mut t: HostCountTable = HostCountTable::with_expected(512, 0.7, 21);
+        for i in 0..300u64 {
+            for _ in 0..=i % 3 {
+                t.insert(i * 7 + 1);
+            }
+        }
+        let probes = t.probe_steps();
+        let distinct = t.distinct();
+        let total = t.total();
+        let cap = t.capacity();
+        t.grow();
+        assert_eq!(t.probe_steps(), probes, "grow must not count probes");
+        assert_eq!(t.distinct(), distinct);
+        assert_eq!(t.total(), total);
+        assert_eq!(t.capacity(), cap * 2);
+        for i in 0..300u64 {
+            assert_eq!(t.get(i * 7 + 1), Some((i % 3 + 1) as u32), "key {i}");
+        }
     }
 }

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod cost;
 pub mod launch;
+pub mod mem_plan;
 pub mod memory;
 pub mod occupancy;
 pub mod stream;
@@ -30,6 +31,7 @@ pub mod transfer;
 
 pub use config::DeviceConfig;
 pub use launch::{BlockCtx, KernelReport, LaunchConfig, ThreadCtx, WorkTally};
+pub use mem_plan::{MemPlan, MemSpec};
 pub use memory::{AtomicBuffer, AtomicBuffer128, AtomicBuffer32, Device, DeviceBuffer, OomError};
 pub use stream::Stream;
 pub use transfer::{Link, TransferDirection};

@@ -295,6 +295,19 @@ impl BspWorld {
         std::mem::take(&mut self.counters)
     }
 
+    /// Records one sample on a named counter lane at `rank`'s current
+    /// simulated time. Lets layers above the wire (e.g. the counting
+    /// stage's spill accounting) feed the same Chrome-trace counter
+    /// machinery as the built-in byte and retry lanes.
+    pub fn push_counter_sample(&mut self, name: &str, rank: usize, value: f64) {
+        self.counters.push(TraceCounter {
+            name: name.to_string(),
+            rank,
+            ts: self.clocks[rank].now(),
+            value,
+        });
+    }
+
     /// Performs an Alltoallv: `send[src][dst]` is the payload `src` sends
     /// to `dst`. Payloads move (no copies); the cost model charges each
     /// rank its simulated exchange time.

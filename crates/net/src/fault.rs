@@ -22,7 +22,7 @@
 //! * **Straggler** — a rank's compute step is stretched by
 //!   [`FaultSpec::straggle_factor`]; timing-only, payloads are unaffected.
 
-use dedukt_sim::rng::mix_coords;
+use dedukt_sim::rng::unit_from_coords;
 
 /// Domain-separation salts so the three fault streams never alias.
 const SALT_FATE: u64 = 0xFA17_0001;
@@ -191,7 +191,7 @@ impl FaultPlan {
 
     /// Uniform `[0, 1)` draw at a fault coordinate.
     fn draw(&self, salt: u64, coords: &[u64]) -> f64 {
-        (mix_coords(self.seed ^ salt, coords) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_from_coords(self.seed ^ salt, coords)
     }
 
     /// Fate of the non-empty bucket `src → dst` on `attempt` (0 = first

@@ -72,6 +72,17 @@ pub fn mix_coords(seed: u64, coords: &[u64]) -> u64 {
     acc
 }
 
+/// Uniform `f64` in `[0, 1)` at a coordinate tuple: the stateless-draw
+/// companion to [`mix_coords`], shared by every seeded injection plan
+/// (network faults, memory pressure) so that independent engines agree
+/// on each decision without exchanging state. The 53 high bits of the
+/// mixed hash give a uniform double, exactly like
+/// [`SplitMix64::next_f64`].
+#[inline]
+pub fn unit_from_coords(seed: u64, coords: &[u64]) -> f64 {
+    (mix_coords(seed, coords) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +148,18 @@ mod tests {
         assert_ne!(mix_coords(1, &[2, 3, 4]), mix_coords(1, &[4, 3, 2]));
         assert_ne!(mix_coords(1, &[2, 3, 4]), mix_coords(2, &[2, 3, 4]));
         assert_ne!(mix_coords(1, &[2, 3]), mix_coords(1, &[2, 3, 0]));
+    }
+
+    #[test]
+    fn unit_from_coords_matches_the_mix_and_stays_in_range() {
+        for i in 0..10_000u64 {
+            let u = unit_from_coords(3, &[i, 7]);
+            assert!((0.0..1.0).contains(&u));
+            let expect = (mix_coords(3, &[i, 7]) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            assert_eq!(u, expect);
+        }
+        assert_eq!(unit_from_coords(5, &[1, 2]), unit_from_coords(5, &[1, 2]));
+        assert_ne!(unit_from_coords(5, &[1, 2]), unit_from_coords(6, &[1, 2]));
     }
 
     #[test]

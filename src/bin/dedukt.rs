@@ -19,6 +19,14 @@
 //!   network faults (DESIGN.md §7): failed sends, corrupt buckets and
 //!   stragglers, recovered by the driver's bounded retry loop. The
 //!   counted spectra stay bit-identical to the fault-free run.
+//!   `--mem-seed N` / `--mem-spec k=v,...` inject deterministic memory
+//!   pressure (DESIGN.md §8): distinct-count underestimates and denied
+//!   grow allocations, recovered by on-device regrow or a bounded host
+//!   spill — again bit-identical counts. `--table-safety F` scales the
+//!   count-table sizing estimate; `--device-hbm BYTES` shrinks the
+//!   simulated V100's memory budget. A rank that exhausts both the
+//!   device and its spill budget fails the run cleanly with a
+//!   device-out-of-memory error (exit 2), never a panic.
 //! * `info` — print the simulated hardware presets.
 //!
 //! Examples:
@@ -68,6 +76,8 @@ fn print_usage() {
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
          \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
          \x20        [--fault-seed N] [--fault-spec fail=F,corrupt=C,straggle=S,slow=X,retries=R,backoff=B]\n\
+         \x20        [--mem-seed N] [--mem-spec under=U,shrink=S,afail=A,spill=N]\n\
+         \x20        [--table-safety F] [--device-hbm BYTES]\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
          \x20 dedukt info"
     );
@@ -248,6 +258,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut min_qual: Option<u8> = None;
     let mut fault_seed: Option<u64> = None;
     let mut fault_spec: Option<String> = None;
+    let mut mem_seed: Option<u64> = None;
+    let mut mem_spec: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
@@ -293,6 +305,24 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                 )
             }
             "--fault-spec" => fault_spec = Some(take_value(&mut it, "--fault-spec")?.to_string()),
+            "--mem-seed" => {
+                mem_seed = Some(
+                    take_value(&mut it, "--mem-seed")?
+                        .parse()
+                        .map_err(|_| "bad mem seed")?,
+                )
+            }
+            "--mem-spec" => mem_spec = Some(take_value(&mut it, "--mem-spec")?.to_string()),
+            "--table-safety" => {
+                rc.table_safety = take_value(&mut it, "--table-safety")?
+                    .parse()
+                    .map_err(|_| "bad table safety factor")?
+            }
+            "--device-hbm" => {
+                rc.gpu_device.memory_bytes = take_value(&mut it, "--device-hbm")?
+                    .parse()
+                    .map_err(|_| "bad device HBM byte count")?
+            }
             "--out" => out_path = Some(take_value(&mut it, "--out")?.to_string()),
             "--spectrum" => spectrum_path = Some(take_value(&mut it, "--spectrum")?.to_string()),
             "--trace" => trace_path = Some(take_value(&mut it, "--trace")?.to_string()),
@@ -316,6 +346,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             None => dedukt::net::FaultSpec::default(),
         };
         rc.fault = Some(dedukt::net::FaultPlan::new(fault_seed.unwrap_or(0), spec));
+    }
+    // Same activation idiom for memory pressure: either flag opts in.
+    if mem_seed.is_some() || mem_spec.is_some() {
+        let spec = match &mem_spec {
+            Some(s) => dedukt::gpu::MemSpec::parse(s)?,
+            None => dedukt::gpu::MemSpec::default(),
+        };
+        rc.mem = Some(dedukt::gpu::MemPlan::new(mem_seed.unwrap_or(0), spec));
     }
     let outputs = CountOutputs {
         out_path,

@@ -345,6 +345,144 @@ fn malformed_fault_specs_exit_two_with_a_config_error() {
 }
 
 #[test]
+fn mem_flags_recover_and_match_the_unconstrained_dump() {
+    let dir = tmpdir("mem");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let clean = dir.join("clean.tsv");
+    let pressured = dir.join("pressured.tsv");
+    let metrics = dir.join("metrics.json");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--out"])
+        .arg(&clean)
+        .status()
+        .unwrap()
+        .success());
+    // A 1% table estimate forces overflow on every rank; injected
+    // allocation failures close the regrow path half the time, so both
+    // recovery tiers (device regrow and host spill) actually run.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--table-safety",
+            "0.01",
+            "--mem-seed",
+            "7",
+            "--mem-spec",
+            "under=0.5,shrink=0.5,afail=0.5,spill=100000",
+            "--out",
+        ])
+        .arg(&pressured)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The headline guarantee, end to end: same dump, byte for byte.
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&pressured).unwrap(),
+        "memory-pressure recovery must not change a single count"
+    );
+    // Recovery surfaced through --metrics.
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"name\": \"table_regrows_total\""));
+    assert!(json.contains("\"name\": \"spill_kmers_total\""));
+    assert!(json.contains("\"name\": \"device_oom_events_total\""));
+    assert!(json.contains("\"name\": \"hbm_high_water_bytes\""));
+}
+
+#[test]
+fn malformed_mem_specs_exit_two_and_oom_is_a_clean_failure() {
+    let dir = tmpdir("mem-bad");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    // (spec, message fragment): out-of-range knobs fail validation with
+    // the run like every other ConfigError; unknown keys and junk
+    // values fail at the parser.
+    for (spec, needle) in [
+        ("under=1.5", "must be in [0, 1]"),
+        ("shrink=0", "must be in (0, 1]"),
+        ("bogus=1", "unknown mem spec key"),
+        ("afail=lots", "is not a number"),
+        ("spill", "is not key=value"),
+    ] {
+        let out = dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args(["--mem-spec", spec])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "spec {spec:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "spec {spec:?}: missing {needle:?} in\n{stderr}"
+        );
+    }
+    // A nonsensical safety factor is rejected the same way.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--table-safety", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // An unsurvivable plan (every allocation denied, ten spilled k-mers
+    // allowed) is a clean exit-2 `DeviceOom`, not a panic, and names
+    // the exhausted budget.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--table-safety",
+            "0.01",
+            "--mem-spec",
+            "afail=1,spill=10",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("device out of memory"),
+        "missing DeviceOom message in\n{stderr}"
+    );
+    assert!(
+        stderr.contains("spill budget exhausted"),
+        "missing budget detail in\n{stderr}"
+    );
+}
+
+#[test]
 fn trace_flag_writes_chrome_trace() {
     let dir = tmpdir("trace");
     let fastq = dir.join("reads.fastq");

@@ -205,6 +205,62 @@ fn zero_fault_plan_changes_nothing() {
     }
 }
 
+/// A zero-rate memory plan (plus the default safety factor) is a true
+/// no-op, exactly like the zero-rate fault plan above: same table
+/// sizing, same phase times, and the exported series set contains no
+/// pressure series (`table_regrows_total`, `spill_kmers_total`,
+/// `device_oom_events_total`, `hbm_high_water_bytes`). This pins the
+/// pre-pressure schema against drift from the recovery machinery.
+#[test]
+fn zero_pressure_plan_changes_nothing() {
+    use dedukt::gpu::{MemPlan, MemSpec};
+    use std::collections::BTreeSet;
+    let reads = tiny_reads();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut rc = RunConfig::new(mode, 2);
+        rc.collect_metrics = true;
+        rc.collect_spectrum = true;
+        let plain = run(&reads, &rc).expect("valid config");
+        rc.mem = Some(MemPlan::new(98765, MemSpec::none()));
+        rc.table_safety = 1.0;
+        let zeroed = run(&reads, &rc).expect("zero-rate plan cannot fail");
+
+        assert_eq!(zeroed.phases.parse, plain.phases.parse, "mode {mode:?}");
+        assert_eq!(
+            zeroed.phases.exchange, plain.phases.exchange,
+            "mode {mode:?}"
+        );
+        assert_eq!(zeroed.phases.count, plain.phases.count, "mode {mode:?}");
+        assert_eq!(zeroed.makespan, plain.makespan, "mode {mode:?}");
+        assert_eq!(zeroed.total_kmers, plain.total_kmers);
+        assert_eq!(zeroed.distinct_kmers, plain.distinct_kmers);
+        assert_eq!(zeroed.spectrum, plain.spectrum, "mode {mode:?}");
+
+        let names = |r: &RunReport| -> BTreeSet<String> {
+            r.metrics
+                .as_ref()
+                .unwrap()
+                .entries
+                .iter()
+                .map(|e| e.name.clone())
+                .collect()
+        };
+        let zn = names(&zeroed);
+        assert_eq!(zn, names(&plain), "mode {mode:?}");
+        for pressure_series in [
+            "table_regrows_total",
+            "spill_kmers_total",
+            "device_oom_events_total",
+            "hbm_high_water_bytes",
+        ] {
+            assert!(
+                !zn.contains(pressure_series),
+                "mode {mode:?}: {pressure_series} must not exist without pressure"
+            );
+        }
+    }
+}
+
 #[test]
 fn disabling_metrics_leaves_the_run_bit_identical() {
     let reads = tiny_reads();
