@@ -184,6 +184,15 @@ impl Mode {
             Mode::GpuKmer | Mode::GpuSupermer => 6,
         }
     }
+
+    /// Stable lowercase label used by run journals and bench reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::CpuBaseline => "cpu",
+            Mode::GpuKmer => "gpu-kmer",
+            Mode::GpuSupermer => "gpu-supermer",
+        }
+    }
 }
 
 /// Effective per-core throughput of the CPU baseline.
@@ -304,6 +313,13 @@ pub struct RunConfig {
     /// do no metrics work at all; simulated times are identical either way
     /// (they come from the analytic cost models).
     pub collect_metrics: bool,
+    /// Record a structured run journal — one typed event per superstep
+    /// span, collective, retry, regrow/spill/OOM recovery, phase total,
+    /// and wall-clock stage — into
+    /// [`crate::pipeline::RunReport::journal`] for offline analysis with
+    /// `dedukt analyze`. Follows the metrics discipline: disabled runs do
+    /// no journal work at all and are bit-identical either way.
+    pub collect_journal: bool,
     /// Deterministic fault schedule for the exchange layer (stragglers,
     /// transient send failures, bucket corruption — DESIGN.md §7). The
     /// driver retries failed/corrupt buckets with bounded backoff; final
@@ -347,6 +363,7 @@ impl RunConfig {
             collect_tables: false,
             collect_trace: false,
             collect_metrics: false,
+            collect_journal: false,
             fault: None,
             table_safety: 1.0,
             mem: None,

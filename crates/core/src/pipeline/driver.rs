@@ -28,15 +28,16 @@
 use crate::config::{CountingConfig, RunConfig};
 use crate::pipeline::gpu_common::split_rounds_weighted;
 use crate::pipeline::{assemble_counts, RankCountResult, RunError, RunReport};
-use crate::stats::{ExchangeSummary, PhaseBreakdown};
+use crate::stats::{ExchangeSummary, PhaseBreakdown, WallClock};
 use crate::width::PackedKmer;
 use dedukt_dna::ReadSet;
 use dedukt_hash::Murmur3x64;
 use dedukt_net::cost::Network;
 use dedukt_net::BspWorld;
-use dedukt_sim::{MetricsRegistry, SimTime};
+use dedukt_sim::{Journal, JournalEvent, MetricsRegistry, SimTime};
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Run-wide context handed to every [`CounterStages`] hook.
 pub(crate) struct DriverCtx<'a> {
@@ -104,11 +105,25 @@ pub(crate) struct CounterOom {
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct PressureStats {
     /// k-mer instances parked on the host spill list (feeds the
-    /// "spill k-mers" trace lane; regrow/OOM event counts are emitted
-    /// as per-rank metrics by the counter itself).
+    /// "spill k-mers" trace lane).
     pub spilled: u64,
-    /// Device-allocation high-water mark in bytes.
+    /// Successful grow-and-rehash events.
+    pub regrows: u64,
+    /// Denied grow allocations the counter recovered from by spilling.
+    pub oom_events: u64,
+    /// Device-allocation high-water mark in bytes. Nonzero even on an
+    /// unpressured run — gate pressure-only telemetry on the event
+    /// counts above, never on this.
     pub high_water_bytes: u64,
+}
+
+impl PressureStats {
+    /// Did any pressure event actually fire on this rank? The gate for
+    /// the pressure-only trace lanes and journal events, keeping
+    /// unconstrained runs' output schemas untouched.
+    pub fn fired(&self) -> bool {
+        self.spilled + self.regrows + self.oom_events > 0
+    }
 }
 
 /// The counter-specific hooks of one pipeline; everything else —
@@ -216,6 +231,7 @@ pub(crate) fn run_staged<S: CounterStages>(
     reads: &ReadSet,
     rc: &RunConfig,
 ) -> Result<RunReport<S::Key>, RunError> {
+    let wall_run = Instant::now();
     let nranks = rc.nranks();
     let mut net = stages.network(rc);
     net.params.algo = rc.exchange_algo;
@@ -227,6 +243,16 @@ pub(crate) fn run_staged<S: CounterStages>(
     }
     if let Some(plan) = rc.fault {
         world.enable_faults(plan);
+    }
+    let journal = rc.collect_journal.then(|| Arc::new(Journal::new()));
+    if let Some(j) = &journal {
+        world.enable_journal(Arc::clone(j));
+        j.push(JournalEvent::Meta {
+            mode: rc.mode.label().to_string(),
+            nodes: rc.nodes,
+            nranks,
+            detail: run_detail(rc),
+        });
     }
     let ctx = DriverCtx {
         rc,
@@ -265,6 +291,9 @@ pub(crate) fn run_staged<S: CounterStages>(
             }
         }
     }
+
+    let wall_parse = wall_run.elapsed().as_secs_f64();
+    let wall_rounds_start = Instant::now();
 
     // ── Exchange + count rounds ────────────────────────────────────────
     let (_, stage_out_step) =
@@ -322,6 +351,15 @@ pub(crate) fn run_staged<S: CounterStages>(
             }
             let backoff =
                 SimTime::from_secs(spec.backoff_secs * (1u64 << (attempt - 1).min(20)) as f64);
+            if let Some(j) = &journal {
+                j.push(JournalEvent::Retry {
+                    round: round_idx as u64,
+                    attempt,
+                    failed: rr.failed_sends,
+                    corrupt: rr.corrupt_buckets,
+                    backoff: backoff.as_secs(),
+                });
+            }
             world.advance_all("retry-backoff", backoff);
             world.fault_context(round_idx as u64, attempt);
             rr = stages.exchange_round(&mut world, rr.undelivered, None);
@@ -385,6 +423,12 @@ pub(crate) fn run_staged<S: CounterStages>(
                 if p.spilled > 0 {
                     world.push_counter_sample("spill k-mers", rank, p.spilled as f64);
                 }
+                // The HBM lane exists only for ranks where pressure
+                // actually fired — high-water marks are nonzero on every
+                // run, so gating on them would change clean-run traces.
+                if p.fired() {
+                    world.push_counter_sample("hbm bytes", rank, p.high_water_bytes as f64);
+                }
             }
         }
         for (rank, t) in times.iter().enumerate() {
@@ -393,6 +437,8 @@ pub(crate) fn run_staged<S: CounterStages>(
         last_round_times.clone_from(&times);
         prev_round_times = Some(times);
     }
+    let wall_rounds = wall_rounds_start.elapsed().as_secs_f64();
+    let wall_finish_start = Instant::now();
     let (_, stage_in_step) = world.compute_step_named("stage-in", |rank| {
         ((), stages.stage_in(&ctx, received_items[rank]))
     });
@@ -407,6 +453,35 @@ pub(crate) fn run_staged<S: CounterStages>(
         count_totals
     };
     let (_, count_step) = world.compute_step_named("count", |rank| ((), drain[rank]));
+    // Recovery accounting: one journal event per rank-and-kind of memory
+    // pressure that actually fired (unpressured runs journal nothing
+    // here, mirroring the pressure metrics' existence discipline).
+    if let Some(j) = &journal {
+        for (rank, c) in counters.iter().enumerate() {
+            let p = stages.pressure(c);
+            if p.regrows > 0 {
+                j.push(JournalEvent::Regrow {
+                    rank,
+                    count: p.regrows,
+                });
+            }
+            if p.spilled > 0 {
+                j.push(JournalEvent::Spill {
+                    rank,
+                    kmers: p.spilled,
+                });
+            }
+            if p.oom_events > 0 {
+                j.push(JournalEvent::Oom {
+                    rank,
+                    detail: format!(
+                        "{} grow allocation(s) denied; recovered by spilling to host",
+                        p.oom_events
+                    ),
+                });
+            }
+        }
+    }
     let indexed: Vec<(usize, S::Counter)> = counters.into_iter().enumerate().collect();
     let rank_results: Vec<RankCountResult<S::Key>> = indexed
         .into_par_iter()
@@ -414,6 +489,19 @@ pub(crate) fn run_staged<S: CounterStages>(
         .collect();
 
     // ── Report assembly ────────────────────────────────────────────────
+    let phases = PhaseBreakdown {
+        parse: prepass_time + bucket_step.mean,
+        exchange: stage_out_step.mean + charged_total + recovery_total + stage_in_step.mean,
+        count: count_step.mean,
+    };
+    let makespan = world.elapsed();
+    let wall_finish = wall_finish_start.elapsed().as_secs_f64();
+    let wall = WallClock {
+        parse: wall_parse,
+        rounds: wall_rounds,
+        finish: wall_finish,
+        total: wall_run.elapsed().as_secs_f64(),
+    };
     if let Some(m) = &metrics {
         // Fault-recovery series exist only when recovery happened, so a
         // zero-fault plan leaves the metrics schema untouched.
@@ -422,8 +510,48 @@ pub(crate) fn run_staged<S: CounterStages>(
             m.counter_add("corrupt_buckets_total", None, corrupt_total);
             m.gauge_add("recovery_seconds_total", None, recovery_total.as_secs());
         }
+        // Always-on phase and makespan gauges — what `dedukt analyze`
+        // reconciles the journal against — plus the wall-clock lane
+        // (real host seconds; the one nondeterministic series family).
+        m.gauge_set("phase_seconds:parse", None, phases.parse.as_secs());
+        m.gauge_set("phase_seconds:exchange", None, phases.exchange.as_secs());
+        m.gauge_set("phase_seconds:count", None, phases.count.as_secs());
+        m.gauge_set("makespan_seconds", None, makespan.as_secs());
+        m.gauge_set("wall_seconds:parse", None, wall.parse);
+        m.gauge_set("wall_seconds:rounds", None, wall.rounds);
+        m.gauge_set("wall_seconds:finish", None, wall.finish);
+        m.gauge_set("wall_seconds:total", None, wall.total);
     }
-    let makespan = world.elapsed();
+    if let Some(j) = &journal {
+        // Phase totals from the same accumulators as the report, so the
+        // analyzer's reconciliation is exact (not epsilon-close).
+        j.push(JournalEvent::Phase {
+            phase: "parse".to_string(),
+            secs: phases.parse.as_secs(),
+        });
+        j.push(JournalEvent::Phase {
+            phase: "exchange".to_string(),
+            secs: phases.exchange.as_secs(),
+        });
+        j.push(JournalEvent::Phase {
+            phase: "count".to_string(),
+            secs: phases.count.as_secs(),
+        });
+        for (stage, secs) in [
+            ("parse", wall.parse),
+            ("rounds", wall.rounds),
+            ("finish", wall.finish),
+            ("total", wall.total),
+        ] {
+            j.push(JournalEvent::Wall {
+                stage: stage.to_string(),
+                secs,
+            });
+        }
+        j.push(JournalEvent::Run {
+            makespan: makespan.as_secs(),
+        });
+    }
     let trace = rc.collect_trace.then(|| world.take_trace());
     let trace_counters = rc.collect_trace.then(|| world.take_trace_counters());
     let stats = world.stats();
@@ -433,11 +561,7 @@ pub(crate) fn run_staged<S: CounterStages>(
         mode: rc.mode,
         nodes: rc.nodes,
         nranks,
-        phases: PhaseBreakdown {
-            parse: prepass_time + bucket_step.mean,
-            exchange: stage_out_step.mean + charged_total + recovery_total + stage_in_step.mean,
-            count: count_step.mean,
-        },
+        phases,
         makespan,
         exchange: ExchangeSummary {
             units,
@@ -458,7 +582,44 @@ pub(crate) fn run_staged<S: CounterStages>(
         trace,
         trace_counters,
         metrics: metrics.map(|m| m.snapshot()),
+        wall,
+        journal: journal.map(|j| j.snapshot()),
     })
+}
+
+/// One-line run description for the journal's meta event: the knobs that
+/// shape timing, plus any fault or memory-pressure plans.
+fn run_detail(rc: &RunConfig) -> String {
+    let mut parts = vec![format!("k={}", rc.counting.k)];
+    if rc.gpu_direct {
+        parts.push("gpu-direct".to_string());
+    }
+    if let Some(cap) = rc.round_limit_bytes {
+        parts.push(format!("round-limit={cap}"));
+    }
+    if rc.overlap_rounds {
+        parts.push("overlap".to_string());
+    }
+    if rc.balanced_minimizers {
+        parts.push("balanced-minimizers".to_string());
+    }
+    if let Some(plan) = &rc.fault {
+        let s = plan.spec();
+        parts.push(format!(
+            "fault[seed={} fail={} corrupt={} straggle={}x{} retries={} backoff={}]",
+            plan.seed(),
+            s.fail_rate,
+            s.corrupt_rate,
+            s.straggle_rate,
+            s.straggle_factor,
+            s.max_retries,
+            s.backoff_secs
+        ));
+    }
+    if let Some(plan) = &rc.mem {
+        parts.push(format!("mem[{}]", plan.journal_label()));
+    }
+    parts.join(" ")
 }
 
 /// Builds [`RunError::DeviceOom`] from a counter-creation pass where at

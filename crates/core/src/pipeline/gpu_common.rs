@@ -392,6 +392,8 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
     pub(crate) fn pressure(&self) -> PressureStats {
         PressureStats {
             spilled: self.spilled,
+            regrows: self.regrows,
+            oom_events: self.oom_events,
             high_water_bytes: self.device.peak_bytes(),
         }
     }

@@ -58,6 +58,13 @@ pub struct RunReport<K: TableKey = u64> {
     /// Run-wide telemetry snapshot, if requested
     /// ([`crate::config::RunConfig::collect_metrics`]).
     pub metrics: Option<dedukt_sim::MetricsSnapshot>,
+    /// Real host wall-clock seconds per driver stage — always measured,
+    /// and the report's only nondeterministic numbers (they time this
+    /// process, not the simulated machine).
+    pub wall: crate::stats::WallClock,
+    /// Structured run journal for `dedukt analyze`, if requested
+    /// ([`crate::config::RunConfig::collect_journal`]).
+    pub journal: Option<Vec<dedukt_sim::JournalEvent>>,
 }
 
 impl<K: TableKey> RunReport<K> {

@@ -34,6 +34,25 @@ impl PhaseBreakdown {
     }
 }
 
+/// Real host wall-clock seconds per driver stage — `std::time::Instant`
+/// deltas, *not* simulated time. Unlike everything else in the report
+/// these are nondeterministic (they measure this process on this
+/// machine); they feed the journal's `wall` events, the
+/// `wall_seconds:*` metrics gauges, and the bench harness's wall-clock
+/// lane.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WallClock {
+    /// Pre-pass plus bucketing compute (host side of the parse phase).
+    pub parse: f64,
+    /// The exchange + count round loop (wire and kernels interleave, so
+    /// the loop is one stage).
+    pub rounds: f64,
+    /// Staging in, the count drain, and table finalization.
+    pub finish: f64,
+    /// The whole staged run, entry to report assembly.
+    pub total: f64,
+}
+
 /// Exchange-volume accounting for one run (Table II's columns).
 #[derive(Clone, Debug, Default)]
 pub struct ExchangeSummary {

@@ -153,6 +153,19 @@ impl MemPlan {
         self.seed
     }
 
+    /// One-line summary of the plan for run journals and reports, e.g.
+    /// `seed=7 under=0.5 shrink=0.25 afail=0.25 spill=1048576`.
+    pub fn journal_label(&self) -> String {
+        format!(
+            "seed={} under={} shrink={} afail={} spill={}",
+            self.seed,
+            self.spec.underestimate_rate,
+            self.spec.shrink_factor,
+            self.spec.alloc_fail_rate,
+            self.spec.spill_limit
+        )
+    }
+
     /// Uniform `[0, 1)` draw at a pressure coordinate.
     fn draw(&self, salt: u64, coords: &[u64]) -> f64 {
         unit_from_coords(self.seed ^ salt, coords)

@@ -15,7 +15,9 @@
 use crate::cost::Network;
 use crate::fault::{BucketFate, ChecksumFrame, FaultPlan, WireHash};
 use crate::stats::CommStats;
-use dedukt_sim::{MetricsRegistry, SimClock, SimTime, TraceCounter, TraceEvent};
+use dedukt_sim::{
+    Journal, JournalEvent, MetricsRegistry, SimClock, SimTime, TraceCounter, TraceEvent,
+};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -113,6 +115,10 @@ pub struct BspWorld {
     metrics: Option<Arc<MetricsRegistry>>,
     step_counter: usize,
     fault: Option<FaultState>,
+    journal: Option<Arc<Journal>>,
+    /// Superstep sequence number for journaled compute spans; advances
+    /// only while a journal is attached (it is observable nowhere else).
+    journal_seq: u64,
 }
 
 impl BspWorld {
@@ -129,6 +135,8 @@ impl BspWorld {
             metrics: None,
             step_counter: 0,
             fault: None,
+            journal: None,
+            journal_seq: 0,
         }
     }
 
@@ -138,6 +146,15 @@ impl BspWorld {
     /// changes them.
     pub fn enable_metrics(&mut self, registry: Arc<MetricsRegistry>) {
         self.metrics = Some(registry);
+    }
+
+    /// Attaches a run journal: every subsequent clock charge — compute
+    /// spans, per-rank collective charges, backoff advances — is recorded
+    /// as a typed [`JournalEvent`]. Like metrics, the journal is a pure
+    /// observer: simulated times come from the cost models and cannot be
+    /// perturbed by recording them.
+    pub fn enable_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
     }
 
     /// Attaches a deterministic fault plan. Stragglers stretch subsequent
@@ -182,6 +199,7 @@ impl BspWorld {
         if dt.is_zero() {
             return;
         }
+        let step = self.next_journal_step();
         for rank in 0..self.clocks.len() {
             self.trace.push(TraceEvent {
                 name: name.to_string(),
@@ -189,7 +207,28 @@ impl BspWorld {
                 start: self.clocks[rank].now(),
                 duration: dt,
             });
+            if let Some(j) = &self.journal {
+                let start = self.clocks[rank].now().as_secs();
+                j.push(JournalEvent::Span {
+                    step,
+                    rank,
+                    phase: name.to_string(),
+                    start,
+                    end: start + dt.as_secs(),
+                });
+            }
             self.clocks[rank].advance(dt);
+        }
+    }
+
+    /// Next superstep id for journaled spans (0 when no journal is
+    /// attached — the sequence is observable only through the journal).
+    fn next_journal_step(&mut self) -> u64 {
+        if self.journal.is_some() {
+            self.journal_seq += 1;
+            self.journal_seq
+        } else {
+            0
         }
     }
 
@@ -247,6 +286,7 @@ impl BspWorld {
             fs.compute_steps += 1;
             (fs.plan, fs.compute_steps - 1)
         });
+        let step = self.next_journal_step();
         let mut outputs = Vec::with_capacity(results.len());
         let mut times = Vec::with_capacity(results.len());
         for (rank, (out, dt)) in results.into_iter().enumerate() {
@@ -270,6 +310,16 @@ impl BspWorld {
                     start: self.clocks[rank].now(),
                     duration: dt,
                 });
+                if let Some(j) = &self.journal {
+                    let start = self.clocks[rank].now().as_secs();
+                    j.push(JournalEvent::Span {
+                        step,
+                        rank,
+                        phase: name.to_string(),
+                        start,
+                        end: start + dt.as_secs(),
+                    });
+                }
             }
             if let Some(m) = &metrics {
                 m.gauge_add("compute_seconds_total", Some(rank), dt.as_secs());
@@ -449,6 +499,18 @@ impl BspWorld {
                     );
                 }
             }
+            if let Some(j) = &self.journal {
+                j.push(JournalEvent::Collective {
+                    step: self.stats.collectives,
+                    rank,
+                    label: "alltoallv".to_string(),
+                    start: start.as_secs(),
+                    wire: wt.as_secs(),
+                    hidden: hid.as_secs(),
+                    charged: charged.as_secs(),
+                    bytes: sent_per_rank[rank],
+                });
+            }
             self.clocks[rank].sync_to(start + charged);
             self.sent_bytes_cum[rank] += sent_per_rank[rank];
             self.counters.push(TraceCounter {
@@ -542,7 +604,23 @@ impl BspWorld {
     /// Synchronizes all ranks (barrier): clocks align to the slowest rank
     /// plus the modelled barrier latency.
     pub fn barrier(&mut self) -> SimTime {
-        let t = self.elapsed() + self.net.barrier_time();
+        let start = self.elapsed();
+        let dt = self.net.barrier_time();
+        let t = start + dt;
+        if let Some(j) = &self.journal {
+            for rank in 0..self.clocks.len() {
+                j.push(JournalEvent::Collective {
+                    step: self.stats.collectives,
+                    rank,
+                    label: "barrier".to_string(),
+                    start: start.as_secs(),
+                    wire: dt.as_secs(),
+                    hidden: 0.0,
+                    charged: dt.as_secs(),
+                    bytes: 0,
+                });
+            }
+        }
         for c in &mut self.clocks {
             c.sync_to(t);
         }
@@ -907,6 +985,71 @@ mod tests {
         // Zero advance records nothing.
         w.advance_all("noop", SimTime::ZERO);
         assert!(w.take_trace().is_empty());
+    }
+
+    #[test]
+    fn journal_records_every_clock_charge() {
+        use dedukt_sim::{analyze, Journal};
+        let mut w = world(1);
+        let j = Arc::new(Journal::new());
+        w.enable_journal(Arc::clone(&j));
+        let p = w.nranks();
+        w.compute_step_named("parse", |r| ((), SimTime::from_millis(1.0 + r as f64)));
+        let send: Vec<Vec<Vec<u64>>> = vec![vec![vec![7u64; 16]; p]; p];
+        w.alltoallv(send);
+        w.advance_all("retry-backoff", SimTime::from_millis(2.0));
+        w.compute_step_named("count", |_| ((), SimTime::from_millis(3.0)));
+        let events = j.take();
+        let spans = events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::Span { .. }))
+            .count();
+        let colls = events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::Collective { .. }))
+            .count();
+        assert_eq!(spans, 3 * p, "parse + backoff + count spans per rank");
+        assert_eq!(colls, p, "one collective event per rank");
+        // The analyzer can replay the journal: every charge is covered,
+        // so the reconstructed makespan matches the world's clocks.
+        let a = analyze(&events).unwrap();
+        assert!(
+            (a.makespan - w.elapsed().as_secs()).abs() < 1e-15,
+            "journal replay {} != world {}",
+            a.makespan,
+            w.elapsed().as_secs()
+        );
+        a.check_invariants().unwrap();
+        assert!(a.critical_len <= a.makespan + 1e-15);
+    }
+
+    #[test]
+    fn journal_is_a_pure_observer() {
+        use dedukt_sim::Journal;
+        let run = |journal: bool| {
+            let mut w = world(1);
+            let j = Arc::new(Journal::new());
+            if journal {
+                w.enable_journal(Arc::clone(&j));
+            }
+            let p = w.nranks();
+            w.compute_step_named("parse", |r| ((), SimTime::from_millis(r as f64)));
+            let out = w.alltoallv(vec![vec![vec![5u64; 8]; p]; p]);
+            (
+                out.times.mean,
+                out.times.max,
+                w.elapsed(),
+                w.take_trace(),
+                w.take_trace_counters(),
+            )
+        };
+        let plain = run(false);
+        let journaled = run(true);
+        assert_eq!(plain.0, journaled.0);
+        assert_eq!(plain.1, journaled.1);
+        assert_eq!(plain.2, journaled.2);
+        assert_eq!(plain.3, journaled.3, "trace must be bit-identical");
+        assert_eq!(plain.4, journaled.4, "counter lanes must be bit-identical");
     }
 
     #[test]

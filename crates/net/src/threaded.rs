@@ -8,6 +8,7 @@
 use crate::comm::Communicator;
 use crate::fault::{BucketFate, ChecksumFrame, FaultPlan, WireHash};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dedukt_sim::{Journal, JournalEvent};
 use std::cell::Cell;
 use std::sync::{Arc, Barrier};
 
@@ -37,6 +38,27 @@ struct FaultCtx {
     /// Failed or corrupt bucket arrivals observed by this rank as a
     /// receiver — one per retry the matching sender had to perform.
     retries: Cell<u64>,
+    /// Optional flight recorder: every observed failed/corrupt arrival
+    /// becomes a [`JournalEvent::Retry`]. The threaded engine has no
+    /// simulated clock, so recorded backoff is always zero.
+    journal: Option<Arc<Journal>>,
+}
+
+impl FaultCtx {
+    /// Records one failed or corrupt arrival in the attached journal, if
+    /// any. `attempt` is the sender-side attempt index that produced the
+    /// bad delivery; the retry it forces is attempt `attempt + 1`.
+    fn observe_retry(&self, round: u64, attempt: u32, failed: u64, corrupt: u64) {
+        if let Some(j) = &self.journal {
+            j.push(JournalEvent::Retry {
+                round,
+                attempt: attempt + 1,
+                failed,
+                corrupt,
+                backoff: 0.0,
+            });
+        }
+    }
 }
 
 /// A per-rank handle implementing [`Communicator`] over channels.
@@ -127,7 +149,10 @@ impl ThreadedComm {
                     continue;
                 }
                 match self.recv_from(src) {
-                    Payload::FailedSend => ctx.retries.set(ctx.retries.get() + 1),
+                    Payload::FailedSend => {
+                        ctx.retries.set(ctx.retries.get() + 1);
+                        ctx.observe_retry(round, attempt, 1, 0);
+                    }
                     other => {
                         let (items, frame) =
                             unwrap(other).expect("collective mismatch: expected framed payload");
@@ -138,6 +163,7 @@ impl ThreadedComm {
                             // Receiver-side checksum verification caught
                             // the corruption; discard and await a resend.
                             ctx.retries.set(ctx.retries.get() + 1);
+                            ctx.observe_retry(round, attempt, 0, 1);
                         }
                     }
                 }
@@ -295,6 +321,24 @@ impl ThreadedWorld {
         T: Send,
         F: Fn(ThreadedComm) -> T + Sync,
     {
+        ThreadedWorld::run_observed(nranks, plan, None, f)
+    }
+
+    /// [`ThreadedWorld::run_with_faults`] with an optional flight
+    /// recorder: every failed or corrupt bucket arrival any rank observes
+    /// is appended to `journal` as a [`JournalEvent::Retry`] (backoff is
+    /// recorded as zero — this engine has no simulated clock). With
+    /// `journal: None` this is exactly `run_with_faults`.
+    pub fn run_observed<T, F>(
+        nranks: usize,
+        plan: Option<FaultPlan>,
+        journal: Option<Arc<Journal>>,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ThreadedComm) -> T + Sync,
+    {
         assert!(nranks > 0);
         // channels[src][dst]
         let mut senders: Vec<Vec<Sender<Payload>>> = Vec::with_capacity(nranks);
@@ -327,6 +371,7 @@ impl ThreadedWorld {
                     plan,
                     round: Cell::new(0),
                     retries: Cell::new(0),
+                    journal: journal.clone(),
                 }),
             })
             .collect();
@@ -506,6 +551,52 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn observed_run_journals_every_retry() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let p = 6;
+        let plan = FaultPlan::new(2024, FaultSpec::parse("fail=0.3,corrupt=0.2").unwrap());
+        let journal = Arc::new(Journal::new());
+        let results =
+            ThreadedWorld::run_observed(p, Some(plan), Some(Arc::clone(&journal)), |comm| {
+                let send: Vec<Vec<u64>> = (0..p)
+                    .map(|dst| vec![(comm.rank() * 100 + dst) as u64; 3])
+                    .collect();
+                comm.alltoallv_u64(send);
+                comm.fault_retries()
+            });
+        let observed: u64 = results.iter().sum();
+        assert!(observed > 0, "rates this high must retry somewhere");
+        let events = journal.take();
+        let mut failed = 0u64;
+        let mut corrupt = 0u64;
+        for e in &events {
+            match e {
+                JournalEvent::Retry {
+                    round,
+                    attempt,
+                    failed: f,
+                    corrupt: c,
+                    backoff,
+                } => {
+                    assert_eq!(*round, 0, "single collective is round 0");
+                    assert!(*attempt >= 1);
+                    assert_eq!(f + c, 1, "one event per bad arrival");
+                    assert_eq!(*backoff, 0.0, "threaded engine has no clock");
+                    failed += f;
+                    corrupt += c;
+                }
+                other => panic!("unexpected event kind {:?}", other.kind()),
+            }
+        }
+        assert_eq!(
+            failed + corrupt,
+            observed,
+            "journal must record exactly the retries the ranks counted"
+        );
+        assert!(corrupt > 0, "corrupt=0.2 must corrupt something");
     }
 
     #[test]

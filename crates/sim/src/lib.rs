@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
+pub mod journal;
 pub mod metrics;
 pub mod rate;
 pub mod rng;
@@ -19,6 +21,8 @@ pub mod time;
 pub mod trace;
 pub mod volume;
 
+pub use analyze::{analyze, render_diff, RunAnalysis};
+pub use journal::{read_journal, write_journal, Journal, JournalEvent};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use rate::Rate;
 pub use rng::SplitMix64;

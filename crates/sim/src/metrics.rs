@@ -126,6 +126,30 @@ impl Histogram {
         }
     }
 
+    /// Upper-bound quantile estimate from the log2 buckets.
+    ///
+    /// Returns the inclusive upper bound ([`Histogram::bucket_bound`]) of
+    /// the first bucket at which the cumulative sample count reaches
+    /// `q · count` (at least one sample), clamped into
+    /// `[min(), max()]` so the estimate never leaves the observed range.
+    /// `q` is clamped to `[0, 1]`; an empty histogram reports 0. The
+    /// estimate is monotone in `q` (pinned by a property test).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_bound(i).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
     /// Per-bucket counts.
     pub fn buckets(&self) -> &[u64] {
         &self.buckets
@@ -416,6 +440,28 @@ mod tests {
         assert_eq!(h.count(), 9);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_log2_upper_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        // p50 of 1..=100 lands in bucket [32, 63]; the estimate is the
+        // bucket's inclusive upper bound.
+        assert_eq!(h.quantile(0.5), 63);
+        assert_eq!(h.quantile(1.0), 100, "clamped to max");
+        assert_eq!(h.quantile(0.0), 1, "clamped to min");
+        // A single-valued histogram answers exactly at every q.
+        let mut one = Histogram::new();
+        for _ in 0..10 {
+            one.observe(42);
+        }
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42);
+        }
     }
 
     #[test]

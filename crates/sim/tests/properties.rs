@@ -262,6 +262,32 @@ proptest! {
         }
     }
 
+    /// Quantile estimates are monotone in `q` and never leave the
+    /// observed `[min, max]` range — the guarantees the analyzer's
+    /// p50/p99 imbalance lines rest on.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1 << 48, 1..200),
+        q_millis in prop::collection::vec(0u32..=1000, 2..12),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &samples {
+            h.observe(v);
+        }
+        let mut sorted_q: Vec<f64> = q_millis.iter().map(|&m| m as f64 / 1000.0).collect();
+        sorted_q.sort_by(f64::total_cmp);
+        let mut last = None;
+        for &q in &sorted_q {
+            let est = h.quantile(q);
+            prop_assert!(est >= h.min(), "q={q}: {est} < min {}", h.min());
+            prop_assert!(est <= h.max(), "q={q}: {est} > max {}", h.max());
+            if let Some(prev) = last {
+                prop_assert!(est >= prev, "q={q}: {est} < previous {prev}");
+            }
+            last = Some(est);
+        }
+    }
+
     /// The trace emitter produces well-formed JSON for arbitrary names,
     /// ranks, timestamps, and counter values.
     #[test]

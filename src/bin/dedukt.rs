@@ -27,6 +27,15 @@
 //!   simulated V100's memory budget. A rank that exhausts both the
 //!   device and its spill budget fails the run cleanly with a
 //!   device-out-of-memory error (exit 2), never a panic.
+//!   `--journal run.jsonl` records the structured run journal (one JSON
+//!   event per superstep span, collective, retry, recovery event, phase
+//!   total and wall-clock stage) for offline analysis.
+//! * `analyze <run.jsonl>` — reconstruct a journaled run offline: phase
+//!   breakdown reconciled against the journal's own span accounting, the
+//!   critical path through the superstep DAG, per-round straggler and
+//!   imbalance attribution, hidden-vs-exposed exchange time, and
+//!   recovery costs. `analyze --diff a.jsonl b.jsonl` prints a
+//!   regression triage report between two runs.
 //! * `info` — print the simulated hardware presets.
 //!
 //! Examples:
@@ -34,6 +43,8 @@
 //! ```text
 //! dedukt simulate ecoli --scale tiny --out ecoli.fastq
 //! dedukt count ecoli.fastq --mode supermer --nodes 4 --out counts.tsv
+//! dedukt count ecoli.fastq --overlap-rounds --journal run.jsonl
+//! dedukt analyze run.jsonl
 //! ```
 
 use dedukt::core::{dump, pipeline, Mode, PackedKmer, RunConfig};
@@ -48,6 +59,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("count") => cmd_count(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("info") => cmd_info(),
         Some("--help" | "-h" | "help") | None => {
@@ -75,12 +87,55 @@ fn print_usage() {
          \x20        [--overlap-rounds] [--out dump.tsv]\n\
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
          \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
+         \x20        [--journal run.jsonl]\n\
          \x20        [--fault-seed N] [--fault-spec fail=F,corrupt=C,straggle=S,slow=X,retries=R,backoff=B]\n\
          \x20        [--mem-seed N] [--mem-spec under=U,shrink=S,afail=A,spill=N]\n\
          \x20        [--table-safety F] [--device-hbm BYTES]\n\
+         \x20 dedukt analyze <run.jsonl> | dedukt analyze --diff <a.jsonl> <b.jsonl>\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
          \x20 dedukt info"
     );
+}
+
+/// `dedukt analyze` — offline critical-path and regression analysis of
+/// run journals recorded with `count --journal`.
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let mut diff: Option<(String, String)> = None;
+    let mut single: Option<String> = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => {
+                let a = take_value(&mut it, "--diff")?.to_string();
+                let b = it.next().cloned().ok_or("--diff needs two journal paths")?;
+                diff = Some((a, b));
+            }
+            other if !other.starts_with('-') && single.is_none() => {
+                single = Some(other.to_string())
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let load = |p: &str| -> Result<dedukt::sim::RunAnalysis, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+        let events = dedukt::sim::read_journal(&text).map_err(|e| format!("{p}: {e}"))?;
+        let a = dedukt::sim::analyze(&events).map_err(|e| format!("{p}: {e}"))?;
+        a.check_invariants()
+            .map_err(|e| format!("{p}: journal accounting is inconsistent: {e}"))?;
+        Ok(a)
+    };
+    match (single, diff) {
+        (Some(p), None) => {
+            print!("{}", load(&p)?.render());
+            Ok(())
+        }
+        (None, Some((pa, pb))) => {
+            print!("{}", dedukt::sim::render_diff(&load(&pa)?, &load(&pb)?));
+            Ok(())
+        }
+        (Some(_), Some(_)) => Err("pass either one journal or --diff A B, not both".into()),
+        (None, None) => Err("analyze needs a journal path (or --diff A B)".into()),
+    }
 }
 
 fn cmd_compare(args: &[String]) -> Result<(), String> {
@@ -244,6 +299,20 @@ fn print_run_summary<K: PackedKmer>(report: &pipeline::RunReport<K>) {
     if let Some(rate) = report.insertion_rate() {
         eprintln!("insertion rate: {rate} (compute only)");
     }
+    eprintln!(
+        "wall clock: {:.3} s host total (parse {:.3} s, rounds {:.3} s, finish {:.3} s)",
+        report.wall.total, report.wall.parse, report.wall.rounds, report.wall.finish
+    );
+}
+
+/// Fails fast on an unwritable export destination: the file is created
+/// (and truncated) up front, so a bad path aborts with a clear message
+/// *before* any counting work, instead of after the whole run.
+fn check_writable(flag: &str, path: &Option<String>) -> Result<(), String> {
+    if let Some(p) = path {
+        File::create(p).map_err(|e| format!("{flag} {p}: {e}"))?;
+    }
+    Ok(())
 }
 
 fn cmd_count(args: &[String]) -> Result<(), String> {
@@ -254,6 +323,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut spectrum_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut journal_path: Option<String> = None;
     let mut metrics_format = MetricsFormat::Json;
     let mut min_qual: Option<u8> = None;
     let mut fault_seed: Option<u64> = None;
@@ -327,6 +397,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             "--spectrum" => spectrum_path = Some(take_value(&mut it, "--spectrum")?.to_string()),
             "--trace" => trace_path = Some(take_value(&mut it, "--trace")?.to_string()),
             "--metrics" => metrics_path = Some(take_value(&mut it, "--metrics")?.to_string()),
+            "--journal" => journal_path = Some(take_value(&mut it, "--journal")?.to_string()),
             "--metrics-format" => {
                 metrics_format = match take_value(&mut it, "--metrics-format")? {
                     "json" => MetricsFormat::Json,
@@ -360,6 +431,7 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
         spectrum_path,
         trace_path,
         metrics_path,
+        journal_path,
         metrics_format,
         min_qual,
     };
@@ -383,6 +455,7 @@ struct CountOutputs {
     spectrum_path: Option<String>,
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    journal_path: Option<String>,
     metrics_format: MetricsFormat,
     min_qual: Option<u8>,
 }
@@ -402,6 +475,12 @@ fn count_with_width<K: PackedKmer>(
     rc.collect_spectrum = outputs.spectrum_path.is_some();
     rc.collect_trace = outputs.trace_path.is_some();
     rc.collect_metrics = outputs.metrics_path.is_some();
+    rc.collect_journal = outputs.journal_path.is_some();
+    check_writable("--out", &outputs.out_path)?;
+    check_writable("--spectrum", &outputs.spectrum_path)?;
+    check_writable("--trace", &outputs.trace_path)?;
+    check_writable("--metrics", &outputs.metrics_path)?;
+    check_writable("--journal", &outputs.journal_path)?;
 
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
     let mut reads = parse_fastq(BufReader::new(file), rc.counting.k).map_err(|e| e.to_string())?;
@@ -487,6 +566,19 @@ fn count_with_width<K: PackedKmer>(
         }
         w.flush().map_err(|e| e.to_string())?;
         eprintln!("wrote {} metric series to {p}", snapshot.entries.len());
+    }
+    if let Some(p) = outputs.journal_path {
+        let events = report
+            .journal
+            .as_ref()
+            .ok_or("internal error: pipeline did not record a journal despite --journal")?;
+        let mut w = BufWriter::new(File::create(&p).map_err(|e| format!("{p}: {e}"))?);
+        dedukt::sim::write_journal(&mut w, events).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote run journal ({} events) to {p} — inspect with `dedukt analyze {p}`",
+            events.len()
+        );
     }
     // Always show the top heavy hitters as a quick sanity signal.
     eprintln!("top k-mers:");

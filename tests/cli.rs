@@ -516,6 +516,148 @@ fn trace_flag_writes_chrome_trace() {
 }
 
 #[test]
+fn unwritable_output_paths_exit_two_before_counting() {
+    let dir = tmpdir("unwritable");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    // Every output flag is probed up front: a doomed path fails fast
+    // with exit 2 naming the flag and the path — not after minutes of
+    // counting, and never with a panic.
+    let bad = "/nonexistent-dedukt-dir/out.file";
+    for flag in ["--out", "--spectrum", "--trace", "--metrics", "--journal"] {
+        let out = dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args([flag, bad])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag} {bad} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains(bad),
+            "{flag}: error must name the flag and path:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn journal_flag_feeds_analyze_end_to_end() {
+    let dir = tmpdir("journal");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let clean = dir.join("clean.jsonl");
+    let hostile = dir.join("hostile.jsonl");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--journal"])
+        .arg(&clean)
+        .status()
+        .unwrap()
+        .success());
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--fault-seed",
+            "42",
+            "--fault-spec",
+            "fail=0.2,corrupt=0.1,retries=8",
+            "--mem-seed",
+            "5",
+            "--mem-spec",
+            "under=0.6,shrink=0.04,afail=0.4,spill=1048576",
+            "--journal",
+        ])
+        .arg(&hostile)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The journal is JSONL: meta header first, run trailer last, and
+    // the count digest points at the analyzer.
+    let text = std::fs::read_to_string(&hostile).unwrap();
+    assert!(text.lines().next().unwrap().starts_with("{\"ev\":\"meta\""));
+    assert!(text.lines().last().unwrap().starts_with("{\"ev\":\"run\""));
+    let diag = String::from_utf8_lossy(&out.stderr);
+    assert!(diag.contains("wrote run journal"), "digest:\n{diag}");
+    assert!(diag.contains("dedukt analyze"), "digest:\n{diag}");
+
+    // `analyze` renders every report section for the hostile run.
+    let report = dedukt().args(["analyze"]).arg(&hostile).output().unwrap();
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    for section in [
+        "phase breakdown",
+        "reconciliation",
+        "critical path",
+        "exchange",
+        "recovery",
+        "wall clock",
+    ] {
+        assert!(stdout.contains(section), "missing {section:?}:\n{stdout}");
+    }
+
+    // `analyze --diff` triages clean vs hostile.
+    let diff = dedukt()
+        .args(["analyze", "--diff"])
+        .arg(&clean)
+        .arg(&hostile)
+        .output()
+        .unwrap();
+    assert!(
+        diff.status.success(),
+        "{}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    let diff_out = String::from_utf8_lossy(&diff.stdout);
+    assert!(diff_out.contains("regressions:"), "diff:\n{diff_out}");
+
+    // Misuse is a clean exit 2 with a pointed message.
+    for (args, needle) in [
+        (vec!["analyze"], "needs a journal path"),
+        (
+            vec!["analyze", "a.jsonl", "--diff", "b.jsonl", "c.jsonl"],
+            "not both",
+        ),
+        (vec!["analyze", "/nonexistent.jsonl"], "/nonexistent.jsonl"),
+    ] {
+        let out = dedukt().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains(needle),
+            "args {args:?}: missing {needle:?}"
+        );
+    }
+}
+
+#[test]
 fn canonical_flag_shrinks_distinct_count() {
     let dir = tmpdir("canonical");
     let fastq = dir.join("reads.fastq");

@@ -1,0 +1,315 @@
+//! Golden tests for the run journal (`--journal` / `dedukt analyze`):
+//! the event vocabulary is a schema the offline analyzer keys on, so
+//! this file pins it, pins the zero-observer-effect guarantee (a run
+//! without a journal is bit-identical to one with it), and pins the
+//! accounting the analyzer's invariant check relies on — journal phase
+//! totals reconcile *exactly* with the report and the metrics gauges,
+//! and `critical path ≤ makespan ≤ total rank-seconds` holds under
+//! overlap, faults, and memory pressure alike.
+
+use dedukt::core::pipeline::{run, RunReport};
+use dedukt::core::{Mode, RunConfig};
+use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
+use dedukt::gpu::{MemPlan, MemSpec};
+use dedukt::net::{FaultPlan, FaultSpec};
+use dedukt::sim::{analyze, JournalEvent, MetricValue};
+use std::collections::BTreeSet;
+
+fn tiny_reads() -> ReadSet {
+    Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate()
+}
+
+/// A fault plan that actually retries and a memory plan that actually
+/// fires regrow + spill + denied-grow recovery on the tiny slice (the
+/// distinct-key count per rank is far below the instance count, so the
+/// shrink factor must be harsh before the estimate-sized table
+/// overflows).
+fn hostile_config(mode: Mode) -> RunConfig {
+    let mut rc = RunConfig::new(mode, 2);
+    rc.collect_journal = true;
+    rc.fault = Some(FaultPlan::new(
+        42,
+        FaultSpec::parse("fail=0.2,corrupt=0.1,retries=8").unwrap(),
+    ));
+    rc.mem = Some(MemPlan::new(
+        5,
+        MemSpec::parse("under=0.6,shrink=0.04,afail=0.4,spill=1048576").unwrap(),
+    ));
+    rc
+}
+
+/// Every `ev` kind the pipelines may emit. Renaming or adding one is a
+/// breaking change for `dedukt analyze` — update DESIGN.md §9 alongside
+/// this list.
+const EVENT_KINDS: &[&str] = &[
+    "meta",
+    "span",
+    "collective",
+    "retry",
+    "regrow",
+    "spill",
+    "oom",
+    "phase",
+    "wall",
+    "run",
+];
+
+#[test]
+fn journal_event_vocabulary_is_pinned() {
+    let reads = tiny_reads();
+    let report = run(&reads, &hostile_config(Mode::GpuSupermer)).expect("survivable plans");
+    let events = report.journal.as_ref().expect("journal requested");
+
+    let kinds: BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+    for k in &kinds {
+        assert!(EVENT_KINDS.contains(k), "unknown event kind {k:?}");
+    }
+    // The hostile run exercises the whole vocabulary.
+    for k in EVENT_KINDS {
+        assert!(kinds.contains(k), "hostile run emitted no {k:?} events");
+    }
+
+    // Envelope: exactly one meta first, exactly one run trailer last.
+    assert_eq!(events.first().map(|e| e.kind()), Some("meta"));
+    assert_eq!(events.last().map(|e| e.kind()), Some("run"));
+    assert_eq!(events.iter().filter(|e| e.kind() == "meta").count(), 1);
+    assert_eq!(events.iter().filter(|e| e.kind() == "run").count(), 1);
+
+    // The meta header carries the run configuration for the report.
+    match &events[0] {
+        JournalEvent::Meta {
+            mode,
+            nodes,
+            nranks,
+            detail,
+        } => {
+            assert_eq!(mode, "gpu-supermer");
+            assert_eq!(*nodes, 2);
+            assert_eq!(*nranks, report.nranks);
+            assert!(
+                detail.contains("fault["),
+                "detail missing fault spec: {detail}"
+            );
+            assert!(detail.contains("mem["), "detail missing mem spec: {detail}");
+        }
+        other => panic!("first event is {other:?}"),
+    }
+}
+
+#[test]
+fn journal_roundtrips_through_jsonl_bit_exactly() {
+    let reads = tiny_reads();
+    let report = run(&reads, &hostile_config(Mode::GpuKmer)).expect("survivable plans");
+    let events = report.journal.expect("journal requested");
+    let mut buf = Vec::new();
+    dedukt::sim::write_journal(&mut buf, &events).unwrap();
+    let parsed = dedukt::sim::read_journal(std::str::from_utf8(&buf).unwrap()).unwrap();
+    assert_eq!(parsed, events, "JSONL round-trip must be lossless");
+}
+
+#[test]
+fn journal_off_runs_are_bit_identical() {
+    let reads = tiny_reads();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut rc = RunConfig::new(mode, 2);
+        rc.collect_trace = true;
+        let off = run(&reads, &rc).expect("valid config");
+        rc.collect_journal = true;
+        let on = run(&reads, &rc).expect("valid config");
+        assert!(off.journal.is_none());
+        assert!(on.journal.is_some());
+        assert_eq!(off.phases.parse, on.phases.parse, "mode {mode:?}");
+        assert_eq!(off.phases.exchange, on.phases.exchange, "mode {mode:?}");
+        assert_eq!(off.phases.count, on.phases.count, "mode {mode:?}");
+        assert_eq!(off.makespan, on.makespan, "mode {mode:?}");
+        assert_eq!(off.total_kmers, on.total_kmers);
+        assert_eq!(off.distinct_kmers, on.distinct_kmers);
+        assert_eq!(off.exchange.bytes, on.exchange.bytes);
+        assert_eq!(off.load.kmers_per_rank, on.load.kmers_per_rank);
+        // Even the simulated timeline is untouched by the observer.
+        assert_eq!(off.trace, on.trace, "mode {mode:?}");
+        assert_eq!(off.trace_counters, on.trace_counters, "mode {mode:?}");
+    }
+}
+
+/// The analyzer's reconciliation is *exact*, not epsilon-close: the
+/// journal's phase events, the report's phase breakdown, and the
+/// `phase_seconds:*` metrics gauges all come from the same accumulators.
+#[test]
+fn journal_phases_reconcile_exactly_with_report_and_metrics() {
+    let reads = tiny_reads();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut rc = RunConfig::new(mode, 2);
+        rc.collect_journal = true;
+        rc.collect_metrics = true;
+        let report = run(&reads, &rc).expect("valid config");
+        let a = analyze(report.journal.as_ref().unwrap()).expect("well-formed journal");
+        a.check_invariants().expect("journal accounting reconciles");
+
+        assert_eq!(a.phase("parse"), report.phases.parse.as_secs(), "{mode:?}");
+        assert_eq!(
+            a.phase("exchange"),
+            report.phases.exchange.as_secs(),
+            "{mode:?}"
+        );
+        assert_eq!(a.phase("count"), report.phases.count.as_secs(), "{mode:?}");
+        assert_eq!(a.makespan, report.makespan.as_secs(), "{mode:?}");
+
+        let snap = report.metrics.as_ref().unwrap();
+        for (name, phase) in [
+            ("phase_seconds:parse", "parse"),
+            ("phase_seconds:exchange", "exchange"),
+            ("phase_seconds:count", "count"),
+        ] {
+            match snap.get(name, None) {
+                Some(MetricValue::Gauge(g)) => assert_eq!(*g, a.phase(phase), "{mode:?} {name}"),
+                other => panic!("{mode:?}: {name} is {other:?}"),
+            }
+        }
+        match snap.get("makespan_seconds", None) {
+            Some(MetricValue::Gauge(g)) => assert_eq!(*g, a.makespan, "{mode:?}"),
+            other => panic!("{mode:?}: makespan_seconds is {other:?}"),
+        }
+
+        // The wall lane is nondeterministic but internally consistent:
+        // four stages, all finite and non-negative, totalled in the
+        // report, the journal, and the metrics alike.
+        assert_eq!(a.wall.len(), 4, "{mode:?}");
+        assert_eq!(a.wall_stage("total"), report.wall.total, "{mode:?}");
+        assert!(report.wall.total > 0.0, "{mode:?}");
+        assert!(
+            report.wall.parse + report.wall.rounds + report.wall.finish <= report.wall.total,
+            "{mode:?}: stage walls exceed the run wall"
+        );
+        match snap.get("wall_seconds:total", None) {
+            Some(MetricValue::Gauge(g)) => assert_eq!(*g, report.wall.total, "{mode:?}"),
+            other => panic!("{mode:?}: wall_seconds:total is {other:?}"),
+        }
+    }
+}
+
+/// The DAG invariants hold under every scheduling regime, not just the
+/// clean path: memory-bounded rounds, overlapped rounds, faults, and
+/// memory pressure.
+#[test]
+fn critical_path_invariants_hold_under_every_regime() {
+    let reads = tiny_reads();
+    let mut configs: Vec<(String, RunConfig)> = Vec::new();
+    for mode in [Mode::CpuBaseline, Mode::GpuKmer, Mode::GpuSupermer] {
+        let mut clean = RunConfig::new(mode, 2);
+        clean.collect_journal = true;
+        configs.push((format!("{mode:?} clean"), clean));
+        configs.push((format!("{mode:?} hostile"), hostile_config(mode)));
+
+        let mut rounds = RunConfig::new(mode, 2);
+        rounds.collect_journal = true;
+        rounds.round_limit_bytes = Some(4096);
+        configs.push((format!("{mode:?} rounds"), rounds));
+
+        let mut overlap = RunConfig::new(mode, 2);
+        overlap.collect_journal = true;
+        overlap.round_limit_bytes = Some(4096);
+        overlap.overlap_rounds = true;
+        configs.push((format!("{mode:?} overlap"), overlap));
+    }
+    for (tag, rc) in configs {
+        let report = run(&reads, &rc).expect("survivable config");
+        let a = analyze(report.journal.as_ref().unwrap()).expect("well-formed journal");
+        a.check_invariants()
+            .unwrap_or_else(|e| panic!("{tag}: {e}"));
+        assert!(
+            a.critical_len <= a.makespan + 1e-12,
+            "{tag}: critical path {} > makespan {}",
+            a.critical_len,
+            a.makespan
+        );
+        assert!(
+            a.makespan <= a.total_rank_seconds + 1e-12,
+            "{tag}: makespan {} > rank-seconds {}",
+            a.makespan,
+            a.total_rank_seconds
+        );
+        assert!(!a.critical_path.is_empty(), "{tag}: empty critical path");
+        // The critical path segments chain contiguously in time.
+        for w in a.critical_path.windows(2) {
+            assert!(
+                w[1].start >= w[0].start + w[0].duration - 1e-9,
+                "{tag}: critical path segments overlap"
+            );
+        }
+    }
+}
+
+/// Recovery accounting: the hostile run's retry, regrow, spill, and OOM
+/// events in the journal agree with the report's exchange summary and
+/// are attributed to real ranks.
+#[test]
+fn recovery_events_reconcile_with_the_report() {
+    let reads = tiny_reads();
+    let report = run(&reads, &hostile_config(Mode::GpuSupermer)).expect("survivable plans");
+    let a = analyze(report.journal.as_ref().unwrap()).expect("well-formed journal");
+
+    // Each journal retry event carries the failed + corrupt bucket
+    // counts that forced it; their sum is exactly what the exchange
+    // summary calls `retries`.
+    let redelivered: u64 = a.retries.iter().map(|r| r.2 + r.3).sum();
+    assert_eq!(
+        redelivered, report.exchange.retries,
+        "journal retry events must account for every redelivered bucket"
+    );
+    assert!(a.retry_attempts() > 0, "hostile fault plan forces retries");
+    assert!(a.backoff_seconds() > 0.0, "retries charge backoff time");
+    assert!(a.regrow_count() > 0, "hostile mem plan fires regrows");
+    assert!(a.spilled_kmers() > 0, "hostile mem plan fires spills");
+    assert!(
+        !a.ooms.is_empty(),
+        "hostile mem plan denies at least one grow"
+    );
+    for (rank, _) in a.regrows.iter().chain(&a.spills) {
+        assert!(*rank < report.nranks);
+    }
+}
+
+/// The `hbm bytes` trace-counter lane only exists when pressure actually
+/// fired: zero-pressure traces stay byte-identical to the pre-lane
+/// schema.
+#[test]
+fn hbm_trace_lane_is_gated_on_pressure() {
+    let reads = tiny_reads();
+    let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
+    rc.collect_trace = true;
+    let clean = run(&reads, &rc).expect("valid config");
+    let lanes = |r: &RunReport| -> BTreeSet<String> {
+        r.trace_counters
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect()
+    };
+    assert!(
+        !lanes(&clean).contains("hbm bytes"),
+        "zero-pressure trace must not grow an hbm lane"
+    );
+
+    let mut hostile = hostile_config(Mode::GpuSupermer);
+    hostile.collect_trace = true;
+    hostile.fault = None;
+    let pressured = run(&reads, &hostile).expect("survivable plan");
+    assert!(
+        lanes(&pressured).contains("hbm bytes"),
+        "pressured trace carries the hbm lane"
+    );
+    let samples: Vec<_> = pressured
+        .trace_counters
+        .as_ref()
+        .unwrap()
+        .iter()
+        .filter(|c| c.name == "hbm bytes")
+        .collect();
+    assert!(!samples.is_empty());
+    for s in &samples {
+        assert!(s.rank < pressured.nranks);
+        assert!(s.value > 0.0, "hbm samples are high-water bytes");
+    }
+}
