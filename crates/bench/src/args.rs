@@ -9,6 +9,8 @@
 //! * `--gpu-direct` — enable GPUDirect staging.
 //! * `--round-limit BYTES` — memory-bounded exchange rounds (§III-A).
 //! * `--overlap-rounds` — overlap count kernels with the next round's wire.
+//! * `--exchange-algo direct|hierarchical` — exchange routing (DESIGN.md §10).
+//! * `--wire-compress` — supermer wire codec (varint/delta + 2-bit bases).
 //! * `--fault-seed N` / `--fault-spec k=v,...` — deterministic network
 //!   fault injection with driver-side retry (DESIGN.md §7).
 //! * `--mem-seed N` / `--mem-spec k=v,...` — deterministic memory
@@ -35,6 +37,10 @@ pub struct ExperimentArgs {
     pub round_limit: Option<u64>,
     /// Overlap count kernels with the next round's exchange.
     pub overlap_rounds: bool,
+    /// Exchange routing override (`--exchange-algo direct|hierarchical`).
+    pub exchange_algo: Option<dedukt_net::cost::ExchangeAlgo>,
+    /// Ship supermer buckets through the wire codec (`--wire-compress`).
+    pub wire_compress: bool,
     /// Fault-injection seed (activates faults even without a spec).
     pub fault_seed: Option<u64>,
     /// Fault-injection spec string, `key=value` comma list (activates
@@ -61,6 +67,8 @@ impl Default for ExperimentArgs {
             gpu_direct: false,
             round_limit: None,
             overlap_rounds: false,
+            exchange_algo: None,
+            wire_compress: false,
             fault_seed: None,
             fault_spec: None,
             mem_seed: None,
@@ -81,6 +89,7 @@ impl ExperimentArgs {
                 eprintln!(
                     "usage: <bin> [--scale tiny|bench|xFACTOR] [--nodes N] [--m N] [--seed N] \
                      [--gpu-direct] [--round-limit BYTES] [--overlap-rounds] \
+                     [--exchange-algo direct|hierarchical] [--wire-compress] \
                      [--fault-seed N] [--fault-spec k=v,...] \
                      [--mem-seed N] [--mem-spec k=v,...] [--table-safety F] [--device-hbm BYTES]"
                 );
@@ -141,6 +150,11 @@ impl ExperimentArgs {
                     out.round_limit = Some(b);
                 }
                 "--overlap-rounds" => out.overlap_rounds = true,
+                "--exchange-algo" => {
+                    let v = it.next().ok_or("--exchange-algo needs a value")?;
+                    out.exchange_algo = Some(dedukt_net::ExchangeRoute::parse(&v)?.algo());
+                }
+                "--wire-compress" => out.wire_compress = true,
                 "--fault-seed" => {
                     let v = it.next().ok_or("--fault-seed needs a value")?;
                     out.fault_seed = Some(v.parse().map_err(|_| format!("bad fault seed {v:?}"))?);
@@ -269,6 +283,23 @@ mod tests {
         assert!(parse(&["--mem-spec", "bogus=1"]).is_err());
         assert!(parse(&["--table-safety", "0"]).is_err());
         assert!(parse(&["--device-hbm", "0"]).is_err());
+    }
+
+    #[test]
+    fn exchange_flags() {
+        let a = parse(&["--exchange-algo", "hierarchical", "--wire-compress"]).unwrap();
+        assert_eq!(
+            a.exchange_algo,
+            Some(dedukt_net::cost::ExchangeAlgo::NodeAggregated)
+        );
+        assert!(a.wire_compress);
+        let d = parse(&["--exchange-algo", "direct"]).unwrap();
+        assert_eq!(
+            d.exchange_algo,
+            Some(dedukt_net::cost::ExchangeAlgo::Direct)
+        );
+        assert!(parse(&["--exchange-algo", "fancy"]).is_err());
+        assert!(parse(&["--exchange-algo"]).is_err());
     }
 
     #[test]

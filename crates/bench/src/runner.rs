@@ -27,6 +27,10 @@ fn apply_common_flags(rc: &mut RunConfig, args: &ExperimentArgs) {
     rc.gpu_direct = args.gpu_direct;
     rc.round_limit_bytes = args.round_limit;
     rc.overlap_rounds = args.overlap_rounds;
+    if let Some(algo) = args.exchange_algo {
+        rc.exchange_algo = algo;
+    }
+    rc.wire_compress = args.wire_compress;
     if args.fault_seed.is_some() || args.fault_spec.is_some() {
         let spec = match &args.fault_spec {
             Some(s) => dedukt_net::FaultSpec::parse(s).expect("fault spec validated at parse"),

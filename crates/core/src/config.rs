@@ -287,6 +287,15 @@ pub struct RunConfig {
     /// node-aggregated variant (see
     /// [`dedukt_net::cost::ExchangeAlgo`]).
     pub exchange_algo: dedukt_net::cost::ExchangeAlgo,
+    /// Supermer pipeline only: ship each minimizer bucket through the
+    /// KMC 2-style wire codec ([`crate::wire`]) — varint/delta-coded
+    /// lengths plus 2-bit base packing — instead of the flat
+    /// `WORD_BYTES + 1` record per supermer. Buckets are decoded on
+    /// receipt, so spectra are bit-identical either way; only the
+    /// physical wire bytes (and hence simulated exchange time) change.
+    /// No effect on the k-mer pipelines, whose payloads are already
+    /// maximally packed words.
+    pub wire_compress: bool,
     /// Split the exchange (and counting) into rounds so that no rank
     /// sends more than this many bytes per round — the paper's
     /// memory-bounded operation ("the computation and communication may
@@ -357,6 +366,7 @@ impl RunConfig {
             balanced_minimizers: false,
             balance_sample_fraction: 0.05,
             exchange_algo: dedukt_net::cost::ExchangeAlgo::Direct,
+            wire_compress: false,
             round_limit_bytes: None,
             overlap_rounds: false,
             collect_spectrum: false,

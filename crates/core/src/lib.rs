@@ -38,6 +38,7 @@ pub mod table;
 pub mod verify;
 pub mod wide;
 pub mod width;
+pub mod wire;
 
 pub use config::{ConfigError, CountingConfig, CpuCoreModel, GpuTuning, Mode, RunConfig};
 pub use minimizer::{minimizer_of_kmer, MinimizerScheme, OrderingKind};

@@ -567,6 +567,9 @@ pub(crate) fn run_staged<S: CounterStages>(
             units,
             bytes: stats.total_bytes,
             off_node_bytes: stats.off_node_bytes,
+            intra_node_bytes: stats.intra_node_bytes,
+            intra_tier_bytes: stats.intra_tier_bytes,
+            coalesced_messages: stats.coalesced_messages,
             alltoallv_time: wire_total,
             rounds: nrounds as u64,
             retries: retries_total,
@@ -599,6 +602,15 @@ fn run_detail(rc: &RunConfig) -> String {
     }
     if rc.overlap_rounds {
         parts.push("overlap".to_string());
+    }
+    if rc.exchange_algo != dedukt_net::cost::ExchangeAlgo::Direct {
+        parts.push(format!(
+            "exchange-algo={}",
+            dedukt_net::ExchangeRoute::from_algo(rc.exchange_algo).label()
+        ));
+    }
+    if rc.wire_compress {
+        parts.push("wire-compress".to_string());
     }
     if rc.balanced_minimizers {
         parts.push("balanced-minimizers".to_string());

@@ -63,6 +63,18 @@ pub struct ExchangeSummary {
     pub bytes: u64,
     /// Bytes that crossed node boundaries.
     pub off_node_bytes: u64,
+    /// Bytes of [`ExchangeSummary::bytes`] whose source and destination
+    /// shared a node (`bytes - off_node_bytes`, kept explicit so the two
+    /// tiers always reconcile).
+    pub intra_node_bytes: u64,
+    /// Hierarchical routing only: extra bytes moved over the intra-node
+    /// tier by the gather-to-leader and scatter-from-leader hops
+    /// (DESIGN.md §10). Zero under direct routing.
+    pub intra_tier_bytes: u64,
+    /// Hierarchical routing only: coalesced inter-node frames sent over
+    /// the injection tier (one per communicating (node, node) pair per
+    /// collective). Zero under direct routing.
+    pub coalesced_messages: u64,
     /// Simulated time of the Alltoallv itself (excl. staging) — Fig. 8's
     /// quantity. Always the pure wire time, even when compute was
     /// overlapped behind it.

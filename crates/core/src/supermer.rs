@@ -30,7 +30,11 @@ use dedukt_dna::Encoding;
 /// narrow `u64` width, 17 for wide `u128` — the packed word and one
 /// length byte ("this approach requires an extra byte of communication to
 /// identify the length of each supermer", §V-D). The minimizer is *not*
-/// transmitted — the receiver only needs the bases.
+/// transmitted — the receiver only needs the bases. Under
+/// `--wire-compress` a whole destination bucket is instead serialized
+/// through [`crate::wire`], which delta-codes the lengths and drops the
+/// per-base padding; this flat per-record cost is then the *logical*
+/// volume the codec's ratio is measured against.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SupermerW<W: KmerWord> {
     /// Packed bases, MSB-first, right-aligned.

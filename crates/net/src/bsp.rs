@@ -14,6 +14,7 @@
 
 use crate::cost::Network;
 use crate::fault::{BucketFate, ChecksumFrame, FaultPlan, WireHash};
+use crate::route::ExchangeRoute;
 use crate::stats::CommStats;
 use dedukt_sim::{
     Journal, JournalEvent, MetricsRegistry, SimClock, SimTime, TraceCounter, TraceEvent,
@@ -362,7 +363,7 @@ impl BspWorld {
     /// to `dst`. Payloads move (no copies); the cost model charges each
     /// rank its simulated exchange time.
     pub fn alltoallv<T: Send + WireHash>(&mut self, send: Vec<Vec<Vec<T>>>) -> ExchangeOutcome<T> {
-        self.exchange(send, None)
+        self.exchange(send, None, None)
     }
 
     /// Non-blocking-style Alltoallv for the double-buffered round
@@ -382,13 +383,42 @@ impl BspWorld {
             self.nranks(),
             "need one hidden-compute time per rank"
         );
-        self.exchange(send, Some(hidden))
+        self.exchange(send, Some(hidden), None)
+    }
+
+    /// An Alltoallv of *codec-compressed* payloads: the wire moves (and
+    /// the cost model charges) the physical `send` bytes, while
+    /// `logical_bytes[src][dst]` declares the pre-codec volume each
+    /// bucket represents. Statistics stay physical (what actually moved);
+    /// the journal records `bytes` = logical next to `comp_bytes` =
+    /// physical, so `dedukt analyze` can report the compression ratio.
+    /// With `hidden`, behaves like [`BspWorld::alltoallv_overlapped`].
+    pub fn alltoallv_compressed<T: Send + WireHash>(
+        &mut self,
+        send: Vec<Vec<Vec<T>>>,
+        hidden: Option<&[SimTime]>,
+        logical_bytes: &[Vec<u64>],
+    ) -> ExchangeOutcome<T> {
+        if let Some(h) = hidden {
+            assert_eq!(
+                h.len(),
+                self.nranks(),
+                "need one hidden-compute time per rank"
+            );
+        }
+        assert_eq!(
+            logical_bytes.len(),
+            self.nranks(),
+            "need one logical-byte row per rank"
+        );
+        self.exchange(send, hidden, Some(logical_bytes))
     }
 
     fn exchange<T: Send + WireHash>(
         &mut self,
         send: Vec<Vec<Vec<T>>>,
         hidden: Option<&[SimTime]>,
+        logical_bytes: Option<&[Vec<u64>]>,
     ) -> ExchangeOutcome<T> {
         let p = self.nranks();
         assert_eq!(send.len(), p, "need one send vector per rank");
@@ -401,15 +431,41 @@ impl BspWorld {
             .map(|row| row.iter().map(|v| v.len() as u64 * elem).collect())
             .collect();
         let topo = self.net.topology;
+        let route = ExchangeRoute::from_algo(self.net.params.algo);
         self.stats
             .record_alltoallv(&send_bytes, |r| topo.node_of(r));
+        if route == ExchangeRoute::Hierarchical {
+            // Every payload byte crosses the intra-node tier twice:
+            // gather to the source leader, scatter from the destination
+            // leader (node-local traffic included — it routes via the
+            // leader too, which is exactly what the cost model's
+            // aggregation overhead charges for).
+            self.stats.intra_tier_bytes += 2 * send_bytes.iter().flatten().sum::<u64>();
+            // One coalesced frame per (node, node) pair with any payload.
+            for sn in 0..topo.nodes {
+                for dn in 0..topo.nodes {
+                    if sn == dn {
+                        continue;
+                    }
+                    let nonempty = topo
+                        .ranks_of(sn)
+                        .any(|s| topo.ranks_of(dn).any(|d| send_bytes[s][d] > 0));
+                    if nonempty {
+                        self.stats.coalesced_messages += 1;
+                    }
+                }
+            }
+        }
         if hidden.is_some() {
             self.stats.overlapped_collectives += 1;
         }
         // Fates for this attempt, fixed before the wire: every attempted
         // byte is charged whether or not its bucket survives. Inside a
         // fault context the first collective's matrix is cached so paired
-        // collectives share fates.
+        // collectives share fates. The route decides the granularity:
+        // direct draws per rank pair; hierarchical draws one fate per
+        // coalesced inter-node frame (shared by all its buckets) and per
+        // bucket on the intra-node tier.
         let fates: Option<Vec<Vec<BucketFate>>> = match &mut self.fault {
             Some(fs) if fs.ctx.is_some() => Some(match &fs.cached_fates {
                 Some(m) => m.clone(),
@@ -418,7 +474,9 @@ impl BspWorld {
                     let m: Vec<Vec<BucketFate>> = (0..p)
                         .map(|src| {
                             (0..p)
-                                .map(|dst| fs.plan.bucket_fate(round, attempt, src, dst))
+                                .map(|dst| {
+                                    route.bucket_fate(&fs.plan, &topo, round, attempt, src, dst)
+                                })
                                 .collect()
                         })
                         .collect();
@@ -439,7 +497,51 @@ impl BspWorld {
             self.stats.retry_bytes += send_bytes.iter().flatten().sum::<u64>();
         }
         let wire_times = self.net.alltoallv_times(&send_bytes);
+        // Per-rank intra-node-tier share of the wire time: the leader
+        // gather/scatter overhead under hierarchical routing, all-zero
+        // for direct (where the single-tier arithmetic below reduces
+        // bit-for-bit to the pre-routing formula).
+        let intra_times = match route {
+            ExchangeRoute::Direct => vec![SimTime::ZERO; p],
+            ExchangeRoute::Hierarchical => self.net.alltoallv_intra_times(&send_bytes),
+        };
         let sent_per_rank: Vec<u64> = send_bytes.iter().map(|row| row.iter().sum()).collect();
+        // On-node vs off-node split of each rank's sent bytes (physical).
+        let intra_sent_per_rank: Vec<u64> = send_bytes
+            .iter()
+            .enumerate()
+            .map(|(src, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(dst, _)| topo.same_node(src, *dst))
+                    .map(|(_, &b)| b)
+                    .sum()
+            })
+            .collect();
+        // Logical (pre-codec) per-rank volumes; identical to the physical
+        // ones unless the caller declared a compressed payload.
+        let logical_sent_per_rank: Vec<u64> = match logical_bytes {
+            Some(m) => m.iter().map(|row| row.iter().sum()).collect(),
+            None => sent_per_rank.clone(),
+        };
+        let logical_off_per_rank: Vec<u64> = match logical_bytes {
+            Some(m) => m
+                .iter()
+                .enumerate()
+                .map(|(src, row)| {
+                    row.iter()
+                        .enumerate()
+                        .filter(|(dst, _)| !topo.same_node(src, *dst))
+                        .map(|(_, &b)| b)
+                        .sum()
+                })
+                .collect(),
+            None => sent_per_rank
+                .iter()
+                .zip(&intra_sent_per_rank)
+                .map(|(&t, &i)| t - i)
+                .collect(),
+        };
 
         // Synchronize: nobody finishes before the slowest rank has arrived.
         let start = self.elapsed();
@@ -458,7 +560,13 @@ impl BspWorld {
         let mut wire = Vec::with_capacity(p);
         for (rank, wt) in wire_times.iter().enumerate() {
             let hid = hidden.map_or(SimTime::ZERO, |h| h[rank]);
-            let charged = SimTime::max(*wt, hid);
+            // Overlap hides compute behind the *injection* tier only —
+            // the intra-node gather must finish before there is anything
+            // to overlap with. Under direct routing `intra` is zero and
+            // this is exactly the pre-routing `max(wire, hidden)`.
+            let intra = intra_times[rank];
+            let inject = *wt - intra;
+            let charged = intra + SimTime::max(inject, hid);
             self.trace.push(TraceEvent {
                 name: "alltoallv".to_string(),
                 rank,
@@ -480,6 +588,13 @@ impl BspWorld {
                 // slowest participant (SimTime subtraction floors at zero).
                 let wait = start - self.clocks[rank].now();
                 m.counter_add("exchange_bytes_total", Some(rank), sent_per_rank[rank]);
+                // Always recorded (zero included) so the on-node/off-node
+                // split is pinned in the metrics schema.
+                m.counter_add(
+                    "exchange_intra_node_bytes_total",
+                    Some(rank),
+                    intra_sent_per_rank[rank],
+                );
                 if is_retry {
                     m.counter_add(
                         "exchange_retry_bytes_total",
@@ -500,16 +615,51 @@ impl BspWorld {
                 }
             }
             if let Some(j) = &self.journal {
-                j.push(JournalEvent::Collective {
-                    step: self.stats.collectives,
-                    rank,
-                    label: "alltoallv".to_string(),
-                    start: start.as_secs(),
-                    wire: wt.as_secs(),
-                    hidden: hid.as_secs(),
-                    charged: charged.as_secs(),
-                    bytes: sent_per_rank[rank],
-                });
+                match route {
+                    ExchangeRoute::Direct => j.push(JournalEvent::Collective {
+                        step: self.stats.collectives,
+                        rank,
+                        label: "alltoallv".to_string(),
+                        start: start.as_secs(),
+                        wire: wt.as_secs(),
+                        hidden: hid.as_secs(),
+                        charged: charged.as_secs(),
+                        bytes: logical_sent_per_rank[rank],
+                        tier: "inject".to_string(),
+                        comp_bytes: sent_per_rank[rank],
+                    }),
+                    ExchangeRoute::Hierarchical => {
+                        // Two stacked events per rank, sharing the step:
+                        // the intra-node gather/scatter, then the
+                        // injection-tier frame exchange. Their charges sum
+                        // to the clock advance, so journal replay keeps
+                        // reconstructing the makespan exactly.
+                        j.push(JournalEvent::Collective {
+                            step: self.stats.collectives,
+                            rank,
+                            label: "alltoallv".to_string(),
+                            start: start.as_secs(),
+                            wire: intra.as_secs(),
+                            hidden: 0.0,
+                            charged: intra.as_secs(),
+                            bytes: 2 * logical_sent_per_rank[rank],
+                            tier: "intra".to_string(),
+                            comp_bytes: 2 * sent_per_rank[rank],
+                        });
+                        j.push(JournalEvent::Collective {
+                            step: self.stats.collectives,
+                            rank,
+                            label: "alltoallv".to_string(),
+                            start: (start + intra).as_secs(),
+                            wire: inject.as_secs(),
+                            hidden: hid.as_secs(),
+                            charged: SimTime::max(inject, hid).as_secs(),
+                            bytes: logical_off_per_rank[rank],
+                            tier: "inject".to_string(),
+                            comp_bytes: sent_per_rank[rank] - intra_sent_per_rank[rank],
+                        });
+                    }
+                }
             }
             self.clocks[rank].sync_to(start + charged);
             self.sent_bytes_cum[rank] += sent_per_rank[rank];
@@ -618,6 +768,8 @@ impl BspWorld {
                     hidden: 0.0,
                     charged: dt.as_secs(),
                     bytes: 0,
+                    tier: "inject".to_string(),
+                    comp_bytes: 0,
                 });
             }
         }

@@ -109,18 +109,15 @@ impl Network {
         SimTime::from_secs(self.params.alpha_secs * rounds)
     }
 
-    /// Models an Alltoallv: `send_bytes[i][j]` is the payload rank `i`
-    /// sends to rank `j`. Returns per-rank completion times relative to a
-    /// synchronized start.
-    pub fn alltoallv_times(&self, send_bytes: &[Vec<u64>]) -> Vec<SimTime> {
+    /// Per-node off-node send/recv volumes and per-node on-node volume:
+    /// `(node_out, node_in, node_local)`.
+    fn node_volumes(&self, send_bytes: &[Vec<u64>]) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
         let t = &self.topology;
         let p = t.nranks();
         assert_eq!(send_bytes.len(), p, "send matrix must be P×P");
         for row in send_bytes {
             assert_eq!(row.len(), p, "send matrix must be P×P");
         }
-
-        // Per-node off-node send/recv volumes and per-node on-node volume.
         let mut node_out = vec![0u64; t.nodes];
         let mut node_in = vec![0u64; t.nodes];
         let mut node_local = vec![0u64; t.nodes];
@@ -136,6 +133,47 @@ impl Network {
                 }
             }
         }
+        (node_out, node_in, node_local)
+    }
+
+    /// Per-node aggregation overhead under the active routing: the
+    /// intra-node tier's gather+scatter time for node-aggregated routing
+    /// (every payload crosses the intra-node fabric twice), all-zero for
+    /// direct routing.
+    fn aggregate_overhead(&self, node_out: &[u64], node_local: &[u64]) -> Vec<SimTime> {
+        match self.params.algo {
+            ExchangeAlgo::Direct => vec![SimTime::ZERO; self.topology.nodes],
+            ExchangeAlgo::NodeAggregated => (0..self.topology.nodes)
+                .map(|n| {
+                    self.params
+                        .intra_node
+                        .time_for(2.0 * (node_out[n] + node_local[n]) as f64)
+                })
+                .collect(),
+        }
+    }
+
+    /// The *intra-node tier* component of [`Network::alltoallv_times`]
+    /// per rank — the leader gather/scatter overhead the hierarchical
+    /// route pays before anything reaches the injection tier. All-zero
+    /// under direct routing, and exactly the `aggregate_overhead` term
+    /// inside `alltoallv_times` (so `total − intra` is the injection-tier
+    /// share, with no float drift between the two views).
+    pub fn alltoallv_intra_times(&self, send_bytes: &[Vec<u64>]) -> Vec<SimTime> {
+        let (node_out, _, node_local) = self.node_volumes(send_bytes);
+        let per_node = self.aggregate_overhead(&node_out, &node_local);
+        (0..self.topology.nranks())
+            .map(|i| per_node[self.topology.node_of(i)])
+            .collect()
+    }
+
+    /// Models an Alltoallv: `send_bytes[i][j]` is the payload rank `i`
+    /// sends to rank `j`. Returns per-rank completion times relative to a
+    /// synchronized start.
+    pub fn alltoallv_times(&self, send_bytes: &[Vec<u64>]) -> Vec<SimTime> {
+        let t = &self.topology;
+        let p = t.nranks();
+        let (node_out, node_in, node_local) = self.node_volumes(send_bytes);
 
         let wire_bw = self
             .params
@@ -143,23 +181,14 @@ impl Network {
             .scaled(self.params.alltoallv_efficiency);
         let latency = self.latency(p);
 
-        // Message-count term and aggregation overhead depend on routing.
-        let (messages_per_rank, aggregate_overhead): (f64, Vec<SimTime>) = match self.params.algo {
-            ExchangeAlgo::Direct => ((p - 1) as f64, vec![SimTime::ZERO; t.nodes]),
-            ExchangeAlgo::NodeAggregated => {
-                // Leader exchanges nodes−1 messages; every payload crosses
-                // the intra-node fabric twice (gather to leader, scatter
-                // from leader).
-                let per_node: Vec<SimTime> = (0..t.nodes)
-                    .map(|n| {
-                        self.params
-                            .intra_node
-                            .time_for(2.0 * (node_out[n] + node_local[n]) as f64)
-                    })
-                    .collect();
-                ((t.nodes.saturating_sub(1)) as f64, per_node)
-            }
+        // Message-count term and aggregation overhead depend on routing:
+        // a leader exchanges nodes−1 coalesced frames instead of every
+        // rank posting P−1 messages.
+        let messages_per_rank: f64 = match self.params.algo {
+            ExchangeAlgo::Direct => (p - 1) as f64,
+            ExchangeAlgo::NodeAggregated => (t.nodes.saturating_sub(1)) as f64,
         };
+        let aggregate_overhead = self.aggregate_overhead(&node_out, &node_local);
         let msg_cost = SimTime::from_secs(self.params.per_message_secs * messages_per_rank);
 
         (0..p)
@@ -245,6 +274,26 @@ mod tests {
             ta > td,
             "aggregated {ta} should lose to direct {td} on big payloads"
         );
+    }
+
+    #[test]
+    fn intra_times_split_the_aggregated_total_exactly() {
+        let mut net = Network::summit_gpu(3);
+        net.params.algo = ExchangeAlgo::NodeAggregated;
+        let p = net.topology.nranks();
+        let m = uniform_matrix(p, 4096);
+        let total = net.alltoallv_times(&m);
+        let intra = net.alltoallv_intra_times(&m);
+        // The intra component is positive and strictly inside the total,
+        // and subtracting it recovers the direct-shape remainder with no
+        // float drift (same SimTime arithmetic on both paths).
+        for (t, i) in total.iter().zip(&intra) {
+            assert!(*i > SimTime::ZERO);
+            assert!(i < t);
+        }
+        // Direct routing has no intra tier.
+        net.params.algo = ExchangeAlgo::Direct;
+        assert!(net.alltoallv_intra_times(&m).iter().all(|t| t.is_zero()));
     }
 
     #[test]

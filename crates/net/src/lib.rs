@@ -22,6 +22,7 @@ pub mod bsp;
 pub mod comm;
 pub mod cost;
 pub mod fault;
+pub mod route;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
@@ -30,6 +31,7 @@ pub use bsp::BspWorld;
 pub use comm::Communicator;
 pub use cost::NetworkParams;
 pub use fault::{BucketFate, ChecksumFrame, FaultPlan, FaultSpec, WireHash};
+pub use route::ExchangeRoute;
 pub use stats::CommStats;
 pub use threaded::ThreadedWorld;
 pub use topology::Topology;

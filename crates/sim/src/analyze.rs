@@ -51,9 +51,17 @@ impl Interval {
 pub struct CollectiveRound {
     /// Collective superstep index.
     pub step: u64,
-    /// Total payload bytes received across ranks.
+    /// Total logical payload bytes received across ranks (injection-tier
+    /// events only — intra-node relay events re-count the same payload).
     pub bytes: u64,
-    /// Mean per-rank wire seconds.
+    /// Physical bytes on the injection tier (equals `bytes` unless the
+    /// wire codec shrank the payload).
+    pub comp_bytes: u64,
+    /// Sum of per-rank intra-node tier seconds (0 under direct routing).
+    pub intra_secs: f64,
+    /// Sum of per-rank injection-tier wire seconds.
+    pub inject_secs: f64,
+    /// Mean per-rank wire seconds (both tiers).
     pub wire_mean: f64,
     /// Slowest rank's wire seconds.
     pub wire_max: f64,
@@ -177,9 +185,25 @@ impl RunAnalysis {
         self.regrows.iter().map(|r| r.1).sum()
     }
 
-    /// Exchange payload bytes summed over collectives.
+    /// Exchange logical payload bytes summed over collectives.
     pub fn exchange_bytes(&self) -> u64 {
         self.rounds.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Physical injection-tier bytes summed over collectives (differs
+    /// from [`Self::exchange_bytes`] only when the wire codec was on).
+    pub fn exchange_comp_bytes(&self) -> u64 {
+        self.rounds.iter().map(|r| r.comp_bytes).sum()
+    }
+
+    /// Intra-node tier seconds summed over collectives and ranks.
+    pub fn intra_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.intra_secs).sum()
+    }
+
+    /// Injection-tier wire seconds summed over collectives and ranks.
+    pub fn inject_seconds(&self) -> f64 {
+        self.rounds.iter().map(|r| r.inject_secs).sum()
     }
 
     /// Overlap-hidden seconds summed over collectives and ranks.
@@ -299,6 +323,25 @@ impl RunAnalysis {
             self.rounds.len(),
             self.exchange_bytes()
         );
+        if self.exchange_comp_bytes() != self.exchange_bytes() {
+            let logical = self.exchange_bytes();
+            let physical = self.exchange_comp_bytes();
+            let ratio = if physical > 0 {
+                logical as f64 / physical as f64
+            } else {
+                1.0
+            };
+            let _ = writeln!(
+                w,
+                "  wire compression: {physical} physical bytes ({ratio:.2}x)"
+            );
+        }
+        let _ = writeln!(
+            w,
+            "  tier seconds: intra {:.6}, inject {:.6}",
+            self.intra_seconds(),
+            self.inject_seconds()
+        );
         let _ = writeln!(
             w,
             "  hidden seconds: {:.6}, exposed seconds: {:.6}",
@@ -308,15 +351,24 @@ impl RunAnalysis {
         if !self.rounds.is_empty() {
             let _ = writeln!(
                 w,
-                "  {:<6} {:>12} {:>12} {:>12} {:>9} {:>10}",
-                "step", "bytes", "wire-mean", "wire-max", "straggler", "imbalance"
+                "  {:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9} {:>10}",
+                "step",
+                "bytes",
+                "intra-sec",
+                "inject-sec",
+                "wire-mean",
+                "wire-max",
+                "straggler",
+                "imbalance"
             );
             for r in &self.rounds {
                 let _ = writeln!(
                     w,
-                    "  {:<6} {:>12} {:>12.6} {:>12.6} {:>9} {:>10.3}",
+                    "  {:<6} {:>12} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>9} {:>10.3}",
                     r.step,
                     r.bytes,
+                    r.intra_secs,
+                    r.inject_secs,
                     r.wire_mean,
                     r.wire_max,
                     r.straggler,
@@ -396,7 +448,10 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
     let mut a = RunAnalysis::default();
     let mut intervals: Vec<Interval> = Vec::new();
     let mut rounds: BTreeMap<u64, CollectiveRound> = BTreeMap::new();
-    let mut round_wires: BTreeMap<u64, Vec<(usize, f64, f64)>> = BTreeMap::new();
+    // Per (step, rank) accumulated (wire, charged): hierarchical routing
+    // journals two tier events per rank per step, which sum here back to
+    // that rank's total wire and clock charge for the round.
+    let mut round_wires: BTreeMap<u64, BTreeMap<usize, (f64, f64)>> = BTreeMap::new();
     for ev in events {
         match ev {
             JournalEvent::Meta {
@@ -432,6 +487,8 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
                 hidden,
                 charged,
                 bytes,
+                tier,
+                comp_bytes,
             } => {
                 intervals.push(Interval {
                     rank: *rank,
@@ -444,13 +501,24 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
                     step: *step,
                     ..CollectiveRound::default()
                 });
-                r.bytes += *bytes;
+                if tier == "intra" {
+                    r.intra_secs += *wire;
+                } else {
+                    // Injection tier carries the round's payload volume;
+                    // intra-tier events re-count the same bytes in relay.
+                    r.bytes += *bytes;
+                    r.comp_bytes += *comp_bytes;
+                    r.inject_secs += *wire;
+                }
                 r.hidden_sum += hidden.min(*charged);
                 r.exposed_sum += (charged - hidden).max(0.0);
-                round_wires
+                let per_rank = round_wires
                     .entry(*step)
                     .or_default()
-                    .push((*rank, *wire, *charged));
+                    .entry(*rank)
+                    .or_insert((0.0, 0.0));
+                per_rank.0 += *wire;
+                per_rank.1 += *charged;
             }
             JournalEvent::Retry {
                 round,
@@ -475,14 +543,14 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
     for (step, wires) in round_wires {
         let r = rounds.get_mut(&step).expect("round exists");
         let n = wires.len().max(1) as f64;
-        r.wire_mean = wires.iter().map(|(_, wire, _)| wire).sum::<f64>() / n;
-        r.charged_mean = wires.iter().map(|(_, _, charged)| charged).sum::<f64>() / n;
-        let (straggler, wire_max, _) =
+        r.wire_mean = wires.values().map(|(wire, _)| wire).sum::<f64>() / n;
+        r.charged_mean = wires.values().map(|(_, charged)| charged).sum::<f64>() / n;
+        let (straggler, wire_max) =
             wires
                 .iter()
-                .fold((0usize, f64::MIN, 0.0), |acc, &(rank, wire, ch)| {
+                .fold((0usize, f64::MIN), |acc, (&rank, &(wire, _))| {
                     if wire > acc.1 {
-                        (rank, wire, ch)
+                        (rank, wire)
                     } else {
                         acc
                     }
@@ -722,6 +790,31 @@ mod tests {
             hidden: 0.0,
             charged: wire,
             bytes,
+            tier: "inject".into(),
+            comp_bytes: bytes,
+        }
+    }
+
+    fn tiered(
+        step: u64,
+        rank: usize,
+        start: f64,
+        wire: f64,
+        bytes: u64,
+        tier: &str,
+        comp_bytes: u64,
+    ) -> JournalEvent {
+        JournalEvent::Collective {
+            step,
+            rank,
+            label: "alltoallv".into(),
+            start,
+            wire,
+            hidden: 0.0,
+            charged: wire,
+            bytes,
+            tier: tier.into(),
+            comp_bytes,
         }
     }
 
@@ -795,6 +888,48 @@ mod tests {
         assert!((a.phase_total() - 4.0).abs() < 1e-12);
     }
 
+    /// A hierarchical round journals two tier events per rank per step;
+    /// the round must merge them back into per-rank totals, count bytes
+    /// only on the injection tier, and split the tier seconds.
+    #[test]
+    fn hierarchical_rounds_merge_tiers_per_rank() {
+        let events = vec![
+            JournalEvent::Meta {
+                mode: "cpu".into(),
+                nodes: 2,
+                nranks: 2,
+                detail: "test".into(),
+            },
+            // Rank 0: 0.3 s intra relay then 1.7 s injection.
+            tiered(1, 0, 0.0, 0.3, 4096, "intra", 4096),
+            tiered(1, 0, 0.3, 1.7, 2048, "inject", 1024),
+            // Rank 1: 0.1 s intra then 0.4 s injection.
+            tiered(1, 1, 0.0, 0.1, 1024, "intra", 1024),
+            tiered(1, 1, 0.1, 0.4, 512, "inject", 256),
+            JournalEvent::Run { makespan: 2.0 },
+        ];
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.rounds.len(), 1);
+        let r = &a.rounds[0];
+        // Bytes count the injection tier only — the intra events carry
+        // the same payload in relay and would double-count.
+        assert_eq!(r.bytes, 2048 + 512);
+        assert_eq!(r.comp_bytes, 1024 + 256);
+        assert!((r.intra_secs - 0.4).abs() < 1e-12);
+        assert!((r.inject_secs - 2.1).abs() < 1e-12);
+        // Per-rank wire is the sum of that rank's tier events.
+        assert!((r.wire_mean - (2.0 + 0.5) / 2.0).abs() < 1e-12);
+        assert!((r.wire_max - 2.0).abs() < 1e-12);
+        assert_eq!(r.straggler, 0);
+        assert_eq!(a.exchange_comp_bytes(), 1280);
+        assert!((a.intra_seconds() - 0.4).abs() < 1e-12);
+        assert!((a.inject_seconds() - 2.1).abs() < 1e-12);
+        a.check_invariants().unwrap();
+        let text = a.render();
+        assert!(text.contains("intra-sec"), "{text}");
+        assert!(text.contains("wire compression"), "{text}");
+    }
+
     #[test]
     fn render_contains_every_report_section() {
         let a = analyze(&two_rank_events()).unwrap();
@@ -804,6 +939,7 @@ mod tests {
             "reconciliation",
             "critical path",
             "exchange",
+            "tier seconds",
             "imbalance",
             "recovery",
             "wall clock",

@@ -71,8 +71,19 @@ pub enum JournalEvent {
         hidden: f64,
         /// Time actually charged: `max(wire, hidden)`, seconds.
         charged: f64,
-        /// Payload bytes this rank contributed to the collective.
+        /// Payload bytes this rank contributed to the collective
+        /// (*logical* — pre-codec — bytes when wire compression is on).
         bytes: u64,
+        /// Network tier the charge belongs to: `"inject"` (the fat-tree
+        /// injection tier — all direct-route collectives and barriers) or
+        /// `"intra"` (the intra-node gather/scatter tier of hierarchical
+        /// routing). Journals written before routing landed omit the
+        /// field; the parser defaults it to `"inject"`.
+        tier: String,
+        /// Bytes actually put on the wire after the codec — equals
+        /// `bytes` when compression is off (and when the field is absent
+        /// in an old journal).
+        comp_bytes: u64,
     },
     /// A retry attempt after failed or corrupt bucket deliveries.
     Retry {
@@ -193,13 +204,16 @@ impl JournalEvent {
                 hidden,
                 charged,
                 bytes,
+                tier,
+                comp_bytes,
             } => format!(
-                "{{\"ev\":\"collective\",\"step\":{step},\"rank\":{rank},\"label\":\"{}\",\"start\":{},\"wire\":{},\"hidden\":{},\"charged\":{},\"bytes\":{bytes}}}",
+                "{{\"ev\":\"collective\",\"step\":{step},\"rank\":{rank},\"label\":\"{}\",\"start\":{},\"wire\":{},\"hidden\":{},\"charged\":{},\"bytes\":{bytes},\"tier\":\"{}\",\"comp_bytes\":{comp_bytes}}}",
                 escape(label),
                 num(*start),
                 num(*wire),
                 num(*hidden),
-                num(*charged)
+                num(*charged),
+                escape(tier)
             ),
             JournalEvent::Retry {
                 round,
@@ -264,6 +278,17 @@ impl JournalEvent {
                 hidden: map.f64_field("hidden")?,
                 charged: map.f64_field("charged")?,
                 bytes: map.u64_field("bytes")?,
+                // Pre-routing journals lack the tier/codec fields; default
+                // to the injection tier with an identity codec so old
+                // journals keep analyzing.
+                tier: match map.get("tier") {
+                    Some(_) => map.str_field("tier")?.to_string(),
+                    None => "inject".to_string(),
+                },
+                comp_bytes: match map.get("comp_bytes") {
+                    Some(_) => map.u64_field("comp_bytes")?,
+                    None => map.u64_field("bytes")?,
+                },
             },
             "retry" => JournalEvent::Retry {
                 round: map.u64_field("round")?,
@@ -544,6 +569,20 @@ mod tests {
             hidden: 0.0,
             charged: 2.0e-4,
             bytes: 1 << 40,
+            tier: "inject".into(),
+            comp_bytes: 1 << 40,
+        });
+        roundtrip(JournalEvent::Collective {
+            step: 6,
+            rank: 0,
+            label: "alltoallv".into(),
+            start: 2.0e-3,
+            wire: 1.0e-4,
+            hidden: 0.0,
+            charged: 1.0e-4,
+            bytes: 9_000,
+            tier: "intra".into(),
+            comp_bytes: 6_200, // compressed supermer payload
         });
         roundtrip(JournalEvent::Retry {
             round: 2,
@@ -632,6 +671,26 @@ mod tests {
         assert_eq!(read_journal(&text).unwrap(), events);
         // Blank lines are tolerated.
         assert_eq!(read_journal(&format!("\n{text}\n")).unwrap(), events);
+    }
+
+    #[test]
+    fn legacy_collective_lines_default_tier_and_comp_bytes() {
+        // A pre-routing journal line: no `tier`, no `comp_bytes`.
+        let line = "{\"ev\":\"collective\",\"step\":2,\"rank\":3,\"label\":\"alltoallv\",\
+                    \"start\":0.5,\"wire\":0.25,\"hidden\":0,\"charged\":0.25,\"bytes\":128}";
+        match JournalEvent::parse(line).unwrap() {
+            JournalEvent::Collective {
+                tier,
+                comp_bytes,
+                bytes,
+                ..
+            } => {
+                assert_eq!(tier, "inject");
+                assert_eq!(comp_bytes, bytes);
+                assert_eq!(bytes, 128);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!   `--round-limit` bounds per-rank exchange memory (§III-A);
 //!   `--overlap-rounds` additionally overlaps each round's count kernel
 //!   with the next round's wire time.
+//!   `--exchange-algo direct|hierarchical` picks the exchange routing
+//!   (DESIGN.md §10): `direct` is the paper's flat `MPI_Alltoallv`;
+//!   `hierarchical` gathers each node's traffic to a leader rank and
+//!   ships one coalesced frame per node pair over the injection tier.
+//!   `--wire-compress` ships supermer buckets through the KMC 2-style
+//!   wire codec (varint/delta lengths + 2-bit base packing); both knobs
+//!   leave the counted spectra bit-identical.
 //!   `--fault-seed N` / `--fault-spec k=v,...` inject deterministic
 //!   network faults (DESIGN.md §7): failed sends, corrupt buckets and
 //!   stragglers, recovered by the driver's bounded retry loop. The
@@ -84,7 +91,8 @@ fn print_usage() {
          \x20        [--scale tiny|bench|xF] [--seed N] [--out FILE]\n\
          \x20 dedukt count <reads.fastq> [--mode cpu|gpu|supermer] [--nodes N] [--k K] [--m M]\n\
          \x20        [--canonical] [--gpu-direct] [--min-qual Q] [--round-limit BYTES]\n\
-         \x20        [--overlap-rounds] [--out dump.tsv]\n\
+         \x20        [--overlap-rounds] [--exchange-algo direct|hierarchical]\n\
+         \x20        [--wire-compress] [--out dump.tsv]\n\
          \x20        [--spectrum spec.tsv] [--trace trace.json]\n\
          \x20        [--metrics metrics.json] [--metrics-format json|prom]\n\
          \x20        [--journal run.jsonl]\n\
@@ -360,6 +368,12 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                 )
             }
             "--overlap-rounds" => rc.overlap_rounds = true,
+            "--exchange-algo" => {
+                rc.exchange_algo =
+                    dedukt::net::ExchangeRoute::parse(take_value(&mut it, "--exchange-algo")?)?
+                        .algo()
+            }
+            "--wire-compress" => rc.wire_compress = true,
             "--min-qual" => {
                 min_qual = Some(
                     take_value(&mut it, "--min-qual")?

@@ -234,6 +234,73 @@ fn bad_usage_exits_nonzero() {
 }
 
 #[test]
+fn exchange_flags_route_and_compress_without_changing_the_dump() {
+    let dir = tmpdir("exchange");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let direct = dir.join("direct.tsv");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--out"])
+        .arg(&direct)
+        .status()
+        .unwrap()
+        .success());
+    // Hierarchical routing + the wire codec: same dump, byte for byte.
+    let routed = dir.join("routed.tsv");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--exchange-algo",
+            "hierarchical",
+            "--wire-compress",
+            "--out",
+        ])
+        .arg(&routed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&direct).unwrap(),
+        std::fs::read_to_string(&routed).unwrap(),
+        "routing and compression must not change a single count"
+    );
+    // A malformed algorithm name is a clean exit 2 naming the value.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--exchange-algo", "fancy"])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "bad --exchange-algo must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fancy"),
+        "stderr must name the value:\n{stderr}"
+    );
+}
+
+#[test]
 fn fault_flags_recover_and_match_the_fault_free_dump() {
     let dir = tmpdir("fault");
     let fastq = dir.join("reads.fastq");

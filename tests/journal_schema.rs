@@ -270,6 +270,73 @@ fn recovery_events_reconcile_with_the_report() {
     }
 }
 
+/// Collective events carry the exchange tier (`intra` | `inject`) and
+/// the physical `comp_bytes` next to the logical `bytes`: direct
+/// uncompressed runs stay single-tier with the two byte counts equal
+/// (the legacy schema, now explicit), hierarchical + `--wire-compress`
+/// runs split into both tiers with the codec undercutting the logical
+/// injection volume — and the analyzer reconciles either shape.
+#[test]
+fn collective_events_carry_tier_and_comp_bytes() {
+    let reads = tiny_reads();
+    let tiers = |r: &RunReport| -> Vec<(String, u64, u64)> {
+        r.journal
+            .as_ref()
+            .unwrap()
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Collective {
+                    tier,
+                    bytes,
+                    comp_bytes,
+                    ..
+                } => Some((tier.clone(), *bytes, *comp_bytes)),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mut rc = RunConfig::new(Mode::GpuSupermer, 2);
+    rc.collect_journal = true;
+    let direct = run(&reads, &rc).expect("valid config");
+    let d = tiers(&direct);
+    assert!(!d.is_empty(), "supermer run emits collective events");
+    for (tier, bytes, comp) in &d {
+        assert_eq!(tier, "inject", "direct routing is single-tier");
+        assert_eq!(comp, bytes, "no codec: physical equals logical");
+    }
+
+    rc.exchange_algo = dedukt::net::cost::ExchangeAlgo::NodeAggregated;
+    rc.wire_compress = true;
+    let routed = run(&reads, &rc).expect("valid config");
+    assert_eq!(routed.total_kmers, direct.total_kmers);
+    assert_eq!(routed.distinct_kmers, direct.distinct_kmers);
+    let h = tiers(&routed);
+    let seen: BTreeSet<&str> = h.iter().map(|(t, ..)| t.as_str()).collect();
+    assert_eq!(
+        seen,
+        BTreeSet::from(["intra", "inject"]),
+        "hierarchical runs emit both tiers and nothing else"
+    );
+    let (mut logical, mut physical) = (0u64, 0u64);
+    for (tier, bytes, comp) in &h {
+        if tier == "inject" {
+            logical += bytes;
+            physical += comp;
+        }
+    }
+    assert!(
+        physical < logical,
+        "codec must shrink the injection tier: {physical} physical vs {logical} logical"
+    );
+
+    let a = analyze(routed.journal.as_ref().unwrap()).expect("well-formed journal");
+    a.check_invariants().expect("tiered journal reconciles");
+    assert!(a.intra_seconds() > 0.0, "intra tier charges time");
+    assert!(a.inject_seconds() > 0.0, "injection tier charges time");
+    assert_eq!(a.exchange_comp_bytes(), physical);
+}
+
 /// The `hbm bytes` trace-counter lane only exists when pressure actually
 /// fired: zero-pressure traces stay byte-identical to the pre-lane
 /// schema.

@@ -33,6 +33,7 @@ const SUPERMER_SERIES: &[&str] = &[
     "device_peak_bytes",
     "exchange_bytes_total",
     "exchange_collectives_total",
+    "exchange_intra_node_bytes_total",
     "kernel_occupancy:build_supermers",
     "kernel_occupancy:count_kmers",
     "kmers_counted_total",
@@ -83,6 +84,19 @@ fn metric_totals_are_consistent_with_the_report() {
             })
             .sum();
         assert_eq!(superstep_sum, report.exchange.bytes, "mode {mode:?}");
+
+        // Tier split: the always-recorded intra-node counter matches the
+        // report, and the two tiers partition the total exactly.
+        assert_eq!(
+            snap.counter_total("exchange_intra_node_bytes_total"),
+            report.exchange.intra_node_bytes,
+            "mode {mode:?}"
+        );
+        assert_eq!(
+            report.exchange.intra_node_bytes + report.exchange.off_node_bytes,
+            report.exchange.bytes,
+            "mode {mode:?}"
+        );
 
         // Counting: each rank's counter equals its reported load.
         assert_eq!(
