@@ -15,6 +15,10 @@
 //!   fault injection with driver-side retry (DESIGN.md §7).
 //! * `--mem-seed N` / `--mem-spec k=v,...` — deterministic memory
 //!   pressure with regrow/spill recovery (DESIGN.md §8).
+//! * `--rank-seed N` / `--rank-spec k=v,...` — deterministic rank-level
+//!   failure with replay recovery (DESIGN.md §11).
+//! * `--checkpoint-rounds N` / `--rescale ROUND:WORLD,...` — checkpoint
+//!   cadence bounding replay, and elastic world rescale (DESIGN.md §11).
 //! * `--table-safety F` — count-table sizing safety factor.
 //! * `--device-hbm BYTES` — simulated device memory budget override.
 
@@ -51,6 +55,15 @@ pub struct ExperimentArgs {
     /// Memory-pressure spec string, `key=value` comma list (activates
     /// pressure with seed 0 even without `--mem-seed`).
     pub mem_spec: Option<String>,
+    /// Rank-failure seed (activates the plan even without a spec).
+    pub rank_seed: Option<u64>,
+    /// Rank-failure spec string, `key=value` comma list (activates the
+    /// plan with seed 0 even without `--rank-seed`).
+    pub rank_spec: Option<String>,
+    /// Checkpoint cadence in rounds, bounding death replay.
+    pub checkpoint_rounds: Option<u64>,
+    /// Elastic rescale schedule, `(round, world)` pairs.
+    pub rescale: Vec<(u64, usize)>,
     /// Count-table sizing safety factor override.
     pub table_safety: Option<f64>,
     /// Simulated device memory budget override, in bytes.
@@ -73,6 +86,10 @@ impl Default for ExperimentArgs {
             fault_spec: None,
             mem_seed: None,
             mem_spec: None,
+            rank_seed: None,
+            rank_spec: None,
+            checkpoint_rounds: None,
+            rescale: Vec::new(),
             table_safety: None,
             device_hbm: None,
         }
@@ -91,7 +108,10 @@ impl ExperimentArgs {
                      [--gpu-direct] [--round-limit BYTES] [--overlap-rounds] \
                      [--exchange-algo direct|hierarchical] [--wire-compress] \
                      [--fault-seed N] [--fault-spec k=v,...] \
-                     [--mem-seed N] [--mem-spec k=v,...] [--table-safety F] [--device-hbm BYTES]"
+                     [--mem-seed N] [--mem-spec k=v,...] \
+                     [--rank-seed N] [--rank-spec k=v,...] \
+                     [--checkpoint-rounds N] [--rescale ROUND:WORLD,...] \
+                     [--table-safety F] [--device-hbm BYTES]"
                 );
                 std::process::exit(2);
             }
@@ -173,6 +193,29 @@ impl ExperimentArgs {
                     let v = it.next().ok_or("--mem-spec needs a value")?;
                     dedukt_gpu::MemSpec::parse(&v)?;
                     out.mem_spec = Some(v);
+                }
+                "--rank-seed" => {
+                    let v = it.next().ok_or("--rank-seed needs a value")?;
+                    out.rank_seed = Some(v.parse().map_err(|_| format!("bad rank seed {v:?}"))?);
+                }
+                "--rank-spec" => {
+                    let v = it.next().ok_or("--rank-spec needs a value")?;
+                    dedukt_net::RankSpec::parse(&v)?;
+                    out.rank_spec = Some(v);
+                }
+                "--checkpoint-rounds" => {
+                    let v = it.next().ok_or("--checkpoint-rounds needs a value")?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad checkpoint cadence {v:?}"))?;
+                    if n == 0 {
+                        return Err("--checkpoint-rounds must be at least 1".into());
+                    }
+                    out.checkpoint_rounds = Some(n);
+                }
+                "--rescale" => {
+                    let v = it.next().ok_or("--rescale needs a value")?;
+                    out.rescale = dedukt_core::config::parse_rescale(&v)?;
                 }
                 "--table-safety" => {
                     let v = it.next().ok_or("--table-safety needs a value")?;
@@ -283,6 +326,33 @@ mod tests {
         assert!(parse(&["--mem-spec", "bogus=1"]).is_err());
         assert!(parse(&["--table-safety", "0"]).is_err());
         assert!(parse(&["--device-hbm", "0"]).is_err());
+    }
+
+    #[test]
+    fn rank_flags() {
+        let a = parse(&[
+            "--rank-seed",
+            "3",
+            "--rank-spec",
+            "rate=0.01,max-dead=3,kill=1:2",
+            "--checkpoint-rounds",
+            "2",
+            "--rescale",
+            "1:8,3:12",
+        ])
+        .unwrap();
+        assert_eq!(a.rank_seed, Some(3));
+        assert_eq!(
+            a.rank_spec.as_deref(),
+            Some("rate=0.01,max-dead=3,kill=1:2")
+        );
+        assert_eq!(a.checkpoint_rounds, Some(2));
+        assert_eq!(a.rescale, vec![(1, 8), (3, 12)]);
+        // Malformed specs and schedules fail at the flag, not mid-run.
+        assert!(parse(&["--rank-spec", "bogus=1"]).is_err());
+        assert!(parse(&["--rank-spec", "kill=abc"]).is_err());
+        assert!(parse(&["--checkpoint-rounds", "0"]).is_err());
+        assert!(parse(&["--rescale", "5"]).is_err());
     }
 
     #[test]

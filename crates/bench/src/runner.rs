@@ -48,6 +48,15 @@ fn apply_common_flags(rc: &mut RunConfig, args: &ExperimentArgs) {
         };
         rc.mem = Some(dedukt_gpu::MemPlan::new(args.mem_seed.unwrap_or(0), spec));
     }
+    if args.rank_seed.is_some() || args.rank_spec.is_some() {
+        let spec = match &args.rank_spec {
+            Some(s) => dedukt_net::RankSpec::parse(s).expect("rank spec validated at parse"),
+            None => dedukt_net::RankSpec::default(),
+        };
+        rc.rank = Some(dedukt_net::RankPlan::new(args.rank_seed.unwrap_or(0), spec));
+    }
+    rc.checkpoint_rounds = args.checkpoint_rounds;
+    rc.rescale = args.rescale.clone();
     if let Some(f) = args.table_safety {
         rc.table_safety = f;
     }

@@ -145,6 +145,10 @@ pub enum ConfigError {
     /// ([`dedukt_gpu::MemSpec::validate`]'s message, or a bad
     /// `table_safety`).
     Mem(String),
+    /// The rank-failure plan, checkpoint cadence or rescale schedule is
+    /// out of range ([`dedukt_net::fault::RankSpec::validate`]'s
+    /// message, or a bad `--checkpoint-rounds` / `--rescale`).
+    Rank(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -159,6 +163,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroRoundLimit => f.write_str("round limit must be positive"),
             ConfigError::Fault(msg) => f.write_str(msg),
             ConfigError::Mem(msg) => f.write_str(msg),
+            ConfigError::Rank(msg) => f.write_str(msg),
         }
     }
 }
@@ -350,6 +355,47 @@ pub struct RunConfig {
     /// budget holds. `None` (the default) models a perfect memory
     /// estimate and allocator.
     pub mem: Option<dedukt_gpu::MemPlan>,
+    /// Deterministic rank-death schedule (DESIGN.md §11). The driver
+    /// detects a death at the next round boundary, re-partitions the
+    /// dead rank's key ranges across survivors by rendezvous hashing,
+    /// and replays the lost items from the deterministic exchange
+    /// history; final counts are bit-identical to a failure-free run
+    /// whenever the deaths stay within [`dedukt_net::fault::RankSpec`]'s
+    /// budget. `None` (the default) models immortal ranks and keeps the
+    /// driver on the exact pre-recovery code path.
+    pub rank: Option<dedukt_net::fault::RankPlan>,
+    /// Snapshot every rank's count table every N rounds so a death only
+    /// replays the rounds since the last snapshot (DESIGN.md §11).
+    /// `None` replays from the start of the dead rank's ranges.
+    pub checkpoint_rounds: Option<u64>,
+    /// Elastic rescale schedule: `(round, world)` pairs shrinking or
+    /// growing the active rank set at round boundaries (DESIGN.md §11).
+    /// Departures are graceful — a leaving rank's counts are salvaged,
+    /// not replayed. Empty (the default) keeps the world fixed.
+    pub rescale: Vec<(u64, usize)>,
+}
+
+/// Parses a `--rescale` schedule: a comma list of `round:world` pairs,
+/// e.g. `1:10,3:12`. Ordering and range checks live in
+/// [`RunConfig::validate`].
+pub fn parse_rescale(s: &str) -> Result<Vec<(u64, usize)>, String> {
+    let mut out = Vec::new();
+    for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+        let part = part.trim();
+        let (round, world) = part
+            .split_once(':')
+            .ok_or_else(|| format!("rescale entry `{part}` is not round:world"))?;
+        let round = round
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("rescale round `{}` is not an integer", round.trim()))?;
+        let world = world
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("rescale world `{}` is not an integer", world.trim()))?;
+        out.push((round, world));
+    }
+    Ok(out)
 }
 
 impl RunConfig {
@@ -377,6 +423,9 @@ impl RunConfig {
             fault: None,
             table_safety: 1.0,
             mem: None,
+            rank: None,
+            checkpoint_rounds: None,
+            rescale: Vec::new(),
         }
     }
 
@@ -424,6 +473,30 @@ impl RunConfig {
         }
         if let Some(plan) = &self.mem {
             plan.spec().validate().map_err(ConfigError::Mem)?;
+        }
+        if let Some(plan) = &self.rank {
+            plan.spec().validate().map_err(ConfigError::Rank)?;
+        }
+        if self.checkpoint_rounds == Some(0) {
+            return Err(ConfigError::Rank(
+                "checkpoint cadence must be at least 1 round".into(),
+            ));
+        }
+        let mut prev_round = None;
+        for &(round, world) in &self.rescale {
+            if prev_round.is_some_and(|p| round <= p) {
+                return Err(ConfigError::Rank(format!(
+                    "rescale rounds must be strictly increasing (round {round} repeats or \
+                     goes backwards)"
+                )));
+            }
+            prev_round = Some(round);
+            if world == 0 || world > self.nranks() {
+                return Err(ConfigError::Rank(format!(
+                    "rescale world {world} must be in 1..={} (the initial rank count)",
+                    self.nranks()
+                )));
+            }
         }
         Ok(())
     }
@@ -543,6 +616,41 @@ mod tests {
         assert!(matches!(rc.validate(), Err(ConfigError::Mem(_))));
         rc.table_safety = 0.25;
         assert!(rc.validate().is_ok());
+    }
+
+    #[test]
+    fn rank_plan_and_rescale_are_validated_with_the_run() {
+        use dedukt_net::fault::{RankPlan, RankSpec};
+        let mut rc = RunConfig::new(Mode::GpuKmer, 1); // 6 ranks
+        rc.rank = Some(RankPlan::new(1, RankSpec::default()));
+        assert!(rc.validate().is_ok());
+        rc.rank = Some(RankPlan::new(1, RankSpec::parse("rate=1.5").unwrap()));
+        match rc.validate() {
+            Err(ConfigError::Rank(msg)) => assert!(msg.contains("[0, 1]"), "{msg}"),
+            other => panic!("expected a rank config error, got {other:?}"),
+        }
+        rc.rank = None;
+        rc.checkpoint_rounds = Some(0);
+        assert!(matches!(rc.validate(), Err(ConfigError::Rank(_))));
+        rc.checkpoint_rounds = Some(2);
+        assert!(rc.validate().is_ok());
+        rc.rescale = vec![(1, 4), (1, 5)];
+        assert!(matches!(rc.validate(), Err(ConfigError::Rank(_))));
+        rc.rescale = vec![(1, 4), (2, 7)]; // 7 > 6 ranks
+        assert!(matches!(rc.validate(), Err(ConfigError::Rank(_))));
+        rc.rescale = vec![(1, 0)];
+        assert!(matches!(rc.validate(), Err(ConfigError::Rank(_))));
+        rc.rescale = vec![(1, 4), (2, 6)];
+        assert!(rc.validate().is_ok());
+    }
+
+    #[test]
+    fn rescale_schedules_parse() {
+        assert_eq!(parse_rescale("1:10, 3:12").unwrap(), vec![(1, 10), (3, 12)]);
+        assert_eq!(parse_rescale("").unwrap(), vec![]);
+        assert!(parse_rescale("5").unwrap_err().contains("round:world"));
+        assert!(parse_rescale("a:1").unwrap_err().contains("not an integer"));
+        assert!(parse_rescale("1:b").unwrap_err().contains("not an integer"));
     }
 
     #[test]

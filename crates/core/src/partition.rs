@@ -32,6 +32,28 @@ pub fn minimizer_owner(hasher: &Murmur3x64, mmer_word: u64, nranks: usize) -> us
     owner_rank_mult_shift(hasher.hash_u64(mmer_word), nranks)
 }
 
+/// Survivor rank that inherits a dead rank's key range (rendezvous
+/// hashing).
+///
+/// Highest-random-weight over the alive set: every rank mixes
+/// `(seed, range, candidate)` and the largest weight wins, so each engine
+/// re-derives the same owner for a dead rank's range without any
+/// coordination, and a later death only moves the ranges the newly dead
+/// rank owned (minimal movement — surviving assignments are unaffected
+/// because their argmax is unchanged).
+///
+/// Panics if no rank is alive; the driver converts that case into a
+/// clean `RunError::RanksLost` before re-partitioning.
+pub fn surviving_owner(seed: u64, range: usize, alive: &[bool]) -> usize {
+    alive
+        .iter()
+        .enumerate()
+        .filter(|(_, &a)| a)
+        .max_by_key(|&(r, _)| dedukt_sim::rng::mix_coords(seed, &[range as u64, r as u64]))
+        .map(|(r, _)| r)
+        .expect("at least one alive rank")
+}
+
 /// Frequency-aware minimizer→rank assignment (extension).
 ///
 /// Greedy longest-processing-time: sort minimizer buckets by observed
@@ -145,6 +167,53 @@ mod tests {
             assert_eq!(a.owner(m), b.owner(m));
         }
         assert_eq!(a.assigned_buckets(), 100);
+    }
+
+    #[test]
+    fn surviving_owner_is_deterministic_and_alive() {
+        let mut alive = vec![true; 12];
+        alive[3] = false;
+        alive[7] = false;
+        for range in 0..64 {
+            let o = surviving_owner(42, range, &alive);
+            assert!(alive[o], "owner must be alive");
+            assert_eq!(o, surviving_owner(42, range, &alive));
+        }
+    }
+
+    #[test]
+    fn surviving_owner_moves_only_the_dead_ranks_ranges() {
+        // Rendezvous hashing: killing one more rank must not move any
+        // range whose owner is still alive.
+        let mut alive = vec![true; 16];
+        alive[2] = false;
+        let before: Vec<usize> = (0..128).map(|d| surviving_owner(7, d, &alive)).collect();
+        alive[9] = false;
+        for (d, &was) in before.iter().enumerate() {
+            let now = surviving_owner(7, d, &alive);
+            if was != 9 {
+                assert_eq!(now, was, "range {d} moved though its owner survived");
+            } else {
+                assert!(alive[now]);
+            }
+        }
+    }
+
+    #[test]
+    fn surviving_owner_spreads_ranges() {
+        // HRW should spread a dead rank's ranges roughly evenly; just pin
+        // that more than one survivor inherits something.
+        let mut alive = vec![true; 8];
+        alive[0] = false;
+        let owners: std::collections::HashSet<usize> =
+            (0..256).map(|d| surviving_owner(1, d, &alive)).collect();
+        assert!(owners.len() > 4, "HRW collapsed onto {owners:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alive rank")]
+    fn surviving_owner_panics_with_no_survivors() {
+        surviving_owner(1, 0, &[false, false]);
     }
 
     #[test]

@@ -126,6 +126,10 @@ impl<K: PackedKmer> CounterStages for CpuStages<K> {
         Ok(ctx.rc.cpu_model.count_rate.time_for(items.len() as f64))
     }
 
+    fn snapshot_counts(&self, counter: &CpuCounter<K>) -> (Vec<(K, u32)>, u64) {
+        (counter.table.iter().collect(), counter.received)
+    }
+
     fn finish(&self, ctx: &DriverCtx, rank: usize, counter: CpuCounter<K>) -> RankCountResult<K> {
         if let Some(m) = &ctx.metrics {
             m.counter_add("kmers_counted_total", Some(rank), counter.received);

@@ -26,6 +26,7 @@
 //! work happens, never *what* is computed.
 
 use crate::config::{CountingConfig, RunConfig};
+use crate::partition::surviving_owner;
 use crate::pipeline::gpu_common::split_rounds_weighted;
 use crate::pipeline::{assemble_counts, RankCountResult, RunError, RunReport};
 use crate::stats::{ExchangeSummary, PhaseBreakdown, WallClock};
@@ -38,6 +39,12 @@ use dedukt_sim::{Journal, JournalEvent, MetricsRegistry, SimTime};
 use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A counter table lifted out of the live world — for checkpoints the
+/// first field is the rounds covered, for salvage it is the result slot
+/// the entries are credited to; either way it awaits the merge-by-key
+/// fold at assembly ([`fold_salvaged`]).
+type SalvagedTable<K> = (usize, Vec<(K, u32)>, u64);
 
 /// Run-wide context handed to every [`CounterStages`] hook.
 pub(crate) struct DriverCtx<'a> {
@@ -136,7 +143,9 @@ pub(crate) trait CounterStages: Sync {
     /// derived from this one type.
     type Key: PackedKmer;
     /// What moves on the wire (a packed k-mer, a supermer word+length).
-    type Item: Send;
+    /// `Clone` because rank-failure recovery retains sent rounds and
+    /// replays a dead rank's slice of them into the survivors.
+    type Item: Send + Clone;
     /// Per-rank counting state threaded through the rounds.
     type Counter: Send;
 
@@ -208,6 +217,13 @@ pub(crate) trait CounterStages: Sync {
     fn pressure(&self, _counter: &Self::Counter) -> PressureStats {
         PressureStats::default()
     }
+
+    /// Non-consuming snapshot of the counter's current `(kmer, count)`
+    /// entries and counted instances — the checkpoint and rescale
+    /// salvage hook (DESIGN.md §11). Must reflect everything
+    /// [`CounterStages::finish`] would report at this point, spill
+    /// lists included.
+    fn snapshot_counts(&self, counter: &Self::Counter) -> (Vec<(Self::Key, u32)>, u64);
 
     /// Drain the counter into the rank's result (and record its
     /// counting telemetry).
@@ -321,7 +337,243 @@ pub(crate) fn run_staged<S: CounterStages>(
     let mut recovery_total = SimTime::ZERO;
     let mut retries_total = 0u64;
     let mut corrupt_total = 0u64;
+    // ── Rank-failure and elastic-rescale state (DESIGN.md §11) ─────────
+    // `range_owner[d]` maps base minimizer range `d` (the rank that owns
+    // it at full strength) to the rank currently counting it — identity
+    // until a death or rescale, so plan-free runs take today's exact
+    // code path, byte for byte.
+    let rank_plan = rc.rank.clone();
+    let recovery_active = rank_plan.is_some() || !rc.rescale.is_empty();
+    let rank_seed = rank_plan
+        .as_ref()
+        .map_or(rc.counting.hash_seed, |p| p.seed());
+    let mut alive = vec![true; nranks];
+    let mut range_owner: Vec<usize> = (0..nranks).collect();
+    // First round whose range-`d` traffic the current owner's *live*
+    // counter holds; everything earlier sits in `salvaged` or was
+    // replayed into it. The invariant the whole recovery path keeps:
+    // counter(range_owner[d]) holds range-`d` rounds [range_from[d]..now)
+    // and nothing else of range `d`.
+    let mut range_from = vec![0usize; nranks];
+    // `history[round][d]`: range-`d` payload of `round` in source-rank
+    // order — exactly what the owner received, and the replay source
+    // when an owner dies. Retained only while a plan is active.
+    let mut history: Vec<Vec<Vec<S::Item>>> = Vec::new();
+    // Per-rank checkpoint: (rounds covered, entries, instances).
+    let mut snaps: Vec<Option<SalvagedTable<S::Key>>> = (0..nranks).map(|_| None).collect();
+    // Salvaged (slot, entries, instances) tables awaiting the
+    // merge-by-key fold at assembly ([`fold_salvaged`]).
+    let mut salvaged: Vec<SalvagedTable<S::Key>> = Vec::new();
+    let mut rescale_sched = rc.rescale.iter().copied().peekable();
+    let mut dead_total: usize = 0;
+    let mut replayed_bytes_total = 0u64;
     for (round_idx, round) in rounds.into_iter().enumerate() {
+        // ── Round boundary: graceful rescale, then drawn deaths ────────
+        while rescale_sched
+            .peek()
+            .is_some_and(|&(ro, _)| ro == round_idx as u64)
+        {
+            let (_, target) = rescale_sched.next().expect("peeked");
+            let from = alive.iter().filter(|&&a| a).count();
+            if let Some(j) = &journal {
+                j.push(JournalEvent::Rescale {
+                    round: round_idx as u64,
+                    from,
+                    to: target,
+                });
+            }
+            // Shrink: ranks at index >= target depart gracefully. Their
+            // whole table is salvaged (merged by key at assembly) and
+            // their ranges pass to survivors for future rounds only —
+            // a departure needs no replay, unlike a death.
+            for r in target..nranks {
+                if !alive[r] {
+                    continue;
+                }
+                let (entries, instances) = stages.snapshot_counts(&counters[r]);
+                salvaged.push((r, entries, instances));
+                snaps[r] = None;
+                alive[r] = false;
+                let fresh = fresh_counter_or_oom(stages, &ctx, &counters, r, expected[r])?;
+                counters[r] = fresh;
+            }
+            if !alive.iter().any(|&a| a) {
+                return Err(RunError::RanksLost {
+                    dead: nranks,
+                    round: round_idx as u64,
+                });
+            }
+            for d in 0..nranks {
+                if !alive[range_owner[d]] {
+                    range_owner[d] = surviving_owner(rank_seed, d, &alive);
+                    range_from[d] = round_idx;
+                }
+            }
+            // Grow: departed ranks below the new world size rejoin and
+            // take back their own base range, future rounds only. The
+            // range's interim holder is fully salvaged and restarted so
+            // its live counter never splits a key's count with the
+            // rejoiner's — the invariant the fold depends on.
+            for r in 0..target.min(nranks) {
+                if alive[r] {
+                    continue;
+                }
+                alive[r] = true;
+                let holder = range_owner[r];
+                if holder != r {
+                    let (entries, instances) = stages.snapshot_counts(&counters[holder]);
+                    salvaged.push((holder, entries, instances));
+                    snaps[holder] = None;
+                    let fresh =
+                        fresh_counter_or_oom(stages, &ctx, &counters, holder, expected[holder])?;
+                    counters[holder] = fresh;
+                    for d in 0..nranks {
+                        if range_owner[d] == holder {
+                            range_from[d] = round_idx;
+                        }
+                    }
+                    range_owner[r] = r;
+                    range_from[r] = round_idx;
+                }
+            }
+        }
+        if let Some(plan) = &rank_plan {
+            // Deaths drawn at this boundary (coordinate-hashed, so both
+            // engines agree without coordination). The dead rank's live
+            // table is unrecoverable; its checkpoint (if any) is
+            // salvaged and the gap since is replayed from `history`
+            // into each range's next owner.
+            let mut replay_to = vec![0u64; nranks];
+            let mut replay_kernels = SimTime::ZERO;
+            for r in 0..nranks {
+                if !alive[r] || !plan.dies_at(round_idx as u64, r) {
+                    continue;
+                }
+                alive[r] = false;
+                dead_total += 1;
+                if let Some(j) = &journal {
+                    j.push(JournalEvent::RankDead {
+                        rank: r,
+                        round: round_idx as u64,
+                    });
+                }
+                if dead_total > plan.spec().max_dead || !alive.iter().any(|&a| a) {
+                    return Err(RunError::RanksLost {
+                        dead: dead_total,
+                        round: round_idx as u64,
+                    });
+                }
+                let ckpt = snaps[r].take();
+                let floor = ckpt.as_ref().map_or(0, |&(c, _, _)| c);
+                if let Some((_, entries, instances)) = ckpt {
+                    salvaged.push((r, entries, instances));
+                }
+                for d in 0..nranks {
+                    if range_owner[d] != r {
+                        continue;
+                    }
+                    let new_owner = surviving_owner(rank_seed, d, &alive);
+                    let start = range_from[d].max(floor);
+                    let mut items: Vec<S::Item> = Vec::new();
+                    for col in &history[start..round_idx] {
+                        items.extend(col[d].iter().cloned());
+                    }
+                    if !items.is_empty() {
+                        replay_to[new_owner] += items.len() as u64 * S::ITEM_WIRE_BYTES;
+                        match stages.count_round(&ctx, &mut counters[new_owner], items) {
+                            Ok(t) => replay_kernels += t,
+                            Err(e) => {
+                                let mut high_water: Vec<u64> = counters
+                                    .iter()
+                                    .map(|c| stages.pressure(c).high_water_bytes)
+                                    .collect();
+                                high_water[new_owner] =
+                                    high_water[new_owner].max(e.high_water_bytes);
+                                return Err(RunError::DeviceOom {
+                                    rank: new_owner,
+                                    detail: e.detail,
+                                    high_water_bytes: high_water,
+                                });
+                            }
+                        }
+                    }
+                    range_owner[d] = new_owner;
+                    range_from[d] = start;
+                    // The new owner's checkpoint predates the replayed
+                    // content — using it after a later death would lose
+                    // the replay. Re-validated at the next tick.
+                    snaps[new_owner] = None;
+                }
+                let fresh = fresh_counter_or_oom(stages, &ctx, &counters, r, expected[r])?;
+                counters[r] = fresh;
+            }
+            // Charge the replay traffic: survivors re-parse the dead
+            // rank's deterministic input slice, so the bytes enter the
+            // fabric spread across the live sources and land on each
+            // range's new owner — priced by the same Alltoallv model as
+            // the real exchange, charged as recovery time.
+            let replay_bytes: u64 = replay_to.iter().sum();
+            if replay_bytes > 0 {
+                let alive_srcs: Vec<usize> = (0..nranks).filter(|&r| alive[r]).collect();
+                let mut matrix = vec![vec![0u64; nranks]; nranks];
+                for (dst, &bytes) in replay_to.iter().enumerate() {
+                    if bytes == 0 {
+                        continue;
+                    }
+                    let share = bytes / alive_srcs.len() as u64;
+                    let mut rem = bytes % alive_srcs.len() as u64;
+                    for &src in &alive_srcs {
+                        matrix[src][dst] = share
+                            + if rem > 0 {
+                                rem -= 1;
+                                1
+                            } else {
+                                0
+                            };
+                    }
+                }
+                let net = *world.network();
+                let times = net.alltoallv_times(&matrix);
+                let wire = SimTime::from_secs(
+                    times.iter().map(|t| t.as_secs()).sum::<f64>() / nranks as f64,
+                );
+                let kernels = SimTime::from_secs(replay_kernels.as_secs() / nranks as f64);
+                world.advance_all("replay", wire + kernels);
+                recovery_total += wire + kernels;
+                replayed_bytes_total += replay_bytes;
+            }
+        }
+        // Retain this round's per-range payload for future replay, then
+        // steer each base range's column to its current owner. With the
+        // identity mapping the remap is skipped and the send matrix is
+        // untouched. Dead ranks keep sending (the survivors re-parse
+        // their input slice) but own no range, so they receive nothing.
+        let round = if recovery_active {
+            let mut cols: Vec<Vec<S::Item>> = (0..nranks).map(|_| Vec::new()).collect();
+            for row in &round {
+                for (d, payload) in row.iter().enumerate() {
+                    cols[d].extend(payload.iter().cloned());
+                }
+            }
+            history.push(cols);
+            if range_owner.iter().enumerate().any(|(d, &o)| o != d) {
+                round
+                    .into_iter()
+                    .map(|row| {
+                        let mut remapped: Vec<Vec<S::Item>> =
+                            (0..nranks).map(|_| Vec::new()).collect();
+                        for (d, mut payload) in row.into_iter().enumerate() {
+                            remapped[range_owner[d]].append(&mut payload);
+                        }
+                        remapped
+                    })
+                    .collect()
+            } else {
+                round
+            }
+        } else {
+            round
+        };
         // Double-buffered overlap: while this round is on the wire, the
         // previous round's count kernel runs on each rank's stream.
         let hidden = if rc.overlap_rounds {
@@ -436,6 +688,21 @@ pub(crate) fn run_staged<S: CounterStages>(
         }
         last_round_times.clone_from(&times);
         prev_round_times = Some(times);
+        // Checkpoint tick: every `--checkpoint-rounds N` counted rounds,
+        // snapshot each live counter so a later death replays only the
+        // gap since the snapshot instead of the whole run.
+        if recovery_active {
+            if let Some(n) = rc.checkpoint_rounds {
+                if (round_idx as u64 + 1).is_multiple_of(n) {
+                    for (r, c) in counters.iter().enumerate() {
+                        if alive[r] {
+                            let (entries, instances) = stages.snapshot_counts(c);
+                            snaps[r] = Some((round_idx + 1, entries, instances));
+                        }
+                    }
+                }
+            }
+        }
     }
     let wall_rounds = wall_rounds_start.elapsed().as_secs_f64();
     let wall_finish_start = Instant::now();
@@ -483,10 +750,13 @@ pub(crate) fn run_staged<S: CounterStages>(
         }
     }
     let indexed: Vec<(usize, S::Counter)> = counters.into_iter().enumerate().collect();
-    let rank_results: Vec<RankCountResult<S::Key>> = indexed
+    let mut rank_results: Vec<RankCountResult<S::Key>> = indexed
         .into_par_iter()
         .map(|(rank, c)| stages.finish(&ctx, rank, c))
         .collect();
+    if !salvaged.is_empty() {
+        fold_salvaged(&mut rank_results, salvaged);
+    }
 
     // ── Report assembly ────────────────────────────────────────────────
     let phases = PhaseBreakdown {
@@ -508,6 +778,12 @@ pub(crate) fn run_staged<S: CounterStages>(
         if retries_total > 0 {
             m.counter_add("retries_total", None, retries_total);
             m.counter_add("corrupt_buckets_total", None, corrupt_total);
+        }
+        if dead_total > 0 {
+            m.counter_add("rank_deaths_total", None, dead_total as u64);
+            m.counter_add("exchange_replay_bytes_total", None, replayed_bytes_total);
+        }
+        if retries_total > 0 || dead_total > 0 {
             m.gauge_add("recovery_seconds_total", None, recovery_total.as_secs());
         }
         // Always-on phase and makespan gauges — what `dedukt analyze`
@@ -576,6 +852,8 @@ pub(crate) fn run_staged<S: CounterStages>(
             corrupt_buckets: corrupt_total,
             retry_bytes: stats.retry_bytes,
             recovery_time: recovery_total,
+            rank_deaths: dead_total as u64,
+            replayed_bytes: replayed_bytes_total,
         },
         load,
         total_kmers: total,
@@ -631,7 +909,89 @@ fn run_detail(rc: &RunConfig) -> String {
     if let Some(plan) = &rc.mem {
         parts.push(format!("mem[{}]", plan.journal_label()));
     }
+    if let Some(plan) = &rc.rank {
+        let s = plan.spec();
+        parts.push(format!(
+            "rank[seed={} rate={} max-dead={} kills={}]",
+            plan.seed(),
+            s.rate,
+            s.max_dead,
+            s.kill.len()
+        ));
+    }
+    if let Some(n) = rc.checkpoint_rounds {
+        parts.push(format!("checkpoint-rounds={n}"));
+    }
+    if !rc.rescale.is_empty() {
+        let sched: Vec<String> = rc
+            .rescale
+            .iter()
+            .map(|(round, world)| format!("{round}:{world}"))
+            .collect();
+        parts.push(format!("rescale={}", sched.join(",")));
+    }
     parts.join(" ")
+}
+
+/// Replaces a dead or departing rank's counter with a fresh one,
+/// converting an allocation failure into the run-level OOM error (with
+/// every rank's high-water mark, like the startup path).
+fn fresh_counter_or_oom<S: CounterStages>(
+    stages: &S,
+    ctx: &DriverCtx,
+    counters: &[S::Counter],
+    rank: usize,
+    expected: u64,
+) -> Result<S::Counter, RunError> {
+    stages.make_counter(ctx, rank, expected).map_err(|e| {
+        let mut high_water: Vec<u64> = counters
+            .iter()
+            .map(|c| stages.pressure(c).high_water_bytes)
+            .collect();
+        high_water[rank] = high_water[rank].max(e.high_water_bytes);
+        RunError::DeviceOom {
+            rank,
+            detail: e.detail,
+            high_water_bytes: high_water,
+        }
+    })
+}
+
+/// Folds salvaged tables (checkpoints of dead ranks, full tables of
+/// rescale departures and restarts) back into the per-rank results,
+/// merging by key so no k-mer's count is split across two tables —
+/// splitting would land the key in the wrong spectrum bins even though
+/// the total is right. Salvaged instances are credited to the slot that
+/// earned them, keeping the per-rank load sum conserved.
+fn fold_salvaged<K: crate::table::TableKey>(
+    rank_results: &mut [RankCountResult<K>],
+    salvaged: Vec<SalvagedTable<K>>,
+) {
+    for (slot, entries, instances) in salvaged {
+        rank_results[slot].entries.extend(entries);
+        rank_results[slot].instances += instances;
+    }
+    // Global merge-by-key: the first table a key appears in keeps it;
+    // later occurrences add their count there and vanish. Keys never
+    // split across *live* tables on the replay path, so this pass only
+    // reunites salvaged fragments with their live remainder.
+    let mut seen: std::collections::BTreeMap<K, (usize, usize)> = std::collections::BTreeMap::new();
+    for slot in 0..rank_results.len() {
+        let mut i = 0;
+        while i < rank_results[slot].entries.len() {
+            let (key, count) = rank_results[slot].entries[i];
+            match seen.get(&key) {
+                Some(&(first_slot, first_idx)) => {
+                    rank_results[first_slot].entries[first_idx].1 += count;
+                    rank_results[slot].entries.swap_remove(i);
+                }
+                None => {
+                    seen.insert(key, (slot, i));
+                    i += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Builds [`RunError::DeviceOom`] from a counter-creation pass where at

@@ -387,6 +387,17 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
         Ok(())
     }
 
+    /// A non-destructive `(entries, instances)` snapshot of the counts
+    /// accumulated so far — the device table merged with any host-spilled
+    /// k-mers, exactly the state [`DeviceRoundCounter::finish`] would
+    /// report if the run ended now. Powers the driver's
+    /// `--checkpoint-rounds` snapshots and graceful rescale departures.
+    pub(crate) fn snapshot(&self) -> (Vec<(K, u32)>, u64) {
+        let mut entries = self.table.to_host();
+        merge_spill(&mut entries, self.spill.clone());
+        (entries, self.instances)
+    }
+
     /// This counter's memory-pressure telemetry so far (all zero on an
     /// unconstrained run).
     pub(crate) fn pressure(&self) -> PressureStats {
@@ -412,33 +423,7 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
         // Device residency metrics reflect the table alone, before the
         // spill merge changes the entry list.
         let device_load = entries.len() as f64 / self.table.capacity() as f64;
-        if !self.spill.is_empty() {
-            let mut spill = std::mem::take(&mut self.spill);
-            spill.sort_unstable();
-            // Sorted key → entry-position index over the device snapshot;
-            // spilled keys that later re-entered the (regrown) table add
-            // onto their resident count, unseen keys append in key order.
-            let mut index: Vec<(K, usize)> = entries
-                .iter()
-                .enumerate()
-                .map(|(i, &(k, _))| (k, i))
-                .collect();
-            index.sort_unstable_by_key(|&(k, _)| k);
-            let mut i = 0;
-            while i < spill.len() {
-                let key = spill[i];
-                let mut j = i + 1;
-                while j < spill.len() && spill[j] == key {
-                    j += 1;
-                }
-                let count = (j - i) as u32;
-                match index.binary_search_by_key(&key, |&(k, _)| k) {
-                    Ok(pos) => entries[index[pos].1].1 += count,
-                    Err(_) => entries.push((key, count)),
-                }
-                i = j;
-            }
-        }
+        merge_spill(&mut entries, std::mem::take(&mut self.spill));
         if let Some(m) = metrics {
             m.counter_add("kmers_counted_total", Some(rank), self.instances);
             m.merge_histogram("count_probe_steps", Some(rank), &self.probe_hist);
@@ -477,6 +462,37 @@ impl<K: PackedKmer> DeviceRoundCounter<K> {
             entries,
             instances: self.instances,
         }
+    }
+}
+
+/// Merges host-spilled k-mers back into a device-table snapshot by key:
+/// spilled keys that later re-entered the (regrown) table add onto their
+/// resident count, unseen keys append in key order.
+fn merge_spill<K: PackedKmer>(entries: &mut Vec<(K, u32)>, mut spill: Vec<K>) {
+    if spill.is_empty() {
+        return;
+    }
+    spill.sort_unstable();
+    // Sorted key → entry-position index over the device snapshot.
+    let mut index: Vec<(K, usize)> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, _))| (k, i))
+        .collect();
+    index.sort_unstable_by_key(|&(k, _)| k);
+    let mut i = 0;
+    while i < spill.len() {
+        let key = spill[i];
+        let mut j = i + 1;
+        while j < spill.len() && spill[j] == key {
+            j += 1;
+        }
+        let count = (j - i) as u32;
+        match index.binary_search_by_key(&key, |&(k, _)| k) {
+            Ok(pos) => entries[index[pos].1].1 += count,
+            Err(_) => entries.push((key, count)),
+        }
+        i = j;
     }
 }
 

@@ -197,6 +197,10 @@ impl<K: PackedKmer> CounterStages for GpuKmerStages<K> {
         counter.pressure()
     }
 
+    fn snapshot_counts(&self, counter: &DeviceRoundCounter<K>) -> (Vec<(K, u32)>, u64) {
+        counter.snapshot()
+    }
+
     fn finish(
         &self,
         ctx: &DriverCtx,

@@ -118,6 +118,16 @@ pub enum RunError {
         /// by rank.
         high_water_bytes: Vec<u64>,
     },
+    /// The rank-failure plan killed more ranks than the recovery budget
+    /// tolerates — either `RankSpec::max_dead` was exceeded or no rank
+    /// survived to inherit the dead ranges (DESIGN.md §11). The run
+    /// unwinds cleanly — never a panic, never a partial spectrum.
+    RanksLost {
+        /// Ranks dead when the budget check failed.
+        dead: usize,
+        /// Zero-based exchange round whose boundary detected the loss.
+        round: u64,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -137,6 +147,11 @@ impl std::fmt::Display for RunError {
                 f,
                 "device out of memory on rank {rank}: {detail}; per-rank HBM \
                  high-water marks {high_water_bytes:?} bytes"
+            ),
+            RunError::RanksLost { dead, round } => write!(
+                f,
+                "{dead} ranks dead at round {round}: rank-failure recovery budget \
+                 exhausted"
             ),
         }
     }
@@ -169,6 +184,23 @@ pub fn run(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport, RunError> {
 pub fn run_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> Result<RunReport<K>, RunError> {
     rc.validate_for_width(K::MAX_COUNTING_K, K::MAX_SUPERMER_BASES)
         .map_err(RunError::Config)?;
+    // Normalize semantically empty injection plans to absent ones, so a
+    // spec like `fail=0,corrupt=0,straggle=0` runs byte-identically to an
+    // unset flag on every engine (same journal meta, same report fields).
+    // The mem normalization additionally requires exact table sizing:
+    // with `table_safety < 1` a plan-free run and a noop-plan run differ
+    // in spill budget, so the plan must be kept.
+    let mut rc = rc.clone();
+    if rc.fault.is_some_and(|p| p.spec().is_noop()) {
+        rc.fault = None;
+    }
+    if rc.mem.is_some_and(|p| p.spec().is_noop()) && rc.table_safety == 1.0 {
+        rc.mem = None;
+    }
+    if rc.rank.as_ref().is_some_and(|p| p.spec().is_noop()) {
+        rc.rank = None;
+    }
+    let rc = &rc;
     match rc.mode {
         Mode::CpuBaseline => cpu::run_cpu_typed::<K>(reads, rc),
         Mode::GpuKmer => gpu_kmer::run_gpu_kmer_typed::<K>(reads, rc),

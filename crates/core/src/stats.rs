@@ -95,6 +95,12 @@ pub struct ExchangeSummary {
     /// charged separately from [`ExchangeSummary::alltoallv_time`]
     /// (which stays pure first-attempt wire time).
     pub recovery_time: SimTime,
+    /// Rank-failure recovery: ranks that died and were recovered from
+    /// (zero without a rank plan).
+    pub rank_deaths: u64,
+    /// Rank-failure recovery: payload bytes replayed to the survivors
+    /// that inherited dead ranks' key ranges (zero without deaths).
+    pub replayed_bytes: u64,
 }
 
 impl ExchangeSummary {

@@ -47,19 +47,24 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-/// Reads a LEB128 varint at `*pos`, advancing it.
-fn read_varint(buf: &[u8], pos: &mut usize) -> u64 {
+/// Reads a LEB128 varint at `*pos`, advancing it; `Err` on a buffer that
+/// ends mid-varint or a value overrunning 64 bits.
+fn try_read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, String> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = buf[*pos];
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(format!("varint truncated at byte {}", *pos));
+        };
         *pos += 1;
         v |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
-            return v;
+            return Ok(v);
         }
         shift += 7;
-        assert!(shift < 64, "varint overran 64 bits");
+        if shift >= 64 {
+            return Err("varint overran 64 bits".to_string());
+        }
     }
 }
 
@@ -111,38 +116,80 @@ pub fn encode_bucket<K: KmerWord>(items: &[(K, u8)]) -> Vec<u8> {
 /// Decodes one wire-form bucket back to `(packed word, length)` supermers.
 /// Exact inverse of [`encode_bucket`]; panics on input that codec never
 /// produced (the exchange layer's checksum frames catch wire corruption
-/// before payloads reach this point).
+/// before payloads reach this point). Callers holding bytes of unproven
+/// provenance use [`try_decode_bucket`] instead.
 pub fn decode_bucket<K: KmerWord>(buf: &[u8]) -> Vec<(K, u8)> {
+    try_decode_bucket(buf).expect("bucket payload from the codec")
+}
+
+/// Fallible [`decode_bucket`]: every read is bounds-checked and every
+/// header field sanity-checked, so a truncated or bit-flipped frame comes
+/// back as `Err`, never a panic — and never an out-of-range supermer (a
+/// zero or word-overflowing length). A frame that *passes* may still
+/// differ from what was sent (a flipped base bit is undetectable without
+/// the checksum layer), but it is always a well-formed bucket.
+pub fn try_decode_bucket<K: KmerWord>(buf: &[u8]) -> Result<Vec<(K, u8)>, String> {
     if buf.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
+    let cap = K::WORD_BYTES * 4;
     let mut pos = 0usize;
-    let n = read_varint(buf, &mut pos) as usize;
-    let min_len = read_varint(buf, &mut pos) as u8;
-    let nibble = buf[pos] != 0;
+    let n64 = try_read_varint(buf, &mut pos)?;
+    // An honest non-empty bucket spends ≥ 1 byte per supermer on bases.
+    if n64 == 0 || n64 > buf.len() as u64 {
+        return Err(format!(
+            "implausible supermer count {n64} in a {}-byte bucket",
+            buf.len()
+        ));
+    }
+    let n = n64 as usize;
+    let min_len = try_read_varint(buf, &mut pos)?;
+    if min_len == 0 || min_len > cap as u64 {
+        return Err(format!(
+            "bucket minimum length {min_len} outside 1..={cap} bases"
+        ));
+    }
+    let flag = *buf
+        .get(pos)
+        .ok_or_else(|| "bucket truncated before the delta flag".to_string())?;
     pos += 1;
+    if flag > 1 {
+        return Err(format!("delta flag {flag} is neither 0 nor 1"));
+    }
     let mut lens = Vec::with_capacity(n);
-    if nibble {
+    if flag == 1 {
         let packed = n.div_ceil(2);
+        let deltas = buf
+            .get(pos..pos + packed)
+            .ok_or_else(|| "bucket truncated in the nibble deltas".to_string())?;
         for i in 0..n {
-            let byte = buf[pos + i / 2];
+            let byte = deltas[i / 2];
             let d = if i % 2 == 0 { byte & 0x0f } else { byte >> 4 };
-            lens.push(min_len + d);
+            lens.push(min_len + u64::from(d));
         }
         pos += packed;
     } else {
-        for i in 0..n {
-            lens.push(min_len + buf[pos + i]);
+        let deltas = buf
+            .get(pos..pos + n)
+            .ok_or_else(|| "bucket truncated in the raw deltas".to_string())?;
+        for &d in deltas {
+            lens.push(min_len + u64::from(d));
         }
         pos += n;
     }
     let mut out = Vec::with_capacity(n);
     for &len in &lens {
+        if len > cap as u64 {
+            return Err(format!("supermer length {len} exceeds {cap} bases"));
+        }
         let l = len as usize;
         let mask = K::kmer_mask(l);
         let mut word = K::ZERO;
         let nbytes = l.div_ceil(4);
-        for (b, &byte) in buf[pos..pos + nbytes].iter().enumerate() {
+        let bases = buf
+            .get(pos..pos + nbytes)
+            .ok_or_else(|| "bucket truncated in the packed bases".to_string())?;
+        for (b, &byte) in bases.iter().enumerate() {
             for slot in 0..4 {
                 let i = b * 4 + slot;
                 if i < l {
@@ -151,10 +198,16 @@ pub fn decode_bucket<K: KmerWord>(buf: &[u8]) -> Vec<(K, u8)> {
             }
         }
         pos += nbytes;
-        out.push((word, len));
+        out.push((word, len as u8));
     }
-    assert_eq!(pos, buf.len(), "trailing bytes after bucket payload");
-    out
+    if pos != buf.len() {
+        return Err(format!(
+            "trailing bytes after bucket payload ({} of {} consumed)",
+            pos,
+            buf.len()
+        ));
+    }
+    Ok(out)
 }
 
 /// The flat uncompressed wire cost of one supermer at this width —
@@ -249,8 +302,33 @@ mod tests {
             let mut buf = Vec::new();
             push_varint(&mut buf, v);
             let mut pos = 0;
-            assert_eq!(read_varint(&buf, &mut pos), v);
+            assert_eq!(try_read_varint(&buf, &mut pos), Ok(v));
             assert_eq!(pos, buf.len());
+        }
+        // Truncated mid-continuation and over-long encodings are errors.
+        let mut pos = 0;
+        assert!(try_read_varint(&[0x80], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(try_read_varint(&[0x80; 11], &mut pos).is_err());
+    }
+
+    #[test]
+    fn try_decode_rejects_mangled_frames_without_panicking() {
+        let items: Vec<(u64, u8)> = (0..12)
+            .map(|i| {
+                let len = 17 + (i % 5) as u8;
+                let codes: Vec<u8> = (0..len).map(|j| ((i + j as usize) % 4) as u8).collect();
+                (word_of(&codes), len)
+            })
+            .collect();
+        let wire = encode_bucket(&items);
+        assert_eq!(try_decode_bucket::<u64>(&wire), Ok(items.clone()));
+        // Every strict prefix either errors or decodes to something else —
+        // a truncation is never silently accepted as the original bucket.
+        for cut in 0..wire.len() {
+            if let Ok(decoded) = try_decode_bucket::<u64>(&wire[..cut]) {
+                assert_ne!(decoded, items, "truncation at {cut} mis-decoded");
+            }
         }
     }
 }

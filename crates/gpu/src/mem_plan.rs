@@ -126,6 +126,17 @@ impl MemSpec {
         }
         Ok(())
     }
+
+    /// Is this spec semantically empty — valid, but incapable of ever
+    /// injecting pressure? No underestimates and no injected allocation
+    /// failures means the grow/spill machinery never fires off the plan
+    /// (the spill limit only bounds plan-independent pressure, which the
+    /// caller checks separately). Such plans are normalized away before a
+    /// run so both engines treat `--mem-spec under=0,afail=0` exactly
+    /// like an absent plan.
+    pub fn is_noop(&self) -> bool {
+        (self.underestimate_rate == 0.0 || self.shrink_factor == 1.0) && self.alloc_fail_rate == 0.0
+    }
 }
 
 /// A seeded, deterministic memory-pressure schedule. Cloning is cheap
@@ -307,6 +318,19 @@ mod tests {
             let f = plan.estimate_factor(r);
             f == 1.0 || f == 0.25
         }));
+    }
+
+    #[test]
+    fn noop_specs_are_detected() {
+        assert!(!MemSpec::default().is_noop());
+        assert!(MemSpec::none().is_noop());
+        assert!(MemSpec::parse("under=0,afail=0").unwrap().is_noop());
+        // shrink=1 makes underestimates inert.
+        assert!(MemSpec::parse("under=0.5,shrink=1,afail=0")
+            .unwrap()
+            .is_noop());
+        assert!(!MemSpec::parse("under=0.5,afail=0").unwrap().is_noop());
+        assert!(!MemSpec::parse("under=0,afail=0.5").unwrap().is_noop());
     }
 
     #[test]

@@ -24,9 +24,10 @@
 
 use dedukt_sim::rng::unit_from_coords;
 
-/// Domain-separation salts so the three fault streams never alias.
+/// Domain-separation salts so the fault streams never alias.
 const SALT_FATE: u64 = 0xFA17_0001;
 const SALT_STRAGGLE: u64 = 0xFA17_0002;
+const SALT_RANK: u64 = 0xFA17_0003;
 
 /// What happens to one non-empty bucket on one delivery attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +164,14 @@ impl FaultSpec {
         }
         Ok(())
     }
+
+    /// Is this spec semantically empty — valid, but incapable of ever
+    /// producing a fault event? Such plans are normalized away before a
+    /// run so both engines treat `--fault-spec fail=0,corrupt=0,straggle=0`
+    /// exactly like an absent plan.
+    pub fn is_noop(&self) -> bool {
+        self.fail_rate == 0.0 && self.corrupt_rate == 0.0 && self.straggle_rate == 0.0
+    }
 }
 
 /// A seeded, deterministic fault schedule. Cloning is cheap (two words);
@@ -220,6 +229,151 @@ impl FaultPlan {
         } else {
             1.0
         }
+    }
+}
+
+/// Rank-death rates and recovery policy. Parsed from `--rank-spec`
+/// (`rate=0.05,max-dead=2,kill=1:3` — `kill=ROUND:RANK` may repeat to
+/// pin deterministic deaths on top of the drawn schedule).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSpec {
+    /// Probability a live rank dies at a given round boundary.
+    pub rate: f64,
+    /// Most rank deaths the run tolerates before failing cleanly with
+    /// `RunError::RanksLost` (the recovery budget).
+    pub max_dead: usize,
+    /// Pinned `(round, rank)` deaths, independent of the drawn schedule.
+    pub kill: Vec<(u64, usize)>,
+}
+
+impl Default for RankSpec {
+    /// A low default rate so `--rank-seed` alone occasionally kills a
+    /// rank, with a budget that keeps most runs recoverable.
+    fn default() -> RankSpec {
+        RankSpec {
+            rate: 0.02,
+            max_dead: 2,
+            kill: Vec::new(),
+        }
+    }
+}
+
+impl RankSpec {
+    /// The no-death spec: no rank ever dies, runs are bit-identical to a
+    /// plan-free world (pinned by the zero-death regression test).
+    pub fn none() -> RankSpec {
+        RankSpec {
+            rate: 0.0,
+            max_dead: 2,
+            kill: Vec::new(),
+        }
+    }
+
+    /// Parses a `key=value` comma list. Unknown keys and unparseable
+    /// values are errors; range checks live in [`RankSpec::validate`] so
+    /// the CLI surfaces them through `ConfigError` like every other
+    /// configuration problem.
+    pub fn parse(s: &str) -> Result<RankSpec, String> {
+        let mut spec = RankSpec::default();
+        for part in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("rank spec entry `{}` is not key=value", part.trim()))?;
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rate" => {
+                    spec.rate = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("rank spec rate=`{value}` is not a number"))?
+                }
+                "max-dead" => {
+                    spec.max_dead = value
+                        .parse::<usize>()
+                        .map_err(|_| format!("rank spec max-dead=`{value}` is not an integer"))?
+                }
+                "kill" => {
+                    let (round, rank) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("rank spec kill=`{value}` is not ROUND:RANK"))?;
+                    let round = round.trim().parse::<u64>().map_err(|_| {
+                        format!("rank spec kill round `{}` is not an integer", round.trim())
+                    })?;
+                    let rank = rank.trim().parse::<usize>().map_err(|_| {
+                        format!("rank spec kill rank `{}` is not an integer", rank.trim())
+                    })?;
+                    spec.kill.push((round, rank));
+                }
+                _ => {
+                    return Err(format!(
+                        "unknown rank spec key `{key}` (expected rate/max-dead/kill)"
+                    ))
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Range checks, in `FaultSpec::validate` style: rate in [0, 1].
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.rate) || !self.rate.is_finite() {
+            return Err(format!(
+                "rank death rate rate={} must be in [0, 1]",
+                self.rate
+            ));
+        }
+        Ok(())
+    }
+
+    /// Is this spec semantically empty — valid, but incapable of ever
+    /// killing a rank? Such plans are normalized away before a run so
+    /// both engines treat `--rank-spec rate=0` exactly like an absent
+    /// plan.
+    pub fn is_noop(&self) -> bool {
+        self.rate == 0.0 && self.kill.is_empty()
+    }
+}
+
+/// A seeded, deterministic rank-death schedule. Like [`FaultPlan`], a
+/// pure function of its coordinates: every engine evaluates
+/// [`RankPlan::dies_at`] independently and agrees on which ranks die at
+/// which round boundary, without any coordination traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankPlan {
+    seed: u64,
+    spec: RankSpec,
+}
+
+impl RankPlan {
+    /// A plan drawing every death decision from `seed` under `spec`.
+    pub fn new(seed: u64, spec: RankSpec) -> RankPlan {
+        RankPlan { seed, spec }
+    }
+
+    /// The plan's rate, budget and pinned kills.
+    pub fn spec(&self) -> &RankSpec {
+        &self.spec
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Does `rank` die at the boundary before exchange round `round`?
+    /// Pinned kills fire regardless of the drawn schedule; drawn deaths
+    /// guard on `rate > 0` so a zero-rate plan never consults the RNG.
+    pub fn dies_at(&self, round: u64, rank: usize) -> bool {
+        if self
+            .spec
+            .kill
+            .iter()
+            .any(|&(ro, ra)| ro == round && ra == rank)
+        {
+            return true;
+        }
+        self.spec.rate > 0.0
+            && unit_from_coords(self.seed ^ SALT_RANK, &[round, rank as u64]) < self.spec.rate
     }
 }
 
@@ -473,5 +627,120 @@ mod tests {
         let a: ChecksumFrame = ChecksumFrame::compute::<u64>(&[]);
         assert_eq!(a.len, 0);
         assert!(a.matches::<u64>(&[]));
+    }
+
+    #[test]
+    fn rank_spec_parse_roundtrips_every_key() {
+        let spec = RankSpec::parse("rate=0.1, max-dead=3, kill=1:4, kill=2:0").unwrap();
+        assert_eq!(spec.rate, 0.1);
+        assert_eq!(spec.max_dead, 3);
+        assert_eq!(spec.kill, vec![(1, 4), (2, 0)]);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn rank_spec_parse_partial_keeps_defaults() {
+        let spec = RankSpec::parse("rate=0.5").unwrap();
+        assert_eq!(spec.rate, 0.5);
+        assert_eq!(spec.max_dead, RankSpec::default().max_dead);
+        assert!(spec.kill.is_empty());
+    }
+
+    #[test]
+    fn rank_spec_parse_rejects_unknown_keys_and_garbage() {
+        assert!(RankSpec::parse("bogus=1")
+            .unwrap_err()
+            .contains("unknown rank spec key"));
+        assert!(RankSpec::parse("rate=abc")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(RankSpec::parse("max-dead=1.5")
+            .unwrap_err()
+            .contains("not an integer"));
+        assert!(RankSpec::parse("kill=3")
+            .unwrap_err()
+            .contains("ROUND:RANK"));
+        assert!(RankSpec::parse("kill=a:0")
+            .unwrap_err()
+            .contains("not an integer"));
+        assert!(RankSpec::parse("rate").unwrap_err().contains("key=value"));
+    }
+
+    #[test]
+    fn rank_spec_validate_rejects_out_of_range() {
+        let s = RankSpec {
+            rate: 1.5,
+            ..RankSpec::default()
+        };
+        assert!(s.validate().unwrap_err().contains("must be in [0, 1]"));
+        let s = RankSpec {
+            rate: f64::NAN,
+            ..RankSpec::default()
+        };
+        assert!(s.validate().is_err());
+        RankSpec::default().validate().unwrap();
+        RankSpec::none().validate().unwrap();
+    }
+
+    #[test]
+    fn rank_deaths_are_deterministic_and_pinned_kills_fire() {
+        let plan = RankPlan::new(42, RankSpec::parse("rate=0.3,kill=2:5").unwrap());
+        for round in 0..8u64 {
+            for rank in 0..16 {
+                assert_eq!(plan.dies_at(round, rank), plan.dies_at(round, rank));
+            }
+        }
+        assert!(plan.dies_at(2, 5), "pinned kill must fire");
+        // A pinned kill fires even on a zero-rate plan.
+        let pinned = RankPlan::new(0, RankSpec::parse("rate=0,kill=1:3").unwrap());
+        assert!(pinned.dies_at(1, 3));
+        assert!(!pinned.dies_at(1, 2));
+        assert!(!pinned.dies_at(0, 3));
+    }
+
+    #[test]
+    fn zero_rate_rank_plan_never_kills() {
+        let plan = RankPlan::new(7, RankSpec::none());
+        for round in 0..32u64 {
+            for rank in 0..64 {
+                assert!(!plan.dies_at(round, rank));
+            }
+        }
+    }
+
+    #[test]
+    fn rank_death_distribution_tracks_rate() {
+        let plan = RankPlan::new(1234, RankSpec::parse("rate=0.25").unwrap());
+        let n = 40_000u64;
+        let dead = (0..n).filter(|&r| plan.dies_at(r, 3)).count();
+        let frac = dead as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "died {frac}");
+    }
+
+    #[test]
+    fn rank_deaths_do_not_alias_other_fault_streams() {
+        // Same coordinates, different salts: death draws must not mirror
+        // straggle draws.
+        let fp = FaultPlan::new(9, FaultSpec::parse("straggle=0.5").unwrap());
+        let rp = RankPlan::new(9, RankSpec::parse("rate=0.5").unwrap());
+        let mirrored = (0..256usize).all(|r| (fp.straggle_factor(1, r) > 1.0) == rp.dies_at(1, r));
+        assert!(!mirrored, "salt separation failed");
+    }
+
+    #[test]
+    fn noop_specs_are_detected() {
+        assert!(FaultSpec::none().is_noop());
+        assert!(!FaultSpec::default().is_noop());
+        assert!(FaultSpec::parse("fail=0,corrupt=0,straggle=0")
+            .unwrap()
+            .is_noop());
+        // A straggle-only spec still perturbs timing — not a noop.
+        assert!(!FaultSpec::parse("fail=0,corrupt=0,straggle=0.5")
+            .unwrap()
+            .is_noop());
+        assert!(RankSpec::none().is_noop());
+        assert!(!RankSpec::default().is_noop());
+        assert!(RankSpec::parse("rate=0").unwrap().is_noop());
+        assert!(!RankSpec::parse("rate=0,kill=0:1").unwrap().is_noop());
     }
 }

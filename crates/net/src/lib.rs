@@ -30,7 +30,7 @@ pub mod topology;
 pub use bsp::BspWorld;
 pub use comm::Communicator;
 pub use cost::NetworkParams;
-pub use fault::{BucketFate, ChecksumFrame, FaultPlan, FaultSpec, WireHash};
+pub use fault::{BucketFate, ChecksumFrame, FaultPlan, FaultSpec, RankPlan, RankSpec, WireHash};
 pub use route::ExchangeRoute;
 pub use stats::CommStats;
 pub use threaded::ThreadedWorld;

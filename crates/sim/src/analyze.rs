@@ -138,6 +138,11 @@ pub struct RunAnalysis {
     pub spills: Vec<(usize, u64)>,
     /// OOM events `(rank, detail)`.
     pub ooms: Vec<(usize, String)>,
+    /// Rank deaths `(rank, round)` recovered from by re-partition +
+    /// replay.
+    pub rank_deaths: Vec<(usize, u64)>,
+    /// Elastic rescales `(round, from, to)` of the active rank set.
+    pub rescales: Vec<(u64, usize, usize)>,
     /// Wall-clock stage timings `(stage, host seconds)` in journal order.
     pub wall: Vec<(String, f64)>,
 }
@@ -419,6 +424,20 @@ impl RunAnalysis {
         for (rank, detail) in &self.ooms {
             let _ = writeln!(w, "    oom @ rank {rank}: {detail}");
         }
+        if !self.rank_deaths.is_empty() || !self.rescales.is_empty() {
+            let _ = writeln!(
+                w,
+                "  rank deaths: {}, rescales: {}",
+                self.rank_deaths.len(),
+                self.rescales.len()
+            );
+            for (rank, round) in &self.rank_deaths {
+                let _ = writeln!(w, "    rank {rank} died @ round {round}");
+            }
+            for (round, from, to) in &self.rescales {
+                let _ = writeln!(w, "    rescale @ round {round}: {from} -> {to} ranks");
+            }
+        }
 
         let _ = writeln!(w, "\nwall clock (host seconds)");
         for (stage, secs) in &self.wall {
@@ -532,6 +551,8 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
             JournalEvent::Regrow { rank, count } => a.regrows.push((*rank, *count)),
             JournalEvent::Spill { rank, kmers } => a.spills.push((*rank, *kmers)),
             JournalEvent::Oom { rank, detail } => a.ooms.push((*rank, detail.clone())),
+            JournalEvent::RankDead { rank, round } => a.rank_deaths.push((*rank, *round)),
+            JournalEvent::Rescale { round, from, to } => a.rescales.push((*round, *from, *to)),
             JournalEvent::Phase { phase, secs } => a.phases.push((phase.clone(), *secs)),
             JournalEvent::Wall { stage, secs } => a.wall.push((stage.clone(), *secs)),
             JournalEvent::Run { makespan } => a.makespan = *makespan,
@@ -948,6 +969,30 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn rank_deaths_and_rescales_feed_the_recovery_section() {
+        let mut events = two_rank_events();
+        events.insert(3, JournalEvent::RankDead { rank: 1, round: 0 });
+        events.insert(
+            4,
+            JournalEvent::Rescale {
+                round: 1,
+                from: 2,
+                to: 1,
+            },
+        );
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.rank_deaths, vec![(1, 0)]);
+        assert_eq!(a.rescales, vec![(1, 2, 1)]);
+        a.check_invariants().unwrap();
+        let text = a.render();
+        assert!(text.contains("rank 1 died @ round 0"), "{text}");
+        assert!(text.contains("rescale @ round 1: 2 -> 1 ranks"), "{text}");
+        // Runs without deaths keep the section silent.
+        let clean = analyze(&two_rank_events()).unwrap();
+        assert!(!clean.render().contains("rank deaths"));
     }
 
     #[test]

@@ -119,6 +119,24 @@ pub enum JournalEvent {
         /// Human-readable failure detail.
         detail: String,
     },
+    /// A whole rank died at a round boundary and its key ranges were
+    /// re-partitioned across the survivors.
+    RankDead {
+        /// Rank that died.
+        rank: usize,
+        /// Zero-based exchange round whose boundary detected the death.
+        round: u64,
+    },
+    /// An elastic rescale shrank or grew the active rank set at a round
+    /// boundary.
+    Rescale {
+        /// Zero-based exchange round the rescale took effect before.
+        round: u64,
+        /// Active ranks before the rescale.
+        from: usize,
+        /// Active ranks after the rescale.
+        to: usize,
+    },
     /// Driver phase summary, computed from the same accumulators as the
     /// run report and the metrics snapshot (reconciles exactly).
     Phase {
@@ -164,6 +182,8 @@ impl JournalEvent {
             JournalEvent::Regrow { .. } => "regrow",
             JournalEvent::Spill { .. } => "spill",
             JournalEvent::Oom { .. } => "oom",
+            JournalEvent::RankDead { .. } => "rankdead",
+            JournalEvent::Rescale { .. } => "rescale",
             JournalEvent::Phase { .. } => "phase",
             JournalEvent::Wall { .. } => "wall",
             JournalEvent::Run { .. } => "run",
@@ -235,6 +255,12 @@ impl JournalEvent {
                 "{{\"ev\":\"oom\",\"rank\":{rank},\"detail\":\"{}\"}}",
                 escape(detail)
             ),
+            JournalEvent::RankDead { rank, round } => {
+                format!("{{\"ev\":\"rankdead\",\"rank\":{rank},\"round\":{round}}}")
+            }
+            JournalEvent::Rescale { round, from, to } => {
+                format!("{{\"ev\":\"rescale\",\"round\":{round},\"from\":{from},\"to\":{to}}}")
+            }
             JournalEvent::Phase { phase, secs } => format!(
                 "{{\"ev\":\"phase\",\"phase\":\"{}\",\"secs\":{}}}",
                 escape(phase),
@@ -308,6 +334,15 @@ impl JournalEvent {
             "oom" => JournalEvent::Oom {
                 rank: map.u64_field("rank")? as usize,
                 detail: map.str_field("detail")?.to_string(),
+            },
+            "rankdead" => JournalEvent::RankDead {
+                rank: map.u64_field("rank")? as usize,
+                round: map.u64_field("round")?,
+            },
+            "rescale" => JournalEvent::Rescale {
+                round: map.u64_field("round")?,
+                from: map.u64_field("from")? as usize,
+                to: map.u64_field("to")? as usize,
             },
             "phase" => JournalEvent::Phase {
                 phase: map.str_field("phase")?.to_string(),
@@ -599,6 +634,12 @@ mod tests {
         roundtrip(JournalEvent::Oom {
             rank: 9,
             detail: "spill limit exceeded\nafter 3 grows".into(),
+        });
+        roundtrip(JournalEvent::RankDead { rank: 5, round: 2 });
+        roundtrip(JournalEvent::Rescale {
+            round: 3,
+            from: 12,
+            to: 8,
         });
         roundtrip(JournalEvent::Phase {
             phase: "exchange".into(),

@@ -34,6 +34,15 @@
 //!   simulated V100's memory budget. A rank that exhausts both the
 //!   device and its spill budget fails the run cleanly with a
 //!   device-out-of-memory error (exit 2), never a panic.
+//!   `--rank-seed N` / `--rank-spec rate=R,max-dead=D,kill=ROUND:RANK`
+//!   kill whole ranks at exchange-round boundaries (DESIGN.md §11): the
+//!   survivors inherit the dead rank's minimizer ranges and replay its
+//!   slice of the exchanged rounds, so the counted spectrum stays
+//!   bit-identical; exceeding `max-dead` fails the run cleanly (exit 2).
+//!   `--checkpoint-rounds N` snapshots each rank's table every N rounds
+//!   to bound the replay, and `--rescale ROUND:WORLD,...` grows or
+//!   shrinks the active rank set mid-run through the same re-partition
+//!   path.
 //!   `--journal run.jsonl` records the structured run journal (one JSON
 //!   event per superstep span, collective, retry, recovery event, phase
 //!   total and wall-clock stage) for offline analysis.
@@ -98,6 +107,8 @@ fn print_usage() {
          \x20        [--journal run.jsonl]\n\
          \x20        [--fault-seed N] [--fault-spec fail=F,corrupt=C,straggle=S,slow=X,retries=R,backoff=B]\n\
          \x20        [--mem-seed N] [--mem-spec under=U,shrink=S,afail=A,spill=N]\n\
+         \x20        [--rank-seed N] [--rank-spec rate=R,max-dead=D,kill=ROUND:RANK]\n\
+         \x20        [--checkpoint-rounds N] [--rescale ROUND:WORLD,...]\n\
          \x20        [--table-safety F] [--device-hbm BYTES]\n\
          \x20 dedukt analyze <run.jsonl> | dedukt analyze --diff <a.jsonl> <b.jsonl>\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
@@ -338,6 +349,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut fault_spec: Option<String> = None;
     let mut mem_seed: Option<u64> = None;
     let mut mem_spec: Option<String> = None;
+    let mut rank_seed: Option<u64> = None;
+    let mut rank_spec: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
@@ -397,6 +410,24 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                 )
             }
             "--mem-spec" => mem_spec = Some(take_value(&mut it, "--mem-spec")?.to_string()),
+            "--rank-seed" => {
+                rank_seed = Some(
+                    take_value(&mut it, "--rank-seed")?
+                        .parse()
+                        .map_err(|_| "bad rank seed")?,
+                )
+            }
+            "--rank-spec" => rank_spec = Some(take_value(&mut it, "--rank-spec")?.to_string()),
+            "--checkpoint-rounds" => {
+                rc.checkpoint_rounds = Some(
+                    take_value(&mut it, "--checkpoint-rounds")?
+                        .parse()
+                        .map_err(|_| "bad checkpoint cadence")?,
+                )
+            }
+            "--rescale" => {
+                rc.rescale = dedukt::core::config::parse_rescale(take_value(&mut it, "--rescale")?)?
+            }
             "--table-safety" => {
                 rc.table_safety = take_value(&mut it, "--table-safety")?
                     .parse()
@@ -439,6 +470,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             None => dedukt::gpu::MemSpec::default(),
         };
         rc.mem = Some(dedukt::gpu::MemPlan::new(mem_seed.unwrap_or(0), spec));
+    }
+    // And for whole-rank failure.
+    if rank_seed.is_some() || rank_spec.is_some() {
+        let spec = match &rank_spec {
+            Some(s) => dedukt::net::RankSpec::parse(s)?,
+            None => dedukt::net::RankSpec::default(),
+        };
+        rc.rank = Some(dedukt::net::RankPlan::new(rank_seed.unwrap_or(0), spec));
     }
     let outputs = CountOutputs {
         out_path,

@@ -755,3 +755,162 @@ fn canonical_flag_shrinks_distinct_count() {
     let lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
     assert!(lines(&canon) < lines(&plain));
 }
+
+#[test]
+fn rank_flags_recover_and_match_the_undisturbed_dump() {
+    let dir = tmpdir("rank");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let clean = dir.join("clean.tsv");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--round-limit",
+            "8192",
+            "--out",
+        ])
+        .arg(&clean)
+        .status()
+        .unwrap()
+        .success());
+
+    // A pinned kill plus a checkpoint cadence: the survivor replays the
+    // dead rank's range and the dump lands byte-identical.
+    let killed = dir.join("killed.tsv");
+    let metrics = dir.join("metrics.json");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--round-limit",
+            "8192",
+            "--rank-spec",
+            "rate=0,kill=1:3",
+            "--checkpoint-rounds",
+            "2",
+            "--out",
+        ])
+        .arg(&killed)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&killed).unwrap(),
+        "rank-death recovery must not change a single count"
+    );
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"name\": \"rank_deaths_total\""));
+    assert!(json.contains("\"name\": \"exchange_replay_bytes_total\""));
+    assert!(json.contains("\"name\": \"recovery_seconds_total\""));
+
+    // An elastic shrink-then-grow schedule lands on the same dump too.
+    let rescaled = dir.join("rescaled.tsv");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--round-limit",
+            "8192",
+            "--rescale",
+            "1:8,3:12",
+            "--out",
+        ])
+        .arg(&rescaled)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&rescaled).unwrap(),
+        "elastic rescale must not change a single count"
+    );
+}
+
+#[test]
+fn malformed_rank_flags_exit_two_and_budget_exhaustion_is_clean() {
+    let dir = tmpdir("rank-bad");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    // (args, message fragment): parser failures and validation failures
+    // both surface as ConfigError-style exit 2s naming the value.
+    for (args, needle) in [
+        (vec!["--rank-spec", "rate=1.5"], "must be in [0, 1]"),
+        (vec!["--rank-spec", "bogus=1"], "unknown rank spec key"),
+        (vec!["--rank-spec", "kill=abc"], "not ROUND:RANK"),
+        (vec!["--rank-spec", "rate=lots"], "rank spec"),
+        (vec!["--rescale", "5"], "not round:world"),
+        (vec!["--rescale", "a:1"], "not an integer"),
+        (vec!["--rescale", "1:0"], "must be in 1..="),
+        (vec!["--rescale", "1:4,1:5"], "strictly increasing"),
+        (
+            vec!["--checkpoint-rounds", "0"],
+            "checkpoint cadence must be at least 1 round",
+        ),
+    ] {
+        let out = dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "args {args:?}: missing {needle:?} in\n{stderr}"
+        );
+    }
+    // A plan that overruns its recovery budget is a clean exit-2
+    // failure naming the budget, not a panic.
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--rank-spec", "rate=0,max-dead=1,kill=0:0,kill=0:1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("recovery budget"),
+        "missing budget message in\n{stderr}"
+    );
+}

@@ -4,15 +4,14 @@
 //! time, never correctness — and the recovery accounting is consistent
 //! everywhere it surfaces (report, metrics, wire-byte split).
 
+mod common;
+
+use common::{assert_counts_identical, instrumented_config, sorted_tables, tiny_reads};
 use dedukt::core::pipeline::{run_typed, RunError, RunReport};
 use dedukt::core::{Mode, PackedKmer, RunConfig};
-use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
+use dedukt::dna::ReadSet;
 use dedukt::net::{FaultPlan, FaultSpec};
 use proptest::prelude::*;
-
-fn tiny_reads() -> ReadSet {
-    Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate()
-}
 
 /// Runs `mode` with and without `plan` at width `K` and checks every
 /// fault invariant. Returns the faulty report for further assertions,
@@ -24,15 +23,7 @@ fn check_fault_invariants<K: PackedKmer>(
     k: usize,
     plan: FaultPlan,
 ) -> Option<RunReport<K>> {
-    let mut rc = RunConfig::new(mode, nodes);
-    rc.counting.k = k;
-    if k > 31 {
-        rc.counting.m = 11;
-        rc.counting.window = 24;
-    }
-    rc.collect_tables = true;
-    rc.collect_spectrum = true;
-    rc.collect_metrics = true;
+    let mut rc = instrumented_config(mode, nodes, k);
     let clean = run_typed::<K>(reads, &rc).expect("fault-free run cannot fail");
     rc.fault = Some(plan);
     let faulty = match run_typed::<K>(reads, &rc) {
@@ -46,26 +37,12 @@ fn check_fault_invariants<K: PackedKmer>(
         Err(other) => panic!("unexpected run error: {other}"),
     };
 
-    // The headline guarantee: counted results are bit-identical.
-    assert_eq!(faulty.total_kmers, clean.total_kmers);
-    assert_eq!(faulty.distinct_kmers, clean.distinct_kmers);
-    assert_eq!(faulty.spectrum, clean.spectrum);
+    // The headline guarantee: counted results are bit-identical — and
+    // since faults never re-home a minimizer range, placement is pinned
+    // too: identical per-rank loads and sorted per-rank tables.
+    assert_counts_identical(&faulty, &clean);
     assert_eq!(faulty.load.kmers_per_rank, clean.load.kmers_per_rank);
-    // Retries can reorder insertions within a rank's table, so compare
-    // the tables as sorted multisets, not by layout.
-    let sorted = |r: &RunReport<K>| -> Vec<Vec<(K, u32)>> {
-        r.tables
-            .as_ref()
-            .unwrap()
-            .iter()
-            .map(|t| {
-                let mut t = t.clone();
-                t.sort_unstable();
-                t
-            })
-            .collect()
-    };
-    assert_eq!(sorted(&faulty), sorted(&clean));
+    assert_eq!(sorted_tables(&faulty), sorted_tables(&clean));
 
     // Exchange accounting: every attempt's bytes are on the wire total,
     // and the retry share is exactly what the clean run didn't send.

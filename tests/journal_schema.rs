@@ -11,7 +11,7 @@ use dedukt::core::pipeline::{run, RunReport};
 use dedukt::core::{Mode, RunConfig};
 use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
 use dedukt::gpu::{MemPlan, MemSpec};
-use dedukt::net::{FaultPlan, FaultSpec};
+use dedukt::net::{FaultPlan, FaultSpec, RankPlan, RankSpec};
 use dedukt::sim::{analyze, JournalEvent, MetricValue};
 use std::collections::BTreeSet;
 
@@ -19,14 +19,17 @@ fn tiny_reads() -> ReadSet {
     Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate()
 }
 
-/// A fault plan that actually retries and a memory plan that actually
+/// A fault plan that actually retries, a memory plan that actually
 /// fires regrow + spill + denied-grow recovery on the tiny slice (the
 /// distinct-key count per rank is far below the instance count, so the
 /// shrink factor must be harsh before the estimate-sized table
-/// overflows).
+/// overflows), and a rank plan + rescale schedule that kill a rank and
+/// shrink the world — the round cap forces enough exchange rounds for
+/// both boundary events to fire.
 fn hostile_config(mode: Mode) -> RunConfig {
     let mut rc = RunConfig::new(mode, 2);
     rc.collect_journal = true;
+    rc.round_limit_bytes = Some(4096);
     rc.fault = Some(FaultPlan::new(
         42,
         FaultSpec::parse("fail=0.2,corrupt=0.1,retries=8").unwrap(),
@@ -35,6 +38,12 @@ fn hostile_config(mode: Mode) -> RunConfig {
         5,
         MemSpec::parse("under=0.6,shrink=0.04,afail=0.4,spill=1048576").unwrap(),
     ));
+    rc.rank = Some(RankPlan::new(
+        9,
+        RankSpec::parse("rate=0,kill=1:1").unwrap(),
+    ));
+    rc.checkpoint_rounds = Some(2);
+    rc.rescale = vec![(2, 10)];
     rc
 }
 
@@ -49,6 +58,8 @@ const EVENT_KINDS: &[&str] = &[
     "regrow",
     "spill",
     "oom",
+    "rankdead",
+    "rescale",
     "phase",
     "wall",
     "run",
@@ -91,6 +102,14 @@ fn journal_event_vocabulary_is_pinned() {
                 "detail missing fault spec: {detail}"
             );
             assert!(detail.contains("mem["), "detail missing mem spec: {detail}");
+            assert!(
+                detail.contains("rank["),
+                "detail missing rank spec: {detail}"
+            );
+            assert!(
+                detail.contains("checkpoint-rounds=2") && detail.contains("rescale=2:10"),
+                "detail missing recovery knobs: {detail}"
+            );
         }
         other => panic!("first event is {other:?}"),
     }

@@ -11,15 +11,14 @@
 //! totals, sorted per-rank tables, and plan-draw determinism — never
 //! raw spill counts or makespans of pressured runs.
 
+mod common;
+
+use common::{assert_counts_identical, instrumented_config, sorted_tables, tiny_reads};
 use dedukt::core::pipeline::{run_typed, RunError, RunReport};
 use dedukt::core::{Mode, PackedKmer, RunConfig};
-use dedukt::dna::{Dataset, DatasetId, ReadSet, ScalePreset};
+use dedukt::dna::ReadSet;
 use dedukt::gpu::{MemPlan, MemSpec};
 use proptest::prelude::*;
-
-fn tiny_reads() -> ReadSet {
-    Dataset::new(DatasetId::EColi30x, ScalePreset::Tiny).generate()
-}
 
 /// The four series the recovery machinery may add to the export; they
 /// must appear exactly when pressure actually fired (DESIGN.md §8).
@@ -44,15 +43,7 @@ fn check_memory_invariants<K: PackedKmer>(
     plan: MemPlan,
     hbm: Option<u64>,
 ) -> Option<RunReport<K>> {
-    let mut rc = RunConfig::new(mode, nodes);
-    rc.counting.k = k;
-    if k > 31 {
-        rc.counting.m = 11;
-        rc.counting.window = 24;
-    }
-    rc.collect_tables = true;
-    rc.collect_spectrum = true;
-    rc.collect_metrics = true;
+    let mut rc = instrumented_config(mode, nodes, k);
     let clean = run_typed::<K>(reads, &rc).expect("unconstrained run cannot fail");
 
     rc.table_safety = safety;
@@ -78,26 +69,12 @@ fn check_memory_invariants<K: PackedKmer>(
     };
 
     // The headline guarantee: counted results are bit-identical no
-    // matter how much regrowing and spilling happened on the way.
-    assert_eq!(pressured.total_kmers, clean.total_kmers);
-    assert_eq!(pressured.distinct_kmers, clean.distinct_kmers);
-    assert_eq!(pressured.spectrum, clean.spectrum);
+    // matter how much regrowing and spilling happened on the way — and
+    // since pressure never re-homes a minimizer range, placement is
+    // pinned too: identical per-rank loads and sorted per-rank tables.
+    assert_counts_identical(&pressured, &clean);
     assert_eq!(pressured.load.kmers_per_rank, clean.load.kmers_per_rank);
-    // Spill merge and regrow migration can reorder a rank's table, so
-    // compare tables as sorted multisets, not by slot layout.
-    let sorted = |r: &RunReport<K>| -> Vec<Vec<(K, u32)>> {
-        r.tables
-            .as_ref()
-            .unwrap()
-            .iter()
-            .map(|t| {
-                let mut t = t.clone();
-                t.sort_unstable();
-                t
-            })
-            .collect()
-    };
-    assert_eq!(sorted(&pressured), sorted(&clean));
+    assert_eq!(sorted_tables(&pressured), sorted_tables(&clean));
 
     // Exchange is upstream of counting: pressure must not touch it.
     assert_eq!(pressured.exchange.bytes, clean.exchange.bytes);

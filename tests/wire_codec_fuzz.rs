@@ -1,0 +1,133 @@
+//! Proptest fuzz of the supermer wire codec (DESIGN.md §10): for any
+//! bucket in the codec's domain the roundtrip is exact at both key
+//! widths, and for any *hostile* byte string — truncations, single bit
+//! flips, outright garbage — `try_decode_bucket` returns a decode error
+//! or a well-formed bucket, never a panic and never an out-of-range
+//! supermer. The exchange's checksum frames catch corruption before
+//! payloads normally reach the decoder; this suite pins what happens if
+//! they ever don't.
+
+use dedukt::core::wire::{encode_bucket, try_decode_bucket};
+use dedukt::dna::kmer::KmerWord;
+use proptest::prelude::*;
+
+/// Packs base codes into a word the way the supermer cutter does, so
+/// generated items live exactly in the codec's domain (no stray bits
+/// above the `2·len` window).
+fn word_of<K: KmerWord>(codes: &[u8]) -> K {
+    let mask = K::kmer_mask(codes.len());
+    codes
+        .iter()
+        .fold(K::ZERO, |w, &c| w.roll_sym(c & 0b11, mask))
+}
+
+/// A strategy over buckets of up to `n` supermers at width `K`: each
+/// supermer is 1..=cap random bases (cap = 32 at u64, 64 at u128).
+fn buckets<K: KmerWord>(n: usize) -> impl Strategy<Value = Vec<(K, u8)>> {
+    let cap = K::WORD_BYTES * 4;
+    prop::collection::vec(prop::collection::vec(0u8..4, 1..cap + 1), 0..n).prop_map(|items| {
+        items
+            .into_iter()
+            .map(|codes| (word_of::<K>(&codes), codes.len() as u8))
+            .collect()
+    })
+}
+
+/// Shared truncation property: every strict prefix of a valid frame
+/// either errors or decodes to something other than the original (the
+/// empty prefix is the one prefix that legitimately decodes — to the
+/// empty bucket).
+fn check_prefixes<K: KmerWord>(items: &[(K, u8)], wire: &[u8], cut: usize) {
+    let prefix = &wire[..cut.min(wire.len().saturating_sub(1))];
+    match try_decode_bucket::<K>(prefix) {
+        Err(e) => assert!(!e.is_empty()),
+        Ok(v) => assert_ne!(
+            v,
+            items.to_vec(),
+            "a strict prefix must never reproduce the full bucket"
+        ),
+    }
+}
+
+/// Shared hostile-bytes property: whatever comes back, it is well
+/// formed — every length in 1..=cap, and a successful decode re-encodes
+/// without panicking.
+fn check_hostile<K: KmerWord>(buf: &[u8]) {
+    let cap = K::WORD_BYTES * 4;
+    if let Ok(v) = try_decode_bucket::<K>(buf) {
+        for &(_, len) in &v {
+            assert!(
+                (1..=cap).contains(&(len as usize)),
+                "decoded length {len} outside 1..={cap}"
+            );
+        }
+        let _ = encode_bucket(&v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any bucket of in-domain supermers roundtrips exactly, at both
+    /// widths — including the degenerate empty bucket and single-item
+    /// buckets with maximal lengths.
+    #[test]
+    fn arbitrary_buckets_roundtrip_exactly(
+        narrow in buckets::<u64>(40),
+        wide in buckets::<u128>(20),
+    ) {
+        prop_assert_eq!(
+            try_decode_bucket::<u64>(&encode_bucket(&narrow)).unwrap(),
+            narrow
+        );
+        prop_assert_eq!(
+            try_decode_bucket::<u128>(&encode_bucket(&wide)).unwrap(),
+            wide
+        );
+    }
+
+    /// Truncating a valid frame anywhere never panics and never
+    /// reproduces the original bucket.
+    #[test]
+    fn truncated_frames_fail_closed(
+        items in buckets::<u64>(24),
+        wide in buckets::<u128>(12),
+        cut in 0usize..1_000_000,
+    ) {
+        let wire = encode_bucket(&items);
+        if !wire.is_empty() {
+            check_prefixes(&items, &wire, cut % wire.len());
+        }
+        let wire = encode_bucket(&wide);
+        if !wire.is_empty() {
+            check_prefixes(&wide, &wire, cut % wire.len());
+        }
+    }
+
+    /// Flipping any single bit of a valid frame never panics and never
+    /// yields an out-of-range supermer. (A flip in ignored base padding
+    /// may decode identically — equality is not the property here;
+    /// well-formedness is.)
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        items in buckets::<u64>(24),
+        byte in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut wire = encode_bucket(&items);
+        if !wire.is_empty() {
+            let i = byte % wire.len();
+            wire[i] ^= 1 << bit;
+            check_hostile::<u64>(&wire);
+            check_hostile::<u128>(&wire);
+        }
+    }
+
+    /// Outright garbage — bytes that never came from the encoder — is
+    /// rejected or decoded to a well-formed bucket, at both widths.
+    #[test]
+    fn garbage_bytes_never_panic(buf in prop::collection::vec(any::<u8>(), 0..200)) {
+        check_hostile::<u64>(&buf);
+        check_hostile::<u128>(&buf);
+    }
+}
