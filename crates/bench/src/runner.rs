@@ -75,6 +75,25 @@ pub fn run_mode(reads: &ReadSet, mode: Mode, nodes: usize, args: &ExperimentArgs
     dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config")
 }
 
+/// Runs the supermer engine out-of-core through the two-pass bin store
+/// (DESIGN.md §12) in a scratch directory. The store is a simulation
+/// artifact, not a result, so it is removed after the run; all reported
+/// fields are deterministic (the simulated NVMe tier has fixed
+/// bandwidth/latency and no fault plan is armed).
+pub fn run_two_pass(reads: &ReadSet, nodes: usize, args: &ExperimentArgs) -> RunReport {
+    let mut rc = RunConfig::new(Mode::GpuSupermer, nodes);
+    if let Some(m) = args.m {
+        rc.counting.m = m;
+    }
+    apply_common_flags(&mut rc, args);
+    let dir = std::env::temp_dir().join(format!("dedukt-bench-two-pass-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    rc.two_pass_dir = Some(dir.clone());
+    let report = dedukt_core::pipeline::run(reads, &rc).expect("valid experiment config");
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
 /// Like [`run_mode`] with an explicit minimizer length (for sweeps).
 pub fn run_mode_with_m(
     reads: &ReadSet,

@@ -149,6 +149,11 @@ pub enum ConfigError {
     /// out of range ([`dedukt_net::fault::RankSpec::validate`]'s
     /// message, or a bad `--checkpoint-rounds` / `--rescale`).
     Rank(String),
+    /// The out-of-core configuration is inconsistent: a bad storage
+    /// fault plan ([`dedukt_store::IoSpec::validate`]'s message), or
+    /// `--resume` / `--io-seed` / `--io-spec` / `--min-count` used
+    /// without `--two-pass`.
+    Io(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -164,6 +169,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Fault(msg) => f.write_str(msg),
             ConfigError::Mem(msg) => f.write_str(msg),
             ConfigError::Rank(msg) => f.write_str(msg),
+            ConfigError::Io(msg) => f.write_str(msg),
         }
     }
 }
@@ -373,6 +379,28 @@ pub struct RunConfig {
     /// Departures are graceful — a leaving rank's counts are salvaged,
     /// not replayed. Empty (the default) keeps the world fixed.
     pub rescale: Vec<(u64, usize)>,
+    /// Out-of-core two-pass mode (DESIGN.md §12): pass 1 partitions
+    /// extracted items into minimizer-keyed bins under this directory
+    /// on a simulated NVMe tier, pass 2 streams them back one bin at a
+    /// time, each sized to fit its count table. `None` (the default)
+    /// counts fully in memory.
+    pub two_pass_dir: Option<std::path::PathBuf>,
+    /// Resume an interrupted two-pass run from its manifest: skip pass 1
+    /// and re-count only the bins without a completed result file.
+    pub two_pass_resume: bool,
+    /// Deterministic storage-fault schedule for the bin store (torn
+    /// writes, bit rot, transient read errors, injected mid-run kill —
+    /// DESIGN.md §12). Recovery retries bounded times, then quarantines
+    /// the bin and re-derives it from its input slice; final spectra are
+    /// bit-identical to the in-memory reference whenever the budgets
+    /// hold. `None` (the default) models a perfect drive.
+    pub io: Option<dedukt_store::IoPlan>,
+    /// Gerbil-style pre-filter applied as each pass-2 bin completes:
+    /// k-mers with fewer than this many occurrences are dropped before
+    /// they reach the merged tables/spectrum (and are reported via the
+    /// `filtered_kmers_total` metric). `1` (the default) keeps
+    /// everything.
+    pub min_count: u32,
 }
 
 /// Parses a `--rescale` schedule: a comma list of `round:world` pairs,
@@ -426,6 +454,10 @@ impl RunConfig {
             rank: None,
             checkpoint_rounds: None,
             rescale: Vec::new(),
+            two_pass_dir: None,
+            two_pass_resume: false,
+            io: None,
+            min_count: 1,
         }
     }
 
@@ -496,6 +528,32 @@ impl RunConfig {
                     "rescale world {world} must be in 1..={} (the initial rank count)",
                     self.nranks()
                 )));
+            }
+        }
+        if let Some(plan) = &self.io {
+            plan.spec().validate().map_err(ConfigError::Io)?;
+        }
+        if self.min_count == 0 {
+            return Err(ConfigError::Io(
+                "--min-count must be at least 1 (1 keeps every k-mer)".into(),
+            ));
+        }
+        if self.two_pass_dir.is_none() {
+            if self.two_pass_resume {
+                return Err(ConfigError::Io(
+                    "--resume requires --two-pass (there is no bin store to resume from)".into(),
+                ));
+            }
+            if self.io.is_some() {
+                return Err(ConfigError::Io(
+                    "--io-seed/--io-spec require --two-pass (there is no bin store to fault)"
+                        .into(),
+                ));
+            }
+            if self.min_count > 1 {
+                return Err(ConfigError::Io(
+                    "--min-count requires --two-pass (the pre-filter runs in pass 2)".into(),
+                ));
             }
         }
         Ok(())
@@ -641,6 +699,44 @@ mod tests {
         rc.rescale = vec![(1, 0)];
         assert!(matches!(rc.validate(), Err(ConfigError::Rank(_))));
         rc.rescale = vec![(1, 4), (2, 6)];
+        assert!(rc.validate().is_ok());
+    }
+
+    #[test]
+    fn io_plan_and_two_pass_flags_are_validated_with_the_run() {
+        use dedukt_store::{IoPlan, IoSpec};
+        let mut rc = RunConfig::new(Mode::GpuKmer, 1);
+        rc.two_pass_dir = Some(std::path::PathBuf::from("/tmp/x"));
+        rc.io = Some(IoPlan::new(1, IoSpec::default()));
+        rc.min_count = 2;
+        rc.two_pass_resume = true;
+        assert!(rc.validate().is_ok());
+        rc.io = Some(IoPlan::new(1, IoSpec::parse("torn=1.5").unwrap()));
+        match rc.validate() {
+            Err(ConfigError::Io(msg)) => assert!(msg.contains("[0, 1]"), "{msg}"),
+            other => panic!("expected an io config error, got {other:?}"),
+        }
+        rc.io = Some(IoPlan::new(1, IoSpec::default()));
+        rc.min_count = 0;
+        assert!(matches!(rc.validate(), Err(ConfigError::Io(_))));
+        rc.min_count = 1;
+        // Every out-of-core companion flag requires --two-pass.
+        rc.two_pass_dir = None;
+        rc.two_pass_resume = false;
+        match rc.validate() {
+            Err(ConfigError::Io(msg)) => assert!(msg.contains("--two-pass"), "{msg}"),
+            other => panic!("expected an io config error, got {other:?}"),
+        }
+        rc.io = None;
+        rc.two_pass_resume = true;
+        match rc.validate() {
+            Err(ConfigError::Io(msg)) => assert!(msg.contains("--resume"), "{msg}"),
+            other => panic!("expected an io config error, got {other:?}"),
+        }
+        rc.two_pass_resume = false;
+        rc.min_count = 3;
+        assert!(matches!(rc.validate(), Err(ConfigError::Io(_))));
+        rc.min_count = 1;
         assert!(rc.validate().is_ok());
     }
 

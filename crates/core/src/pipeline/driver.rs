@@ -869,8 +869,10 @@ pub(crate) fn run_staged<S: CounterStages>(
 }
 
 /// One-line run description for the journal's meta event: the knobs that
-/// shape timing, plus any fault or memory-pressure plans.
-fn run_detail(rc: &RunConfig) -> String {
+/// shape timing, plus any fault or memory-pressure plans. Shared with
+/// the out-of-core two-pass driver, which appends no labels of its own —
+/// everything two-pass-specific is a [`RunConfig`] knob listed here.
+pub(crate) fn run_detail(rc: &RunConfig) -> String {
     let mut parts = vec![format!("k={}", rc.counting.k)];
     if rc.gpu_direct {
         parts.push("gpu-direct".to_string());
@@ -929,6 +931,18 @@ fn run_detail(rc: &RunConfig) -> String {
             .map(|(round, world)| format!("{round}:{world}"))
             .collect();
         parts.push(format!("rescale={}", sched.join(",")));
+    }
+    if rc.two_pass_dir.is_some() {
+        parts.push("two-pass".to_string());
+        if rc.two_pass_resume {
+            parts.push("resume".to_string());
+        }
+        if rc.min_count > 1 {
+            parts.push(format!("min-count={}", rc.min_count));
+        }
+    }
+    if let Some(plan) = &rc.io {
+        parts.push(format!("io[{}]", plan.journal_label()));
     }
     parts.join(" ")
 }

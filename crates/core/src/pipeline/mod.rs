@@ -10,6 +10,7 @@ pub(crate) mod driver;
 pub mod gpu_common;
 pub mod gpu_kmer;
 pub mod gpu_supermer;
+pub mod two_pass;
 
 use crate::config::{ConfigError, Mode, RunConfig};
 use crate::stats::{ExchangeSummary, LoadSummary, PhaseBreakdown};
@@ -128,6 +129,20 @@ pub enum RunError {
         /// Zero-based exchange round whose boundary detected the loss.
         round: u64,
     },
+    /// The out-of-core bin store failed beyond its recovery budget: a
+    /// bin stayed unreadable after every retry and re-derive the
+    /// [`dedukt_store::IoSpec`] allows, the run hit the plan's injected
+    /// kill, or the store/manifest itself could not be used
+    /// (DESIGN.md §12). The run unwinds cleanly — never a panic, never
+    /// a partial spectrum — and an injected kill leaves the manifest
+    /// and every finished bin behind for `--resume`.
+    StorageFailed {
+        /// Bin the failure is attributed to.
+        bin: u64,
+        /// What happened (attempts made, generations tried, or the kill
+        /// notice with resume instructions).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -153,6 +168,9 @@ impl std::fmt::Display for RunError {
                 "{dead} ranks dead at round {round}: rank-failure recovery budget \
                  exhausted"
             ),
+            RunError::StorageFailed { bin, detail } => {
+                write!(f, "storage failed at bin {bin}: {detail}")
+            }
         }
     }
 }
@@ -200,7 +218,13 @@ pub fn run_typed<K: PackedKmer>(reads: &ReadSet, rc: &RunConfig) -> Result<RunRe
     if rc.rank.as_ref().is_some_and(|p| p.spec().is_noop()) {
         rc.rank = None;
     }
+    if rc.io.as_ref().is_some_and(|p| p.spec().is_noop()) {
+        rc.io = None;
+    }
     let rc = &rc;
+    if rc.two_pass_dir.is_some() {
+        return two_pass::run_two_pass_typed::<K>(reads, rc);
+    }
     match rc.mode {
         Mode::CpuBaseline => cpu::run_cpu_typed::<K>(reads, rc),
         Mode::GpuKmer => gpu_kmer::run_gpu_kmer_typed::<K>(reads, rc),

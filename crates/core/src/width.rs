@@ -40,6 +40,15 @@ pub trait PackedKmer: TableKey + KmerWord + dedukt_net::WireHash {
     /// `window + k - 1` (32 or 64).
     const MAX_SUPERMER_BASES: usize = Self::MAX_K;
 
+    /// Widens the packed word to `u128` losslessly — the serialization
+    /// hatch the out-of-core bin store uses for on-disk records and
+    /// counts files at either width (DESIGN.md §12).
+    fn to_u128(self) -> u128;
+
+    /// Inverse of [`PackedKmer::to_u128`]. Truncating — only feed it
+    /// values this width produced.
+    fn from_u128(v: u128) -> Self;
+
     /// Device-resident key-slot array of the width's device count table,
     /// supporting the CUDA-style atomic CAS claim loop.
     type DeviceSlots: Send + Sync + std::fmt::Debug;
@@ -62,6 +71,14 @@ pub trait PackedKmer: TableKey + KmerWord + dedukt_net::WireHash {
 
 impl PackedKmer for u64 {
     const MAX_COUNTING_K: usize = 31;
+
+    fn to_u128(self) -> u128 {
+        self as u128
+    }
+
+    fn from_u128(v: u128) -> u64 {
+        v as u64
+    }
 
     type DeviceSlots = AtomicBuffer;
 
@@ -90,6 +107,14 @@ impl PackedKmer for u64 {
 
 impl PackedKmer for u128 {
     const MAX_COUNTING_K: usize = 63;
+
+    fn to_u128(self) -> u128 {
+        self
+    }
+
+    fn from_u128(v: u128) -> u128 {
+        v
+    }
 
     type DeviceSlots = AtomicBuffer128;
 

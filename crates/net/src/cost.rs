@@ -77,6 +77,43 @@ impl NetworkParams {
     }
 }
 
+/// The simulated NVMe/SSD storage tier used by the out-of-core
+/// two-pass pipeline (DESIGN.md §12): sequential bandwidth per
+/// direction plus a per-operation seek/submission latency. Like the
+/// network parameters, these only price time — the bytes themselves are
+/// written for real by `dedukt-store`.
+#[derive(Clone, Copy, Debug)]
+pub struct SsdParams {
+    /// Sequential write bandwidth (bytes/s).
+    pub write_bw: Rate,
+    /// Sequential read bandwidth (bytes/s).
+    pub read_bw: Rate,
+    /// Per-operation latency (seek + queue submission), seconds.
+    pub seek_secs: f64,
+}
+
+impl SsdParams {
+    /// A Summit-era datacenter NVMe drive: ~2.0 GB/s sequential write,
+    /// ~3.5 GB/s sequential read, ~100 µs per operation.
+    pub fn nvme() -> SsdParams {
+        SsdParams {
+            write_bw: Rate::gb_per_sec(2.0),
+            read_bw: Rate::gb_per_sec(3.5),
+            seek_secs: 100e-6,
+        }
+    }
+
+    /// Time to write `bytes` in one sequential operation.
+    pub fn write_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(self.seek_secs) + self.write_bw.time_for(bytes as f64)
+    }
+
+    /// Time to read `bytes` in one sequential operation.
+    pub fn read_time(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(self.seek_secs) + self.read_bw.time_for(bytes as f64)
+    }
+}
+
 /// A topology plus its performance parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct Network {
@@ -377,5 +414,23 @@ mod tests {
     fn wrong_matrix_shape_rejected() {
         let net = Network::summit_gpu(2);
         net.alltoallv_times(&uniform_matrix(5, 1));
+    }
+
+    #[test]
+    fn ssd_tier_prices_seek_plus_bandwidth() {
+        let ssd = SsdParams::nvme();
+        // Zero-byte operations still pay the seek.
+        assert_eq!(ssd.write_time(0), SimTime::from_secs(ssd.seek_secs));
+        assert_eq!(ssd.read_time(0), SimTime::from_secs(ssd.seek_secs));
+        // Reads are faster than writes at equal volume (NVMe asymmetry).
+        let mb = 50_000_000;
+        assert!(ssd.read_time(mb) < ssd.write_time(mb));
+        // Beyond the seek, time is linear in bytes.
+        let seek = SimTime::from_secs(ssd.seek_secs);
+        let r = (ssd.write_time(2 * mb) - seek).as_secs() / (ssd.write_time(mb) - seek).as_secs();
+        assert!((r - 2.0).abs() < 1e-9, "ratio {r}");
+        // 1 GB writes in about half a second at 2 GB/s.
+        let t = ssd.write_time(1_000_000_000).as_secs();
+        assert!((0.4..0.6).contains(&t), "{t}");
     }
 }

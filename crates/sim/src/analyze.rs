@@ -143,6 +143,9 @@ pub struct RunAnalysis {
     pub rank_deaths: Vec<(usize, u64)>,
     /// Elastic rescales `(round, from, to)` of the active rank set.
     pub rescales: Vec<(u64, usize, usize)>,
+    /// Storage-tier operations `(op, bin, bytes, secs)` from out-of-core
+    /// two-pass runs, in journal order. Empty for in-memory runs.
+    pub io_events: Vec<(String, u64, u64, f64)>,
     /// Wall-clock stage timings `(stage, host seconds)` in journal order.
     pub wall: Vec<(String, f64)>,
 }
@@ -219,6 +222,36 @@ impl RunAnalysis {
     /// Exposed (unhidden) wire seconds summed over collectives and ranks.
     pub fn exposed_seconds(&self) -> f64 {
         self.rounds.iter().map(|r| r.exposed_sum).sum()
+    }
+
+    /// Count of storage operations of one kind (`write`, `read`,
+    /// `retry`, `quarantine`, `rederive`).
+    pub fn io_count(&self, op: &str) -> u64 {
+        self.io_events.iter().filter(|e| e.0 == op).count() as u64
+    }
+
+    /// Payload bytes moved by storage operations of one kind.
+    pub fn io_bytes(&self, op: &str) -> u64 {
+        self.io_events
+            .iter()
+            .filter(|e| e.0 == op)
+            .map(|e| e.2)
+            .sum()
+    }
+
+    /// Simulated seconds charged by storage operations of one kind.
+    pub fn io_seconds(&self, op: &str) -> f64 {
+        self.io_events
+            .iter()
+            .filter(|e| e.0 == op)
+            .map(|e| e.3)
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Total simulated disk time across every storage operation.
+    pub fn storage_seconds(&self) -> f64 {
+        self.io_events.iter().map(|e| e.3).sum::<f64>() + 0.0
     }
 
     /// Checks the two structural invariants, returning a violation
@@ -380,6 +413,40 @@ impl RunAnalysis {
                     r.imbalance()
                 );
             }
+        }
+
+        if !self.io_events.is_empty() {
+            let _ = writeln!(w, "\nstorage (simulated NVMe tier)");
+            let _ = writeln!(
+                w,
+                "  bin writes: {} ({} bytes, {:.6} s)",
+                self.io_count("write"),
+                self.io_bytes("write"),
+                self.io_seconds("write")
+            );
+            let _ = writeln!(
+                w,
+                "  bin reads: {} ({} bytes, {:.6} s)",
+                self.io_count("read"),
+                self.io_bytes("read"),
+                self.io_seconds("read")
+            );
+            let _ = writeln!(
+                w,
+                "  read retries: {}, quarantined bins: {}, re-derives: {} ({} bytes replayed)",
+                self.io_count("retry"),
+                self.io_count("quarantine"),
+                self.io_count("rederive"),
+                self.io_bytes("rederive")
+            );
+            let _ = writeln!(
+                w,
+                "  disk seconds: {:.6} total, {:.6} in recovery",
+                self.storage_seconds(),
+                self.io_seconds("retry")
+                    + self.io_seconds("quarantine")
+                    + self.io_seconds("rederive")
+            );
         }
 
         let _ = writeln!(w, "\nimbalance (per-rank busy seconds)");
@@ -553,6 +620,12 @@ pub fn analyze(events: &[JournalEvent]) -> Result<RunAnalysis, String> {
             JournalEvent::Oom { rank, detail } => a.ooms.push((*rank, detail.clone())),
             JournalEvent::RankDead { rank, round } => a.rank_deaths.push((*rank, *round)),
             JournalEvent::Rescale { round, from, to } => a.rescales.push((*round, *from, *to)),
+            JournalEvent::Io {
+                op,
+                bin,
+                bytes,
+                secs,
+            } => a.io_events.push((op.clone(), *bin, *bytes, *secs)),
             JournalEvent::Phase { phase, secs } => a.phases.push((phase.clone(), *secs)),
             JournalEvent::Wall { stage, secs } => a.wall.push((stage.clone(), *secs)),
             JournalEvent::Run { makespan } => a.makespan = *makespan,
@@ -993,6 +1066,43 @@ mod tests {
         // Runs without deaths keep the section silent.
         let clean = analyze(&two_rank_events()).unwrap();
         assert!(!clean.render().contains("rank deaths"));
+    }
+
+    #[test]
+    fn io_events_feed_the_storage_section() {
+        let io = |op: &str, bin: u64, bytes: u64, secs: f64| JournalEvent::Io {
+            op: op.into(),
+            bin,
+            bytes,
+            secs,
+        };
+        let mut events = two_rank_events();
+        events.insert(3, io("write", 0, 1000, 0.5));
+        events.insert(4, io("write", 1, 3000, 1.5));
+        events.insert(5, io("read", 0, 1000, 0.25));
+        events.insert(6, io("retry", 1, 0, 0.1));
+        events.insert(7, io("quarantine", 1, 0, 0.0));
+        events.insert(8, io("rederive", 1, 3000, 2.0));
+        events.insert(9, io("read", 1, 3000, 0.75));
+        let a = analyze(&events).unwrap();
+        assert_eq!(a.io_count("write"), 2);
+        assert_eq!(a.io_bytes("write"), 4000);
+        assert_eq!(a.io_count("read"), 2);
+        assert_eq!(a.io_count("retry"), 1);
+        assert_eq!(a.io_count("quarantine"), 1);
+        assert_eq!(a.io_count("rederive"), 1);
+        assert!((a.io_seconds("write") - 2.0).abs() < 1e-12);
+        assert!((a.storage_seconds() - 5.1).abs() < 1e-12);
+        // Io events are annotations, not clock intervals — the structural
+        // invariants must be unaffected.
+        a.check_invariants().unwrap();
+        let text = a.render();
+        assert!(text.contains("storage (simulated NVMe tier)"), "{text}");
+        assert!(text.contains("bin writes: 2 (4000 bytes"), "{text}");
+        assert!(text.contains("quarantined bins: 1"), "{text}");
+        // In-memory runs keep the section silent.
+        let clean = analyze(&two_rank_events()).unwrap();
+        assert!(!clean.render().contains("storage (simulated NVMe tier)"));
     }
 
     #[test]

@@ -137,6 +137,22 @@ pub enum JournalEvent {
         /// Active ranks after the rescale.
         to: usize,
     },
+    /// One storage-tier operation on the out-of-core bin store: a bin
+    /// write or read, a transient-read retry, a quarantine after
+    /// detected corruption, or a re-derive replaying the bin's input
+    /// slice (DESIGN.md §12). Annotation only — the simulated seconds
+    /// are charged through the owning rank's compute spans.
+    Io {
+        /// Operation: `write`, `read`, `retry`, `quarantine`, or
+        /// `rederive`.
+        op: String,
+        /// Bin the operation touched.
+        bin: u64,
+        /// Payload bytes moved (0 for retries and quarantines).
+        bytes: u64,
+        /// Simulated seconds the operation cost its owning rank.
+        secs: f64,
+    },
     /// Driver phase summary, computed from the same accumulators as the
     /// run report and the metrics snapshot (reconciles exactly).
     Phase {
@@ -184,6 +200,7 @@ impl JournalEvent {
             JournalEvent::Oom { .. } => "oom",
             JournalEvent::RankDead { .. } => "rankdead",
             JournalEvent::Rescale { .. } => "rescale",
+            JournalEvent::Io { .. } => "io",
             JournalEvent::Phase { .. } => "phase",
             JournalEvent::Wall { .. } => "wall",
             JournalEvent::Run { .. } => "run",
@@ -261,6 +278,16 @@ impl JournalEvent {
             JournalEvent::Rescale { round, from, to } => {
                 format!("{{\"ev\":\"rescale\",\"round\":{round},\"from\":{from},\"to\":{to}}}")
             }
+            JournalEvent::Io {
+                op,
+                bin,
+                bytes,
+                secs,
+            } => format!(
+                "{{\"ev\":\"io\",\"op\":\"{}\",\"bin\":{bin},\"bytes\":{bytes},\"secs\":{}}}",
+                escape(op),
+                num(*secs)
+            ),
             JournalEvent::Phase { phase, secs } => format!(
                 "{{\"ev\":\"phase\",\"phase\":\"{}\",\"secs\":{}}}",
                 escape(phase),
@@ -343,6 +370,12 @@ impl JournalEvent {
                 round: map.u64_field("round")?,
                 from: map.u64_field("from")? as usize,
                 to: map.u64_field("to")? as usize,
+            },
+            "io" => JournalEvent::Io {
+                op: map.str_field("op")?.to_string(),
+                bin: map.u64_field("bin")?,
+                bytes: map.u64_field("bytes")?,
+                secs: map.f64_field("secs")?,
             },
             "phase" => JournalEvent::Phase {
                 phase: map.str_field("phase")?.to_string(),
@@ -640,6 +673,12 @@ mod tests {
             round: 3,
             from: 12,
             to: 8,
+        });
+        roundtrip(JournalEvent::Io {
+            op: "rederive".into(),
+            bin: 17,
+            bytes: 1 << 22,
+            secs: 0.0625,
         });
         roundtrip(JournalEvent::Phase {
             phase: "exchange".into(),

@@ -1,0 +1,193 @@
+//! Checksum-framed block format for bin files.
+//!
+//! A bin file is a plain concatenation of frames, each:
+//!
+//! ```text
+//! magic    u32 LE   0x4445_4B42 ("BKED" on disk)
+//! bin      u32 LE   bin index (redundant; catches cross-bin mixups)
+//! seq      u32 LE   zero-based block index within the bin
+//! len      u32 LE   payload length in bytes
+//! checksum u64 LE   mix64 fold over the payload (seeded with len)
+//! payload  len bytes
+//! ```
+//!
+//! Every field a torn write or bit rot could damage is verifiable:
+//! truncation fails the length checks, a flipped payload byte fails the
+//! checksum, and a garbled header fails the magic. Parsing never
+//! panics — every malformation is a `String` diagnostic the recovery
+//! path can attach to its journal events.
+
+use dedukt_sim::rng::mix64;
+
+/// Frame magic, little-endian `0x4445_4B42`.
+pub const BLOCK_MAGIC: u32 = 0x4445_4B42;
+
+/// Bytes of framing ahead of each payload.
+pub const BLOCK_HEADER_BYTES: usize = 4 + 4 + 4 + 4 + 8;
+
+/// One parsed frame: the identifying coordinates plus the verified
+/// payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockFrame {
+    /// Bin index stamped at write time.
+    pub bin: u32,
+    /// Zero-based block index within the bin.
+    pub seq: u32,
+    /// Verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Checksum of a payload: a [`mix64`] fold over its little-endian
+/// 8-byte chunks (zero-padded), seeded with the length so a truncated
+/// payload of trailing zeros still mismatches.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut sum = mix64(0x5EED_B10C ^ payload.len() as u64);
+    for chunk in payload.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        sum = mix64(sum ^ u64::from_le_bytes(word));
+    }
+    sum
+}
+
+/// Serializes one frame (header + payload) ready to append to a bin
+/// file.
+pub fn frame_block(bin: u32, seq: u32, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BLOCK_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&BLOCK_MAGIC.to_le_bytes());
+    out.extend_from_slice(&bin.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload_checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses and verifies the frame starting at `offset`, returning it
+/// with the offset of the next frame. Every corruption mode the
+/// [`crate::IoPlan`] can inject surfaces as an `Err` here.
+pub fn parse_block(buf: &[u8], offset: usize) -> Result<(BlockFrame, usize), String> {
+    let rest = &buf[offset..];
+    if rest.len() < BLOCK_HEADER_BYTES {
+        return Err(format!(
+            "truncated frame header at offset {offset}: {} of {BLOCK_HEADER_BYTES} bytes",
+            rest.len()
+        ));
+    }
+    let word_u32 = |at: usize| u32::from_le_bytes(rest[at..at + 4].try_into().unwrap());
+    let magic = word_u32(0);
+    if magic != BLOCK_MAGIC {
+        return Err(format!(
+            "bad frame magic {magic:#010x} at offset {offset} (expected {BLOCK_MAGIC:#010x})"
+        ));
+    }
+    let bin = word_u32(4);
+    let seq = word_u32(8);
+    let len = word_u32(12) as usize;
+    let stored = u64::from_le_bytes(rest[16..24].try_into().unwrap());
+    let payload = rest
+        .get(BLOCK_HEADER_BYTES..BLOCK_HEADER_BYTES + len)
+        .ok_or_else(|| {
+            format!(
+                "truncated payload of block {seq} at offset {offset}: want {len} bytes, \
+                 have {}",
+                rest.len() - BLOCK_HEADER_BYTES
+            )
+        })?;
+    let computed = payload_checksum(payload);
+    if computed != stored {
+        return Err(format!(
+            "checksum mismatch on block {seq} of bin {bin}: stored {stored:#018x}, \
+             computed {computed:#018x}"
+        ));
+    }
+    Ok((
+        BlockFrame {
+            bin,
+            seq,
+            payload: payload.to_vec(),
+        },
+        offset + BLOCK_HEADER_BYTES + len,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrips() {
+        let payload: Vec<u8> = (0u8..200).collect();
+        let framed = frame_block(7, 3, &payload);
+        assert_eq!(framed.len(), BLOCK_HEADER_BYTES + payload.len());
+        let (frame, next) = parse_block(&framed, 0).unwrap();
+        assert_eq!(frame.bin, 7);
+        assert_eq!(frame.seq, 3);
+        assert_eq!(frame.payload, payload);
+        assert_eq!(next, framed.len());
+    }
+
+    #[test]
+    fn concatenated_frames_parse_in_sequence() {
+        let mut buf = Vec::new();
+        for seq in 0..5u32 {
+            buf.extend_from_slice(&frame_block(1, seq, &vec![seq as u8; 10 + seq as usize]));
+        }
+        let mut offset = 0;
+        for seq in 0..5u32 {
+            let (frame, next) = parse_block(&buf, offset).unwrap();
+            assert_eq!(frame.seq, seq);
+            assert_eq!(frame.payload.len(), 10 + seq as usize);
+            offset = next;
+        }
+        assert_eq!(offset, buf.len());
+    }
+
+    #[test]
+    fn empty_payload_is_framed_and_verified() {
+        let framed = frame_block(0, 0, &[]);
+        let (frame, next) = parse_block(&framed, 0).unwrap();
+        assert!(frame.payload.is_empty());
+        assert_eq!(next, BLOCK_HEADER_BYTES);
+    }
+
+    #[test]
+    fn torn_frames_fail_the_length_checks() {
+        let framed = frame_block(2, 0, &[9u8; 64]);
+        // Torn inside the header.
+        let err = parse_block(&framed[..10], 0).unwrap_err();
+        assert!(err.contains("truncated frame header"), "{err}");
+        // Torn inside the payload.
+        let err = parse_block(&framed[..BLOCK_HEADER_BYTES + 20], 0).unwrap_err();
+        assert!(err.contains("truncated payload"), "{err}");
+    }
+
+    #[test]
+    fn every_flipped_payload_bit_fails_the_checksum() {
+        let payload = [0xA5u8; 40];
+        let framed = frame_block(1, 0, &payload);
+        for byte in 0..payload.len() {
+            let mut rotted = framed.clone();
+            rotted[BLOCK_HEADER_BYTES + byte] ^= 0x01;
+            let err = parse_block(&rotted, 0).unwrap_err();
+            assert!(err.contains("checksum mismatch"), "byte {byte}: {err}");
+        }
+    }
+
+    #[test]
+    fn garbled_magic_is_rejected() {
+        let mut framed = frame_block(1, 0, &[1, 2, 3]);
+        framed[0] ^= 0xFF;
+        assert!(parse_block(&framed, 0)
+            .unwrap_err()
+            .contains("bad frame magic"));
+    }
+
+    #[test]
+    fn checksum_distinguishes_zero_padded_truncations() {
+        // A payload of trailing zeros truncated to fewer zeros must not
+        // collide (the length seeds the fold).
+        assert_ne!(payload_checksum(&[0u8; 16]), payload_checksum(&[0u8; 8]));
+        assert_ne!(payload_checksum(&[]), payload_checksum(&[0u8]));
+    }
+}

@@ -43,6 +43,17 @@
 //!   to bound the replay, and `--rescale ROUND:WORLD,...` grows or
 //!   shrinks the active rank set mid-run through the same re-partition
 //!   path.
+//!   `--two-pass DIR` counts out-of-core (DESIGN.md §12): pass 1 spills
+//!   minimizer-keyed, checksum-framed bins to a simulated NVMe store in
+//!   DIR with a per-run manifest; pass 2 streams the bins back one at a
+//!   time into tables sized to fit `--device-hbm`. `--io-seed N` /
+//!   `--io-spec torn=T,rot=R,readerr=E,retries=N,rederive=M,kill=K`
+//!   inject deterministic storage faults; recovery retries, then
+//!   quarantines the damaged bin and re-derives it from the input, and
+//!   `--resume` finishes a killed run by re-counting only unfinished
+//!   bins. Spectra stay bit-identical to the in-memory pipelines.
+//!   `--min-count N` drops k-mers seen fewer than N times in pass 2
+//!   (Gerbil-style pre-filter).
 //!   `--journal run.jsonl` records the structured run journal (one JSON
 //!   event per superstep span, collective, retry, recovery event, phase
 //!   total and wall-clock stage) for offline analysis.
@@ -110,6 +121,8 @@ fn print_usage() {
          \x20        [--rank-seed N] [--rank-spec rate=R,max-dead=D,kill=ROUND:RANK]\n\
          \x20        [--checkpoint-rounds N] [--rescale ROUND:WORLD,...]\n\
          \x20        [--table-safety F] [--device-hbm BYTES]\n\
+         \x20        [--two-pass DIR] [--resume] [--min-count N]\n\
+         \x20        [--io-seed N] [--io-spec torn=T,rot=R,readerr=E,retries=N,rederive=M,kill=K]\n\
          \x20 dedukt analyze <run.jsonl> | dedukt analyze --diff <a.jsonl> <b.jsonl>\n\
          \x20 dedukt compare <a.tsv> <b.tsv> [--k K]\n\
          \x20 dedukt info"
@@ -351,6 +364,8 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
     let mut mem_spec: Option<String> = None;
     let mut rank_seed: Option<u64> = None;
     let mut rank_spec: Option<String> = None;
+    let mut io_seed: Option<u64> = None;
+    let mut io_spec: Option<String> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--mode" => {
@@ -418,6 +433,23 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
                 )
             }
             "--rank-spec" => rank_spec = Some(take_value(&mut it, "--rank-spec")?.to_string()),
+            "--two-pass" => {
+                rc.two_pass_dir = Some(std::path::PathBuf::from(take_value(&mut it, "--two-pass")?))
+            }
+            "--resume" => rc.two_pass_resume = true,
+            "--io-seed" => {
+                io_seed = Some(
+                    take_value(&mut it, "--io-seed")?
+                        .parse()
+                        .map_err(|_| "--io-seed: bad io seed")?,
+                )
+            }
+            "--io-spec" => io_spec = Some(take_value(&mut it, "--io-spec")?.to_string()),
+            "--min-count" => {
+                rc.min_count = take_value(&mut it, "--min-count")?
+                    .parse()
+                    .map_err(|_| "--min-count: bad count threshold")?
+            }
             "--checkpoint-rounds" => {
                 rc.checkpoint_rounds = Some(
                     take_value(&mut it, "--checkpoint-rounds")?
@@ -478,6 +510,14 @@ fn cmd_count(args: &[String]) -> Result<(), String> {
             None => dedukt::net::RankSpec::default(),
         };
         rc.rank = Some(dedukt::net::RankPlan::new(rank_seed.unwrap_or(0), spec));
+    }
+    // And for storage faults on the two-pass bin store.
+    if io_seed.is_some() || io_spec.is_some() {
+        let spec = match &io_spec {
+            Some(s) => dedukt::store::IoSpec::parse(s).map_err(|e| format!("--io-spec: {e}"))?,
+            None => dedukt::store::IoSpec::default(),
+        };
+        rc.io = Some(dedukt::store::IoPlan::new(io_seed.unwrap_or(0), spec));
     }
     let outputs = CountOutputs {
         out_path,

@@ -32,3 +32,4 @@ pub use dedukt_gpu as gpu;
 pub use dedukt_hash as hash;
 pub use dedukt_net as net;
 pub use dedukt_sim as sim;
+pub use dedukt_store as store;

@@ -914,3 +914,245 @@ fn malformed_rank_flags_exit_two_and_budget_exhaustion_is_clean() {
         "missing budget message in\n{stderr}"
     );
 }
+
+#[test]
+fn two_pass_flags_match_the_in_memory_dump_and_survive_faults() {
+    let dir = tmpdir("two-pass");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let clean = dir.join("clean.tsv");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--out"])
+        .arg(&clean)
+        .status()
+        .unwrap()
+        .success());
+
+    // A clean out-of-core run lands on the identical dump.
+    let spooled = dir.join("spooled.tsv");
+    let store = dir.join("store-clean");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--mode", "supermer", "--nodes", "2", "--two-pass"])
+        .arg(&store)
+        .arg("--out")
+        .arg(&spooled)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&spooled).unwrap(),
+        "spooling through the bin store must not change a single count"
+    );
+
+    // A hostile I/O plan recovers — retry, quarantine, re-derive — and
+    // still lands on the identical dump, with recovery in --metrics.
+    let damaged = dir.join("damaged.tsv");
+    let metrics = dir.join("metrics.json");
+    let store = dir.join("store-hostile");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--io-seed",
+            "7",
+            "--io-spec",
+            "torn=0.05,rot=0.05,readerr=0.3,retries=8,rederive=8",
+            "--two-pass",
+        ])
+        .arg(&store)
+        .arg("--out")
+        .arg(&damaged)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&damaged).unwrap(),
+        "storage-fault recovery must not change a single count"
+    );
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"name\": \"storage_write_bytes_total\""));
+    assert!(json.contains("\"name\": \"quarantined_bins_total\""));
+    assert!(json.contains("\"name\": \"rederived_bins_total\""));
+
+    // An injected kill mid-pass-2 exits 2 pointing at --resume, and the
+    // resumed run finishes the remaining bins onto the identical dump.
+    let resumed = dir.join("resumed.tsv");
+    let store = dir.join("store-killed");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--io-spec",
+            "torn=0,rot=0,readerr=0,kill=2",
+            "--two-pass",
+        ])
+        .arg(&store)
+        .arg("--out")
+        .arg(&resumed)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume"),
+        "kill must point at --resume:\n{stderr}"
+    );
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--resume",
+            "--two-pass",
+        ])
+        .arg(&store)
+        .arg("--out")
+        .arg(&resumed)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&resumed).unwrap(),
+        "a resumed run must finish onto the identical dump"
+    );
+
+    // --min-count strictly shrinks the dump to >= N survivors.
+    let filtered = dir.join("filtered.tsv");
+    let store = dir.join("store-filtered");
+    assert!(dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args([
+            "--mode",
+            "supermer",
+            "--nodes",
+            "2",
+            "--min-count",
+            "2",
+            "--two-pass"
+        ])
+        .arg(&store)
+        .arg("--out")
+        .arg(&filtered)
+        .status()
+        .unwrap()
+        .success());
+    let lines = |p: &PathBuf| std::fs::read_to_string(p).unwrap().lines().count();
+    assert!(lines(&filtered) < lines(&clean));
+    for line in std::fs::read_to_string(&filtered).unwrap().lines() {
+        let (_, count) = line.split_once('\t').unwrap();
+        assert!(count.parse::<u32>().unwrap() >= 2);
+    }
+}
+
+#[test]
+fn malformed_two_pass_flags_exit_two_naming_the_flag() {
+    let dir = tmpdir("two-pass-bad");
+    let fastq = dir.join("reads.fastq");
+    assert!(dedukt()
+        .args(["simulate", "ecoli", "--scale", "tiny", "--out"])
+        .arg(&fastq)
+        .status()
+        .unwrap()
+        .success());
+    let store = dir.join("store");
+    // (extra args, message fragment): parser failures name --io-spec;
+    // validation failures surface as ConfigError-style exit 2s, and
+    // orphaned flags point at the --two-pass they require.
+    let store_s = store.to_str().unwrap();
+    for (args, needle) in [
+        (
+            vec!["--two-pass", store_s, "--io-spec", "bogus=1"],
+            "unknown io spec key",
+        ),
+        (
+            vec!["--two-pass", store_s, "--io-spec", "bogus=1"],
+            "--io-spec",
+        ),
+        (
+            vec!["--two-pass", store_s, "--io-spec", "torn=1.5"],
+            "must be in [0, 1]",
+        ),
+        (
+            vec!["--two-pass", store_s, "--io-spec", "kill=0"],
+            "at least 1",
+        ),
+        (
+            vec!["--two-pass", store_s, "--min-count", "0"],
+            "--min-count",
+        ),
+        (vec!["--resume"], "--resume requires --two-pass"),
+        (vec!["--io-seed", "7"], "require --two-pass"),
+        (vec!["--min-count", "2"], "--min-count requires --two-pass"),
+    ] {
+        let out = dedukt()
+            .args(["count"])
+            .arg(&fastq)
+            .args(&args)
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "args {args:?} must exit 2, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(needle),
+            "args {args:?}: missing {needle:?} in\n{stderr}"
+        );
+    }
+    // Resuming from a store nobody wrote is a clean exit 2, not a panic.
+    let empty = dir.join("empty-store");
+    let out = dedukt()
+        .args(["count"])
+        .arg(&fastq)
+        .args(["--resume", "--two-pass"])
+        .arg(&empty)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--resume") && stderr.contains("no manifest"),
+        "missing resume guidance in\n{stderr}"
+    );
+}

@@ -60,10 +60,30 @@ const EVENT_KINDS: &[&str] = &[
     "oom",
     "rankdead",
     "rescale",
+    "io",
     "phase",
     "wall",
     "run",
 ];
+
+/// A two-pass run whose io plan provably damages bins (quarantine +
+/// re-derive) and draws transient read errors (io retries), with budgets
+/// big enough to survive. Seed pinned — the draws are deterministic.
+fn hostile_two_pass_config(mode: Mode) -> RunConfig {
+    let mut rc = RunConfig::new(mode, 2);
+    rc.collect_journal = true;
+    rc.two_pass_dir = Some(std::env::temp_dir().join(format!(
+        "dedukt-journal-two-pass-{}-{}",
+        std::process::id(),
+        mode.label()
+    )));
+    rc.io = Some(dedukt::store::IoPlan::new(
+        7,
+        dedukt::store::IoSpec::parse("torn=0.05,rot=0.05,readerr=0.3,retries=8,rederive=8")
+            .unwrap(),
+    ));
+    rc
+}
 
 #[test]
 fn journal_event_vocabulary_is_pinned() {
@@ -71,13 +91,46 @@ fn journal_event_vocabulary_is_pinned() {
     let report = run(&reads, &hostile_config(Mode::GpuSupermer)).expect("survivable plans");
     let events = report.journal.as_ref().expect("journal requested");
 
-    let kinds: BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+    // The out-of-core lane is the only emitter of `io` events; union its
+    // hostile run into the coverage check.
+    let tp_rc = hostile_two_pass_config(Mode::GpuSupermer);
+    let tp = run(&reads, &tp_rc).expect("survivable io plan");
+    std::fs::remove_dir_all(tp_rc.two_pass_dir.as_ref().unwrap()).ok();
+    let tp_events = tp.journal.as_ref().expect("journal requested");
+
+    let kinds: BTreeSet<&str> = events.iter().chain(tp_events).map(|e| e.kind()).collect();
     for k in &kinds {
         assert!(EVENT_KINDS.contains(k), "unknown event kind {k:?}");
     }
-    // The hostile run exercises the whole vocabulary.
+    // The two hostile runs together exercise the whole vocabulary.
     for k in EVENT_KINDS {
-        assert!(kinds.contains(k), "hostile run emitted no {k:?} events");
+        assert!(kinds.contains(k), "hostile runs emitted no {k:?} events");
+    }
+
+    // The io lane itself covers its whole op vocabulary, and the
+    // two-pass meta header names the out-of-core knobs.
+    let ops: BTreeSet<&str> = tp_events
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::Io { op, .. } => Some(op.as_str()),
+            _ => None,
+        })
+        .collect();
+    for op in ["write", "read", "retry", "quarantine", "rederive"] {
+        assert!(
+            ops.contains(op),
+            "hostile two-pass run emitted no {op:?} io events"
+        );
+    }
+    match &tp_events[0] {
+        JournalEvent::Meta { detail, .. } => {
+            assert!(
+                detail.contains("two-pass"),
+                "detail missing two-pass: {detail}"
+            );
+            assert!(detail.contains("io["), "detail missing io spec: {detail}");
+        }
+        other => panic!("first event is {other:?}"),
     }
 
     // Envelope: exactly one meta first, exactly one run trailer last.
